@@ -1,0 +1,41 @@
+"""Shared reporting for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures as a plain
+text series.  Output goes two places: stdout (visible with ``pytest -s``)
+and ``benchmarks/results/<slug>.txt`` so a plain ``pytest benchmarks/
+--benchmark-only`` run still leaves the series on disk for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Sequence
+
+from repro.bench.reporting import ascii_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(slug: str, title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Print a titled series and persist it under benchmarks/results/."""
+    table = ascii_table(headers, rows)
+    text = f"== {title} ==\n{table}\n"
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{slug}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text
+
+
+def emit_lines(slug: str, title: str, lines: Sequence[str]) -> str:
+    body = "\n".join(lines)
+    text = f"== {title} ==\n{body}\n"
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{slug}.txt"), "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text

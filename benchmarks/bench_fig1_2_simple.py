@@ -1,0 +1,76 @@
+"""FIG1-2 — the simple algorithm's worked example + dense-scan timing.
+
+Regenerates the exact message table of Figure 1 and the snapshot
+before/after of Figure 2, then times the simple algorithm's full
+address-space scan at a realistic size (its cost is what motivates the
+practical variants).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.simple import SimpleBaseTable, SimpleElementMessage, SimpleSnapshot
+from repro.relation.schema import Schema
+from repro.workload.employees import (
+    BASE_TIME,
+    SNAP_TIME,
+    figure1_simple_table,
+    figure2_snapshot_before,
+)
+
+from benchmarks._util import emit
+
+
+def _run_golden():
+    table = figure1_simple_table()
+    snapshot = SimpleSnapshot()
+    snapshot.entries = figure2_snapshot_before()
+    messages = []
+
+    def deliver(message):
+        messages.append(message)
+        snapshot.apply(message)
+
+    table.refresh(SNAP_TIME, lambda v: v[1] < 10, deliver)
+    return messages, snapshot
+
+
+@pytest.mark.benchmark(group="fig1-2")
+def test_fig1_2_golden_example(benchmark):
+    messages, snapshot = benchmark(_run_golden)
+    rows = []
+    for message in messages:
+        if isinstance(message, SimpleElementMessage):
+            status = "empty" if message.empty else "ok"
+            name, salary = message.values if message.values else ("-", "-")
+            rows.append([message.addr, status, name, salary])
+    emit(
+        "fig1_2",
+        f"Figures 1-2: refresh messages (SnapTime={SNAP_TIME/100}, "
+        f"BaseTime={BASE_TIME/100}, SnapRestrict: Salary < 10)",
+        ["BaseAddr", "Status", "Name", "Salary"],
+        rows,
+    )
+    assert [(r[0], r[1]) for r in rows] == [
+        (2, "ok"), (3, "empty"), (4, "empty"), (7, "empty"),
+    ]
+    assert snapshot.as_map() == {
+        2: ("Laura", 6), 5: ("Mohan", 9), 6: ("Paul", 8),
+    }
+
+
+@pytest.mark.benchmark(group="fig1-2")
+def test_simple_refresh_scan_cost(benchmark):
+    """The simple algorithm scans EVERY address, occupied or not."""
+    schema = Schema.of(("v", "int"),)
+    table = SimpleBaseTable(20_000, schema)
+    for _ in range(2_000):  # only 10% occupancy
+        table.insert((1,))
+    counter = {"messages": 0}
+
+    def refresh():
+        counter["messages"] = 0
+        table.refresh(10**9, lambda v: True, lambda m: None)
+
+    benchmark(refresh)

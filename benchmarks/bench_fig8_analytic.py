@@ -1,0 +1,53 @@
+"""FIG8-ANALYTIC — the analysis half of Figure 8.
+
+The paper evaluated the algorithm by "both simulation and analysis";
+this benchmark regenerates the analytic curves on a dense activity grid
+(cheap enough to sweep finely) and times one full grid evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.model import TrafficModel
+
+from benchmarks._util import emit
+
+SELECTIVITIES = (0.25, 0.50, 0.75, 1.00)
+ACTIVITIES = tuple(x / 20 for x in range(1, 41))  # 0.05 .. 2.00
+
+
+def _evaluate_grid():
+    grid = {}
+    for q in SELECTIVITIES:
+        grid[q] = TrafficModel(q).series(list(ACTIVITIES))
+    return grid
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_analytic_curves(benchmark):
+    grid = benchmark(_evaluate_grid)
+    rows = []
+    # Print a readable subsample of the dense grid.
+    for q in SELECTIVITIES:
+        for point in grid[q][::5]:
+            rows.append(
+                [
+                    f"{100 * q:.0f}",
+                    f"{100 * point['activity']:.0f}",
+                    f"{100 * point['ideal']:.2f}",
+                    f"{100 * point['differential']:.2f}",
+                    f"{100 * point['full']:.2f}",
+                ]
+            )
+    emit(
+        "fig8_analytic",
+        "Figure 8 (analysis): % of base-table tuples sent",
+        ["q%", "u%", "ideal%", "diff%", "full%"],
+        rows,
+    )
+    for q in SELECTIVITIES:
+        series = grid[q]
+        diffs = [point["differential"] for point in series]
+        assert diffs == sorted(diffs)  # monotone rise toward full
+        assert diffs[-1] <= q + 1e-9

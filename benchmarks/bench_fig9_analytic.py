@@ -1,0 +1,49 @@
+"""FIG9-ANALYTIC — the analysis half of Figure 9 (q = 1 %, 5 %)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.model import TrafficModel
+
+from benchmarks._util import emit
+
+SELECTIVITIES = (0.01, 0.05)
+ACTIVITIES = tuple(x / 20 for x in range(1, 41))
+
+
+def _evaluate_grid():
+    return {q: TrafficModel(q).series(list(ACTIVITIES)) for q in SELECTIVITIES}
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_analytic_curves(benchmark):
+    grid = benchmark(_evaluate_grid)
+    rows = []
+    for q in SELECTIVITIES:
+        for point in grid[q][::5]:
+            diff_pct = 100 * point["differential"]
+            rows.append(
+                [
+                    f"{100 * q:.0f}",
+                    f"{100 * point['activity']:.0f}",
+                    f"{100 * point['ideal']:.3f}",
+                    f"{diff_pct:.3f}",
+                    f"{100 * point['full']:.3f}",
+                    f"{math.log10(diff_pct):.2f}" if diff_pct > 0 else "-inf",
+                ]
+            )
+    emit(
+        "fig9_analytic",
+        "Figure 9 (analysis): restrictive snapshots, log-scale view",
+        ["q%", "u%", "ideal%", "diff%", "full%", "log10(diff%)"],
+        rows,
+    )
+    # Tight restrictions: differential converges to full fast.
+    for q in SELECTIVITIES:
+        final = grid[q][-1]
+        assert final["differential"] > 0.95 * final["full"]
+        model = TrafficModel(q)
+        assert model.superfluous_ratio(0.05) > model.superfluous_ratio(2.0)

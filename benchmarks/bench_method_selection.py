@@ -1,0 +1,60 @@
+"""A2 — refresh-method selection crossover.
+
+"The expected costs of differential refresh and full refresh can be
+computed when the snapshot is defined and the appropriate refresh method
+can be selected."  This benchmark sweeps expected update activity and
+shows the cost model switching from DIFFERENTIAL to FULL, and where the
+crossover falls as a function of selectivity (with an index available to
+the full method).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.compiler import RefreshMethod
+from repro.core.costmodel import CostModel
+
+from benchmarks._util import emit
+
+N = 10_000
+ACTIVITIES = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0)
+SELECTIVITIES = (0.01, 0.05, 0.25, 0.5, 1.0)
+
+
+def _run_grid():
+    model = CostModel()
+    choices = {}
+    crossovers = {}
+    for q in SELECTIVITIES:
+        for u in ACTIVITIES:
+            choices[(q, u)] = model.choose(N, q, u, has_index=True)
+        crossovers[q] = model.crossover_activity(N, q, has_index=True)
+    return model, choices, crossovers
+
+
+@pytest.mark.benchmark(group="selection")
+def test_method_selection_crossover(benchmark):
+    model, choices, crossovers = benchmark(_run_grid)
+    rows = []
+    for q in SELECTIVITIES:
+        row = [f"{100 * q:.0f}"]
+        for u in ACTIVITIES:
+            row.append("D" if choices[(q, u)] is RefreshMethod.DIFFERENTIAL else "F")
+        crossover = crossovers[q]
+        row.append("inf" if crossover == float("inf") else f"{crossover:.2f}")
+        rows.append(row)
+    emit(
+        "method_selection",
+        f"A2: selected method by (selectivity, expected activity), N={N}, "
+        "index available (D=differential, F=full)",
+        ["q%"] + [f"u={u}" for u in ACTIVITIES] + ["crossover"],
+        rows,
+    )
+    # Differential wins at low activity for wide snapshots...
+    assert choices[(0.5, 0.01)] is RefreshMethod.DIFFERENTIAL
+    # ...full wins for very selective snapshots when an index applies.
+    assert choices[(0.01, 1.0)] is RefreshMethod.FULL
+    # Crossover activity grows with selectivity.
+    finite = [crossovers[q] for q in SELECTIVITIES if crossovers[q] != float("inf")]
+    assert finite == sorted(finite)

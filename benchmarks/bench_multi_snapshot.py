@@ -1,0 +1,80 @@
+"""A6 — multi-snapshot amortization.
+
+"Multiple snapshots on a single base table do not require additional
+annotations and much of the extra work is amortized over the set of
+snapshots depending upon the base table."
+
+K snapshots share one base table; after a batch of modifications each
+refreshes in turn.  Only the first refresh pays fix-up writes; all K
+transmit the same change set.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.manager import SnapshotManager
+from repro.database import Database
+
+from benchmarks._util import emit
+
+N = 1_000
+CHANGES = 100
+SNAPSHOT_COUNTS = (1, 2, 4, 8)
+
+
+def _run(k):
+    rng = random.Random(66)
+    db = Database("hq")
+    table = db.create_table("t", [("v", "int")])
+    table.bulk_load([[i] for i in range(N)])
+    manager = SnapshotManager(db)
+    snaps = [
+        manager.create_snapshot(f"s{i}", "t", method="differential")
+        for i in range(k)
+    ]
+    rids = [rid for rid, _ in table.scan()]
+    for _ in range(CHANGES):
+        table.update(rids[rng.randrange(N)], {"v": rng.randrange(10**6)})
+    results = [snap.refresh() for snap in snaps]
+    return results
+
+
+def _series():
+    rows = []
+    for k in SNAPSHOT_COUNTS:
+        results = _run(k)
+        total_fixups = sum(r.fixup_writes for r in results)
+        rows.append(
+            [
+                k,
+                results[0].fixup_writes,
+                total_fixups,
+                f"{total_fixups / k:.1f}",
+                results[0].entries_sent,
+                results[-1].entries_sent,
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="multi-snapshot")
+def test_multi_snapshot_amortization(benchmark):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    emit(
+        "multi_snapshot",
+        f"A6: K snapshots sharing one base table's annotations "
+        f"({CHANGES} updates on {N} rows)",
+        [
+            "K", "fixups (1st refresh)", "fixups (total)",
+            "fixups per snapshot", "entries (1st)", "entries (Kth)",
+        ],
+        rows,
+    )
+    # Total fix-up work is constant in K: per-snapshot share falls as 1/K.
+    totals = [row[2] for row in rows]
+    assert len(set(totals)) == 1
+    # Every snapshot (first or last to refresh) sees the full change set.
+    assert all(row[4] == row[5] for row in rows)

@@ -1,0 +1,80 @@
+"""A11 — refresh period: the traffic / staleness trade-off.
+
+Snapshots are "periodically refreshed"; the period is the operator's
+knob.  A longer period lets differential refresh coalesce more repeated
+changes per transmitted entry (cheaper) but leaves the snapshot further
+behind on average (staler).  This benchmark drives one hot-spotted
+update stream through schedulers with different periods and reports
+both sides of the trade.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.manager import SnapshotManager
+from repro.core.scheduler import RefreshScheduler
+from repro.database import Database
+
+from benchmarks._util import emit
+
+N = 800
+OPERATIONS = 1_600
+HOT_ROWS = 80
+PERIODS = (1, 10, 50, 200, 800)
+
+
+def _run(period):
+    rng = random.Random(11)
+    db = Database("hq")
+    table = db.create_table("t", [("v", "int")])
+    rids = table.bulk_load([[i] for i in range(N)])
+    manager = SnapshotManager(db)
+    manager.create_snapshot("s", "t", method="differential")
+    scheduler = RefreshScheduler(manager)
+    entry = scheduler.schedule("s", every_ops=period)
+    for op_no in range(OPERATIONS):
+        target = rids[rng.randrange(HOT_ROWS)]
+        table.update(target, {"v": op_no})
+    scheduler.flush()
+    return entry
+
+
+def _sweep():
+    rows = []
+    for period in PERIODS:
+        entry = _run(period)
+        rows.append(
+            [
+                period,
+                entry.refreshes,
+                entry.entries_shipped,
+                f"{entry.entries_shipped / OPERATIONS:.3f}",
+                f"{entry.average_staleness:.1f}",
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="period")
+def test_refresh_period_tradeoff(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(
+        "refresh_period",
+        f"A11: refresh period vs traffic and staleness "
+        f"({OPERATIONS} updates over {HOT_ROWS} hot rows, N={N})",
+        [
+            "period (ops)",
+            "refreshes",
+            "entries shipped",
+            "entries per op",
+            "avg staleness (ops)",
+        ],
+        rows,
+    )
+    shipped = [row[2] for row in rows]
+    staleness = [float(row[4]) for row in rows]
+    assert shipped == sorted(shipped, reverse=True)  # longer period, less traffic
+    assert staleness == sorted(staleness)  # ...at more staleness

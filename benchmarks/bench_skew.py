@@ -1,0 +1,88 @@
+"""A10 — update skew: where differential refresh shines brightest.
+
+The analysis behind Figures 8-9 assumes uniformly random updates; real
+workloads are skewed, and skew is differential refresh's best case:
+repeated modifications of hot entries coalesce into one transmission
+each ("only the most recent change to each entry"), while full refresh
+ships everything regardless.  This benchmark fixes the operation count
+and sweeps the skew from uniform to 99/1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.generator import MixedWorkload, WorkloadMix
+
+from benchmarks._util import emit
+
+N = 1_500
+ACTIVITY = 0.5
+SELECTIVITY = 0.5
+SKEWS = [None, (0.5, 0.2), (0.8, 0.2), (0.9, 0.1), (0.99, 0.01)]
+
+
+def _measure(hotspot):
+    from repro.catalog.compiler import RefreshMethod
+    from repro.core.manager import SnapshotManager
+
+    workload = MixedWorkload(
+        N,
+        SELECTIVITY,
+        seed=10,
+        mix=WorkloadMix.updates_only(),
+        preserve_qualification=True,
+        hotspot=hotspot,
+    )
+    manager = SnapshotManager(workload.db)
+    snapshots = {
+        name: manager.create_snapshot(
+            f"s_{name}", workload.table.name,
+            where=workload.restriction_text, method=method,
+        )
+        for name, method in (
+            ("differential", RefreshMethod.DIFFERENTIAL),
+            ("ideal", RefreshMethod.IDEAL),
+            ("full", RefreshMethod.FULL),
+        )
+    }
+    workload.apply_activity(ACTIVITY)
+    entries = {}
+    for name, snapshot in snapshots.items():
+        entries[name] = snapshot.refresh().entries_sent
+        assert snapshot.as_map() == workload.qualified_map() or name != "differential"
+    return entries
+
+
+def _sweep():
+    rows = []
+    for hotspot in SKEWS:
+        entries = _measure(hotspot)
+        label = "uniform" if hotspot is None else f"{hotspot[0]:.0%}/{hotspot[1]:.0%}"
+        rows.append(
+            [
+                label,
+                entries["ideal"],
+                entries["differential"],
+                entries["full"],
+                f"{100 * entries['differential'] / N:.1f}",
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="skew")
+def test_traffic_under_update_skew(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(
+        "skew",
+        f"A10: entries sent vs update skew "
+        f"(N={N}, q={SELECTIVITY}, u={ACTIVITY}, updates only)",
+        ["skew (ops/rows)", "ideal", "differential", "full", "diff % of base"],
+        rows,
+    )
+    differential = [row[2] for row in rows]
+    # Stronger skew -> fewer distinct entries touched -> less traffic.
+    assert differential[-1] < differential[0]
+    full = [row[3] for row in rows]
+    assert max(full) - min(full) < N * 0.05  # full is skew-blind

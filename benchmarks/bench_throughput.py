@@ -1,0 +1,79 @@
+"""A5 — engineering throughput: refresh scan cost across table sizes.
+
+Not a paper figure; this grounds the reproduction's engineering claims:
+refresh cost is one sequential scan (linear in N), the buffer pool keeps
+the scan hot, and a quiescent refresh does no annotation writes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.differential import DifferentialRefresher
+from repro.database import Database
+from repro.expr.predicate import Projection, Restriction
+
+from benchmarks._util import emit
+
+SIZES = (1_000, 2_000, 4_000, 8_000)
+
+
+def _build(n):
+    db = Database("bench", buffer_capacity=512)
+    table = db.create_table("t", [("v", "int")], annotations="lazy")
+    table.bulk_load([[i] for i in range(n)])
+    restriction = Restriction.parse("v < 1000000", table.schema)
+    projection = Projection(table.schema)
+    refresher = DifferentialRefresher(table)
+    first = refresher.refresh(0, restriction, projection, lambda m: None)
+    return db, table, restriction, projection, refresher, first.new_snap_time
+
+
+def _scaling_series():
+    rows = []
+    for n in SIZES:
+        db, table, restriction, projection, refresher, snap_time = _build(n)
+        start = time.perf_counter()
+        result = refresher.refresh(
+            snap_time, restriction, projection, lambda m: None
+        )
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [
+                n,
+                f"{elapsed * 1000:.1f}",
+                f"{n / elapsed / 1000:.0f}",
+                result.fixup_writes,
+                f"{100 * db.pool.stats.hit_rate:.0f}%",
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_quiescent_refresh_scan_throughput(benchmark):
+    rows = benchmark.pedantic(_scaling_series, rounds=1, iterations=1)
+    emit(
+        "throughput",
+        "A5: quiescent differential refresh scan cost vs table size",
+        ["rows", "ms/refresh", "krows/s", "fixup writes", "buffer hit rate"],
+        rows,
+    )
+    assert all(row[3] == 0 for row in rows)  # quiescent: no writes
+    # Roughly linear: 8x the rows should not cost more than ~24x the time.
+    smallest = float(rows[0][1])
+    largest = float(rows[-1][1])
+    assert largest < smallest * 24
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_single_refresh_4k(benchmark):
+    """A stable microbenchmark pytest-benchmark can do statistics on."""
+    db, table, restriction, projection, refresher, snap_time = _build(4_000)
+
+    def quiescent_refresh():
+        refresher.refresh(snap_time, restriction, projection, lambda m: None)
+
+    benchmark(quiescent_refresh)

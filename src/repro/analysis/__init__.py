@@ -1,0 +1,24 @@
+"""Analytical model of refresh message traffic.
+
+The paper evaluates the differential algorithm with "both simulation and
+analysis".  :mod:`~repro.analysis.model` provides the closed forms used
+for the analytic halves of Figures 8 and 9 and for the refresh-method
+cost model; :mod:`~repro.analysis.measures` has the small helpers the
+benchmarks use to express counts as "% of the base table".
+"""
+
+from repro.analysis.model import (
+    TrafficModel,
+    differential_fraction,
+    distinct_touched_fraction,
+    full_fraction,
+    ideal_fraction,
+)
+
+__all__ = [
+    "TrafficModel",
+    "differential_fraction",
+    "distinct_touched_fraction",
+    "full_fraction",
+    "ideal_fraction",
+]

@@ -1,0 +1,135 @@
+"""Closed-form expected message traffic for the three refresh methods.
+
+Workload model (matches :mod:`repro.workload.generator`): a base table of
+``n`` entries, of which a fraction ``q`` satisfies the snapshot
+restriction; ``u * n`` modifications are applied between refreshes, each
+touching an entry (or empty address) chosen uniformly at random,
+independent of qualification.
+
+Let ``d`` be the expected fraction of *distinct* entries touched:
+
+    d = 1 - (1 - 1/n) ** (u * n)   →   1 - exp(-u)   as n → ∞.
+
+**Full refresh** retransmits every qualified entry regardless of change:
+
+    full = q.
+
+**Ideal refresh** transmits only net changes relevant to the snapshot.
+With qualification independent of which entries change, the relevant
+fraction of changed entries is ``q``:
+
+    ideal ≈ q * d.
+
+**Differential refresh** transmits a qualified entry iff the entry
+itself changed *or* anything in the run of unqualified entries
+immediately before it changed (the ``Deletion``-flag mechanism: any
+insert/delete/update in the gap forces the next qualified entry out).
+The gap length ``G`` before a qualified entry is geometric,
+``P(G = k) = (1 - q)^k · q``, so with per-entry change probability ``d``
+(treated as independent across entries):
+
+    P(transmit) = 1 - (1-d) * E[(1-d)^G]
+                = 1 - (1-d) * q / (1 - (1-q)(1-d))
+    differential = q * P(transmit).
+
+Limits (the paper's qualitative claims, verified in the test suite):
+
+- ``q = 1`` → differential = q·d = ideal: "when there is no
+  restriction, the differential refresh algorithm performs as well as
+  the ideal refresh";
+- ``d → 1`` → differential → q = full: both degenerate to shipping the
+  whole qualified table once everything has changed;
+- the *superfluous ratio* (differential − ideal)/differential falls as
+  ``d`` grows: "the percentage of superfluous messages decreases as the
+  number of base table modifications increases".
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ReproError
+
+
+def _check_unit(name: str, value: float) -> None:
+    if not (0.0 <= value <= 1.0):
+        raise ReproError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def distinct_touched_fraction(update_activity: float, n: int = 0) -> float:
+    """Expected fraction of distinct entries touched by ``u·n`` uniform picks.
+
+    ``update_activity`` (u) may exceed 1 (more modifications than
+    entries).  With ``n == 0`` the large-table limit ``1 - e^{-u}`` is
+    used; otherwise the exact finite-``n`` form.
+    """
+    if update_activity < 0:
+        raise ReproError(f"update activity must be >= 0, got {update_activity!r}")
+    if n <= 1:
+        return 1.0 - math.exp(-update_activity)
+    return 1.0 - (1.0 - 1.0 / n) ** (update_activity * n)
+
+
+def full_fraction(selectivity: float) -> float:
+    """Entries sent by full refresh, as a fraction of the base table."""
+    _check_unit("selectivity", selectivity)
+    return selectivity
+
+
+def ideal_fraction(selectivity: float, distinct_fraction: float) -> float:
+    """Entries sent by ideal refresh, as a fraction of the base table."""
+    _check_unit("selectivity", selectivity)
+    _check_unit("distinct fraction", distinct_fraction)
+    return selectivity * distinct_fraction
+
+
+def differential_fraction(selectivity: float, distinct_fraction: float) -> float:
+    """Entries sent by differential refresh, as a fraction of the base table.
+
+    See the module docstring for the derivation; the end-of-scan and
+    SnapTime control messages are O(1) and excluded, matching how the
+    benchmarks count entry messages.
+    """
+    _check_unit("selectivity", selectivity)
+    _check_unit("distinct fraction", distinct_fraction)
+    q = selectivity
+    d = distinct_fraction
+    if q == 0.0 or d == 0.0:
+        return 0.0
+    # 1 - (1-q)(1-d) expanded to q + d - q·d for numerical stability
+    # (the factored form underflows to 0 for tiny q and d).
+    denominator = q + d - q * d
+    no_transmit = (1.0 - d) * q / denominator
+    return q * (1.0 - no_transmit)
+
+
+class TrafficModel:
+    """Convenience wrapper evaluating all three methods on one grid point."""
+
+    def __init__(self, selectivity: float, n: int = 0) -> None:
+        _check_unit("selectivity", selectivity)
+        self.selectivity = selectivity
+        self.n = n
+
+    def at_activity(self, update_activity: float) -> "dict[str, float]":
+        """Fractions sent at ``update_activity`` modifications per entry."""
+        d = distinct_touched_fraction(update_activity, self.n)
+        return {
+            "distinct_fraction": d,
+            "ideal": ideal_fraction(self.selectivity, d),
+            "differential": differential_fraction(self.selectivity, d),
+            "full": full_fraction(self.selectivity),
+        }
+
+    def series(self, activities: "list[float]") -> "list[dict[str, float]]":
+        """Evaluate a whole sweep (one Figure-8/9 curve set)."""
+        return [
+            {"activity": u, **self.at_activity(u)} for u in activities
+        ]
+
+    def superfluous_ratio(self, update_activity: float) -> float:
+        """(differential − ideal) / differential, the imprecision measure."""
+        point = self.at_activity(update_activity)
+        if point["differential"] == 0.0:
+            return 0.0
+        return (point["differential"] - point["ideal"]) / point["differential"]

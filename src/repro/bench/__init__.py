@@ -1,0 +1,18 @@
+"""Benchmark harness: sweeps and plain-text reporting.
+
+The pytest benchmarks in ``benchmarks/`` are thin wrappers around
+:func:`~repro.bench.harness.traffic_sweep` (the Figure-8/9 engine) and
+the table printers in :mod:`~repro.bench.reporting`, so the same series
+can also be produced from a REPL or an example script.
+"""
+
+from repro.bench.harness import SweepCell, traffic_sweep
+from repro.bench.reporting import ascii_table, format_percent, print_series
+
+__all__ = [
+    "SweepCell",
+    "ascii_table",
+    "format_percent",
+    "print_series",
+    "traffic_sweep",
+]

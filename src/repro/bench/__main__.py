@@ -1,0 +1,93 @@
+"""Regenerate the paper's evaluation series from the command line.
+
+Usage::
+
+    python -m repro.bench fig8            # Figure 8 (simulation + model)
+    python -m repro.bench fig9            # Figure 9
+    python -m repro.bench fig8 --n 4000 --seed 1
+    python -m repro.bench model --q 0.25  # analytic curves only (fast)
+    python -m repro.bench all
+
+The pytest benchmarks in ``benchmarks/`` wrap the same harness with
+shape assertions and timing; this entry point is for quickly eyeballing
+a series or rerunning with different parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.model import TrafficModel
+from repro.bench.harness import traffic_sweep
+from repro.bench.reporting import print_series, sweep_headers, sweep_table
+from repro.workload.generator import WorkloadMix
+
+FIG8_SELECTIVITIES = (0.25, 0.50, 0.75, 1.00)
+FIG9_SELECTIVITIES = (0.01, 0.05)
+DEFAULT_ACTIVITIES = (0.05, 0.10, 0.25, 0.50, 1.00, 2.00)
+
+
+def _run_figure(name: str, selectivities, args) -> None:
+    cells = traffic_sweep(
+        selectivities,
+        DEFAULT_ACTIVITIES,
+        n=args.n,
+        seed=args.seed,
+        mix=WorkloadMix.updates_only(),
+        preserve_qualification=True,
+    )
+    print_series(
+        f"{name}: % of base-table tuples sent (simulation, N={args.n})",
+        sweep_headers(),
+        sweep_table(cells),
+    )
+
+
+def _run_model(args) -> None:
+    activities = [x / 20 for x in range(1, 41)]
+    model = TrafficModel(args.q)
+    rows = [
+        [
+            f"{100 * point['activity']:.0f}",
+            f"{100 * point['ideal']:.3f}",
+            f"{100 * point['differential']:.3f}",
+            f"{100 * point['full']:.3f}",
+        ]
+        for point in model.series(activities)
+    ]
+    print_series(
+        f"Analytic traffic model at q={args.q:.0%}",
+        ["u%", "ideal%", "diff%", "full%"],
+        rows,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the SIGMOD'86 snapshot-refresh figures.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=["fig8", "fig9", "model", "all"],
+        help="which series to produce",
+    )
+    parser.add_argument("--n", type=int, default=2000, help="base table rows")
+    parser.add_argument("--seed", type=int, default=86, help="workload seed")
+    parser.add_argument(
+        "--q", type=float, default=0.25, help="selectivity for 'model'"
+    )
+    args = parser.parse_args(argv)
+
+    if args.figure in ("fig8", "all"):
+        _run_figure("Figure 8", FIG8_SELECTIVITIES, args)
+    if args.figure in ("fig9", "all"):
+        _run_figure("Figure 9", FIG9_SELECTIVITIES, args)
+    if args.figure == "model":
+        _run_model(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Plain-text tables and series printers for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}%"
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render a fixed-width table with a header rule."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.rjust(widths[i]) for i, value in enumerate(values))
+    rule = "  ".join("-" * width for width in widths)
+    out = [line(list(headers)), rule]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def print_series(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]):
+    """Print one titled table (benchmarks use this for paper series)."""
+    print()
+    print(f"== {title} ==")
+    print(ascii_table(headers, rows))
+
+
+def sweep_table(cells, methods: Sequence[str] = ("ideal", "differential", "full")):
+    """Rows of (q%, u%, distinct%, measured..., model...) for a sweep."""
+    rows = []
+    for cell in cells:
+        row = [
+            f"{100 * cell.selectivity:.0f}",
+            f"{100 * cell.activity:.0f}",
+            f"{100 * cell.distinct_fraction:.1f}",
+        ]
+        row.extend(f"{cell.percent(m):.2f}" for m in methods)
+        row.extend(f"{cell.model_percent(m):.2f}" for m in methods)
+        rows.append(row)
+    return rows
+
+
+def sweep_headers(methods: Sequence[str] = ("ideal", "differential", "full")):
+    headers = ["q%", "u%", "touched%"]
+    headers.extend(f"{m}%" for m in methods)
+    headers.extend(f"model:{m}%" for m in methods)
+    return headers

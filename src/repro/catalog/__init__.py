@@ -1,0 +1,32 @@
+"""System catalog: table and snapshot metadata.
+
+Mirrors the R* story from the paper's conclusions: snapshot definitions
+are analysed and *compiled* at CREATE SNAPSHOT time (eligibility for
+differential refresh, compiled restriction/projection, chosen method) and
+the compiled plan is stored in the catalog to be executed by REFRESH
+SNAPSHOT.  The hidden annotation fields get "funny" names (``$PREVADDR$``,
+``$TIMESTAMP$``) recorded in the schema like user fields, but flagged
+hidden so user queries never see them.
+"""
+
+from repro.catalog.catalog import Catalog, SnapshotInfo, TableInfo
+from repro.catalog.compiler import (
+    JoinPlan,
+    JoinSpec,
+    RefreshMethod,
+    RefreshPlan,
+    SnapshotDefinition,
+    compile_snapshot,
+)
+
+__all__ = [
+    "Catalog",
+    "JoinPlan",
+    "JoinSpec",
+    "RefreshMethod",
+    "RefreshPlan",
+    "SnapshotDefinition",
+    "SnapshotInfo",
+    "TableInfo",
+    "compile_snapshot",
+]

@@ -1,0 +1,113 @@
+"""Catalog entries for tables and snapshots."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import CatalogError
+
+
+class TableInfo:
+    """Catalog row for a base table."""
+
+    def __init__(self, name: str, table: Any) -> None:
+        self.name = name
+        self.table = table
+        #: Names of snapshots defined over this table.
+        self.snapshots: "set[str]" = set()
+
+    def __repr__(self) -> str:
+        return f"TableInfo({self.name}, snapshots={sorted(self.snapshots)})"
+
+
+class SnapshotInfo:
+    """Catalog row for a snapshot: definition, compiled plan, refresh state."""
+
+    def __init__(
+        self,
+        name: str,
+        base_table: str,
+        plan: Any,
+        snapshot_table: Any,
+    ) -> None:
+        self.name = name
+        self.base_table = base_table
+        #: The compiled :class:`~repro.catalog.compiler.RefreshPlan`.
+        self.plan = plan
+        self.snapshot_table = snapshot_table
+        #: Base-table time of the last refresh (paper's SnapTime); 0 means
+        #: the snapshot has never been refreshed.
+        self.snap_time = 0
+        #: WAL position recorded at last refresh (log-based method only).
+        self.last_refresh_lsn = 1
+        self.refresh_count = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotInfo({self.name} over {self.base_table}, "
+            f"snap_time={self.snap_time})"
+        )
+
+
+class Catalog:
+    """Name → metadata maps with uniqueness enforcement."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, TableInfo] = {}
+        self._snapshots: Dict[str, SnapshotInfo] = {}
+
+    # -- tables ------------------------------------------------------------
+
+    def add_table(self, info: TableInfo) -> None:
+        if info.name in self._tables or info.name in self._snapshots:
+            raise CatalogError(f"name already in use: {info.name!r}")
+        self._tables[info.name] = info
+
+    def table(self, name: str) -> TableInfo:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"no such table: {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def drop_table(self, name: str) -> TableInfo:
+        info = self.table(name)
+        if info.snapshots:
+            raise CatalogError(
+                f"table {name!r} still has snapshots: {sorted(info.snapshots)}"
+            )
+        return self._tables.pop(name)
+
+    def tables(self) -> "list[TableInfo]":
+        return list(self._tables.values())
+
+    # -- snapshots ----------------------------------------------------------
+
+    def add_snapshot(self, info: SnapshotInfo) -> None:
+        if info.name in self._snapshots or info.name in self._tables:
+            raise CatalogError(f"name already in use: {info.name!r}")
+        base = self.table(info.base_table)
+        self._snapshots[info.name] = info
+        base.snapshots.add(info.name)
+
+    def snapshot(self, name: str) -> SnapshotInfo:
+        try:
+            return self._snapshots[name]
+        except KeyError:
+            raise CatalogError(f"no such snapshot: {name!r}") from None
+
+    def has_snapshot(self, name: str) -> bool:
+        return name in self._snapshots
+
+    def drop_snapshot(self, name: str) -> SnapshotInfo:
+        info = self.snapshot(name)
+        self.table(info.base_table).snapshots.discard(name)
+        return self._snapshots.pop(name)
+
+    def snapshots(self, base_table: Optional[str] = None) -> "list[SnapshotInfo]":
+        infos = list(self._snapshots.values())
+        if base_table is not None:
+            infos = [info for info in infos if info.base_table == base_table]
+        return infos

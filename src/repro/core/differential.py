@@ -1,0 +1,259 @@
+"""The differential snapshot refresh algorithm (combined fix-up + scan).
+
+This is the paper's final form: one address-order scan of the base table
+that simultaneously
+
+1. repairs the lazy annotations (Figure 7's ``BaseFixup``), and
+2. decides what to transmit (Figure 3's ``BaseRefresh``):
+
+   - a *qualified* entry is transmitted when its timestamp is newer than
+     the snapshot's ``SnapTime`` **or** deletions/changes were detected
+     among the unqualified entries since the previous qualified entry
+     (the ``Deletion`` flag);
+   - an *unqualified* entry with a fresh timestamp sets the ``Deletion``
+     flag, because it "may have qualified before" its modification;
+   - the final ``EndOfScan`` message covers deletions at the end of the
+     table, and the new ``SnapTime`` is sent last.
+
+Over an eagerly annotated table the same scan runs with fix-up disabled,
+which is exactly Figure 3 (:func:`base_refresh`).
+
+Two optimizations the paper invites the reader to discover are available
+as flags (off by default so the baseline matches the paper; the A1
+ablation benchmark measures them):
+
+``optimize_deletes``
+    When a qualified entry must be transmitted *only* because of the
+    ``Deletion`` flag (its own timestamp is old, so the snapshot already
+    holds its current value), send a small
+    :class:`~repro.core.messages.DeleteRangeMessage` instead of
+    retransmitting the entry — same message count, far fewer bytes.
+
+``suppress_pure_inserts``
+    During the fix-up, an unqualified entry whose stamp comes from being
+    *newly inserted* (NULL ``PrevAddr``) cannot invalidate any snapshot
+    entry by itself: any deletion it might mask (e.g. address reuse) is
+    independently detected as a ``PrevAddr`` anomaly at the next
+    non-inserted entry.  Skipping the ``Deletion`` flag for pure inserts
+    removes those superfluous retransmissions in insert-heavy workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.messages import (
+    DeleteRangeMessage,
+    EndOfScanMessage,
+    EntryMessage,
+    RefreshMessage,
+    SnapTimeMessage,
+)
+from repro.errors import RefreshMethodError
+from repro.expr.predicate import Projection, Restriction
+from repro.relation.row import encode_row
+from repro.relation.types import NULL
+from repro.storage.rid import Rid
+from repro.table import PREVADDR, TIMESTAMP, Table
+
+Send = Callable[[RefreshMessage], None]
+
+
+class RefreshResult:
+    """Counters from one refresh execution."""
+
+    __slots__ = (
+        "new_snap_time",
+        "scanned",
+        "qualified",
+        "entries_sent",
+        "messages_sent",
+        "bytes_sent",
+        "fixup_writes",
+        "deletions_detected",
+    )
+
+    def __init__(self) -> None:
+        self.new_snap_time = 0
+        self.scanned = 0
+        self.qualified = 0
+        self.entries_sent = 0
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.fixup_writes = 0
+        self.deletions_detected = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"RefreshResult(time={self.new_snap_time}, scanned={self.scanned}, "
+            f"qualified={self.qualified}, entries={self.entries_sent}, "
+            f"bytes={self.bytes_sent}, fixup_writes={self.fixup_writes})"
+        )
+
+
+class DifferentialRefresher:
+    """Executes differential refreshes of one base table.
+
+    Stateless between calls: all per-snapshot state (``SnapTime``) lives
+    with the snapshot, all change state lives in the base table's
+    annotations — which is what lets any number of snapshots share one
+    set of annotations.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        optimize_deletes: bool = False,
+        suppress_pure_inserts: bool = False,
+    ) -> None:
+        if not table.has_annotations:
+            raise RefreshMethodError(
+                f"differential refresh requires annotations on {table.name!r}"
+            )
+        self.table = table
+        self.optimize_deletes = optimize_deletes
+        self.suppress_pure_inserts = suppress_pure_inserts
+
+    def refresh(
+        self,
+        snap_time: int,
+        restriction: Restriction,
+        projection: Projection,
+        send: Send,
+        fixup: Optional[bool] = None,
+    ) -> RefreshResult:
+        """One combined fix-up + refresh scan.
+
+        ``fixup`` defaults by annotation mode: lazy tables repair as they
+        scan; eager tables trust their annotations (pure Figure 3).
+        The caller is responsible for holding the table-level lock.
+        """
+        table = self.table
+        if fixup is None:
+            fixup = table.annotation_mode == "lazy"
+        prev_pos = table.schema.position(PREVADDR)
+        ts_pos = table.schema.position(TIMESTAMP)
+        value_schema = projection.schema
+
+        result = RefreshResult()
+        fixup_time = table.db.clock.tick()
+
+        def transmit(message: RefreshMessage) -> None:
+            result.messages_sent += 1
+            result.bytes_sent += message.wire_size()
+            if message.counts_as_entry:
+                result.entries_sent += 1
+            send(message)
+
+        expect_prev = Rid.BEGIN  # last non-newly-inserted entry (fix-up)
+        last_addr = Rid.BEGIN  # last entry of any kind (fix-up)
+        last_qual = Rid.BEGIN  # last qualified entry (refresh)
+        deletion = False  # pending-deletion flag (refresh)
+
+        for rid, row in table.scan_full():
+            result.scanned += 1
+            prev = row[prev_pos]
+            ts = row[ts_pos]
+            pure_insert = False
+            anomaly = False
+            if fixup:
+                if prev is NULL:
+                    # Inserted since the last fix-up.
+                    pure_insert = True
+                    ts = fixup_time
+                    table.set_annotations(rid, prev=last_addr, ts=fixup_time)
+                    result.fixup_writes += 1
+                else:
+                    new_prev: "Optional[Rid]" = None
+                    stamp = False
+                    if ts is NULL:
+                        # Updated since the last fix-up.
+                        stamp = True
+                    if prev != expect_prev:
+                        # Deletion(s) detected before this entry.
+                        new_prev = last_addr
+                        stamp = True
+                        anomaly = True
+                        result.deletions_detected += 1
+                    elif prev != last_addr:
+                        # Insertions (only) before this entry.
+                        new_prev = last_addr
+                    if ts is NULL:
+                        value_changed = True
+                    else:
+                        value_changed = ts > snap_time
+                    if stamp:
+                        ts = fixup_time
+                    if new_prev is not None or stamp:
+                        fields: "dict[str, object]" = {}
+                        if new_prev is not None:
+                            fields["prev"] = new_prev
+                        if stamp:
+                            fields["ts"] = fixup_time
+                        table.set_annotations(rid, **fields)
+                        result.fixup_writes += 1
+                    expect_prev = rid
+                if pure_insert:
+                    value_changed = True
+            else:
+                if ts is NULL:
+                    raise RefreshMethodError(
+                        f"entry {rid} has a NULL timestamp but fix-up is "
+                        f"disabled; run base_fixup first or use a lazy table"
+                    )
+                value_changed = ts > snap_time
+            last_addr = rid
+
+            # --- Figure 3: the refresh decision -------------------------------
+            # The faithful transmit condition is `ts > snap_time or
+            # Deletion`; with fix-up folded in, `ts > snap_time` decomposes
+            # into "the value changed" (insert/update) or "a deletion was
+            # detected just before this entry" (anomaly stamp).  The
+            # distinction is what lets optimize_deletes ship a value-free
+            # message when only the region needs clearing.
+            if restriction(row):
+                result.qualified += 1
+                if value_changed or anomaly or deletion:
+                    if self.optimize_deletes and not value_changed:
+                        # Entry itself unchanged; only the preceding
+                        # region needs clearing.
+                        transmit(DeleteRangeMessage(last_qual, rid))
+                    else:
+                        projected = projection(row)
+                        value_bytes = len(encode_row(value_schema, projected))
+                        transmit(
+                            EntryMessage(
+                                rid, last_qual, projected.values, value_bytes
+                            )
+                        )
+                last_qual = rid
+                deletion = False
+            else:
+                if value_changed or anomaly:
+                    if not (self.suppress_pure_inserts and pure_insert):
+                        # "Updated entry ==> may have qualified before".
+                        deletion = True
+
+        # Deletions at the end of the base table.
+        transmit(EndOfScanMessage(last_qual))
+        new_time = fixup_time
+        transmit(SnapTimeMessage(new_time))
+        result.new_snap_time = new_time
+        return result
+
+
+def base_refresh(
+    table: Table,
+    snap_time: int,
+    restriction: Restriction,
+    projection: Projection,
+    send: Send,
+) -> RefreshResult:
+    """Figure 3's ``BaseRefresh``: refresh without fix-up.
+
+    For eagerly maintained tables, or lazy tables immediately after a
+    standalone :func:`~repro.core.fixup.base_fixup` pass.
+    """
+    return DifferentialRefresher(table).refresh(
+        snap_time, restriction, projection, send, fixup=False
+    )

@@ -1,0 +1,246 @@
+"""Stage 2: differential refresh with explicit empty-region summaries.
+
+"If we assume that the database system *does* assign some sort of address
+for every actual entry in a table, and that the addresses are totally
+ordered, then it is possible to maintain summary information about which
+addresses are not in use.  For each unused address region we can store
+its limits and the time at which the region was created or changed size."
+
+Base-table inserts and deletes now split and coalesce regions (the extra
+maintenance cost the next stage pushes onto the entries themselves);
+refresh walks entries and regions in address order, *combining* empty
+regions separated by unqualified entries before transmission — "a single
+empty region transmission covers all the base table updates in the
+combined region" — and sends the combined region only when some piece of
+it changed since ``SnapTime``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Callable, Optional, Tuple
+
+from repro.core.messages import RefreshMessage, SnapTimeMessage
+from repro.core.simple import SimpleElementMessage, SimpleSnapshot
+from repro.errors import SnapshotError
+from repro.relation.row import Row, encode_row
+from repro.relation.schema import Schema
+from repro.txn.clock import LogicalClock
+
+_TYPE_BYTE = 1
+_DENSE_ADDR_BYTES = 8
+
+
+class DenseRegionMessage(RefreshMessage):
+    """Delete every snapshot entry with address in the closed ``[lo, hi]``."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        self.lo = lo
+        self.hi = hi
+
+    def wire_size(self) -> int:
+        return _TYPE_BYTE + 2 * _DENSE_ADDR_BYTES
+
+    def __repr__(self) -> str:
+        return f"DenseRegionMessage([{self.lo}, {self.hi}])"
+
+
+class Region:
+    """A maximal run of unused addresses, with its last-change time."""
+
+    __slots__ = ("lo", "hi", "timestamp")
+
+    def __init__(self, lo: int, hi: int, timestamp: int) -> None:
+        if lo > hi:
+            raise SnapshotError(f"bad region [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+        self.timestamp = timestamp
+
+    def __repr__(self) -> str:
+        return f"Region([{self.lo}, {self.hi}] @ {self.timestamp})"
+
+
+class EmptyRegionTable:
+    """Dense address space with per-entry timestamps + region summaries."""
+
+    def __init__(
+        self,
+        capacity: int,
+        schema: Schema,
+        clock: Optional[LogicalClock] = None,
+    ) -> None:
+        if capacity < 1:
+            raise SnapshotError("capacity must be positive")
+        self.capacity = capacity
+        self.schema = schema
+        self.clock = clock if clock is not None else LogicalClock()
+        self._entries: "dict[int, tuple[int, tuple]]" = {}  # addr -> (ts, values)
+        # Regions sorted by lo; initially the whole space is one region
+        # that has "always" been empty.
+        self._region_los: "list[int]" = [1]
+        self._regions: "dict[int, Region]" = {1: Region(1, capacity, 0)}
+
+    # -- region bookkeeping -------------------------------------------------
+
+    def regions(self) -> "list[Region]":
+        return [self._regions[lo] for lo in self._region_los]
+
+    def _region_containing(self, addr: int) -> Optional[Region]:
+        index = bisect_right(self._region_los, addr) - 1
+        if index < 0:
+            return None
+        region = self._regions[self._region_los[index]]
+        return region if region.lo <= addr <= region.hi else None
+
+    def _remove_region(self, region: Region) -> None:
+        self._region_los.remove(region.lo)
+        del self._regions[region.lo]
+
+    def _add_region(self, region: Region) -> None:
+        insort(self._region_los, region.lo)
+        self._regions[region.lo] = region
+
+    def _split_for_insert(self, addr: int, now: int) -> None:
+        region = self._region_containing(addr)
+        if region is None:
+            raise SnapshotError(f"address {addr} is not empty")
+        self._remove_region(region)
+        # "the empty region timestamp must be set" on any size change.
+        if region.lo <= addr - 1:
+            self._add_region(Region(region.lo, addr - 1, now))
+        if addr + 1 <= region.hi:
+            self._add_region(Region(addr + 1, region.hi, now))
+
+    def _coalesce_for_delete(self, addr: int, now: int) -> None:
+        lo, hi = addr, addr
+        before = self._region_containing(addr - 1) if addr > 1 else None
+        if before is not None:
+            lo = before.lo
+            self._remove_region(before)
+        after = self._region_containing(addr + 1) if addr < self.capacity else None
+        if after is not None:
+            hi = after.hi
+            self._remove_region(after)
+        self._add_region(Region(lo, hi, now))
+
+    # -- operations -----------------------------------------------------------
+
+    def lowest_empty(self) -> Optional[int]:
+        return self._regions[self._region_los[0]].lo if self._region_los else None
+
+    def insert(self, values: Tuple, addr: Optional[int] = None) -> int:
+        if addr is None:
+            addr = self.lowest_empty()
+            if addr is None:
+                raise SnapshotError("address space is full")
+        if addr in self._entries:
+            raise SnapshotError(f"address {addr} is occupied")
+        now = self.clock.tick()
+        self._split_for_insert(addr, now)
+        self._entries[addr] = (now, tuple(values))
+        return addr
+
+    def update(self, addr: int, values: Tuple) -> None:
+        if addr not in self._entries:
+            raise SnapshotError(f"address {addr} is empty")
+        self._entries[addr] = (self.clock.tick(), tuple(values))
+
+    def delete(self, addr: int) -> None:
+        if addr not in self._entries:
+            raise SnapshotError(f"address {addr} is empty")
+        del self._entries[addr]
+        self._coalesce_for_delete(addr, self.clock.tick())
+
+    def get(self, addr: int) -> Optional[Tuple]:
+        entry = self._entries.get(addr)
+        return entry[1] if entry else None
+
+    def occupied(self) -> "dict[int, tuple]":
+        return {addr: values for addr, (_, values) in self._entries.items()}
+
+    def check_invariants(self) -> None:
+        """Entries and regions partition the address space exactly."""
+        covered = set(self._entries)
+        for region in self.regions():
+            for addr in range(region.lo, region.hi + 1):
+                if addr in covered:
+                    raise AssertionError(f"address {addr} double-covered")
+                covered.add(addr)
+        if covered != set(range(1, self.capacity + 1)):
+            raise AssertionError("address space not fully covered")
+
+    # -- refresh ----------------------------------------------------------------
+
+    def refresh(
+        self,
+        snap_time: int,
+        restriction: Callable[[Tuple], bool],
+        send: Callable[[RefreshMessage], None],
+    ) -> int:
+        """Walk entries and regions in order; combine and transmit.
+
+        Empty regions separated only by unqualified entries merge into a
+        single transmitted region; a combined region ships only when one
+        of its empty pieces, or one of the intervening unqualified
+        entries, changed since ``SnapTime``.
+        """
+        items: "list[tuple[int, str, object]]" = []
+        for addr, (ts, values) in self._entries.items():
+            items.append((addr, "entry", (ts, values)))
+        for region in self.regions():
+            items.append((region.lo, "region", region))
+        items.sort(key=lambda item: item[0])
+
+        pending_lo: Optional[int] = None
+        pending_hi: Optional[int] = None
+        pending_dirty = False
+
+        def extend(lo: int, hi: int, dirty: bool) -> None:
+            nonlocal pending_lo, pending_hi, pending_dirty
+            if pending_lo is None:
+                pending_lo = lo
+            pending_hi = hi
+            pending_dirty = pending_dirty or dirty
+
+        def flush() -> None:
+            nonlocal pending_lo, pending_hi, pending_dirty
+            if pending_lo is not None and pending_dirty:
+                send(DenseRegionMessage(pending_lo, pending_hi))
+            pending_lo = None
+            pending_hi = None
+            pending_dirty = False
+
+        for addr, kind, payload in items:
+            if kind == "region":
+                region = payload
+                extend(region.lo, region.hi, region.timestamp > snap_time)
+            else:
+                ts, values = payload
+                if restriction(values):
+                    flush()
+                    if ts > snap_time:
+                        value_bytes = len(encode_row(self.schema, Row(values)))
+                        send(SimpleElementMessage(addr, False, values, value_bytes))
+                else:
+                    # Unqualified entries join the combined region: their
+                    # addresses must vanish from the snapshot if changed.
+                    extend(addr, addr, ts > snap_time)
+        flush()
+        new_time = self.clock.tick()
+        send(SnapTimeMessage(new_time))
+        return new_time
+
+
+class RegionSnapshot(SimpleSnapshot):
+    """Dense-model receiver that also understands region deletions."""
+
+    def _apply_other(self, message: RefreshMessage) -> None:
+        if isinstance(message, DenseRegionMessage):
+            for addr in list(self.entries):
+                if message.lo <= addr <= message.hi:
+                    del self.entries[addr]
+        else:
+            super()._apply_other(message)

@@ -1,0 +1,153 @@
+"""Log-scan refresh: cull committed changes from the recovery log.
+
+"Operations on the base table might be unaffected if the database
+recovery log is used as the change buffer ... considerable effort will
+be needed to cull the relevant, committed data from the log.  Only a
+small portion of the log will involve updates to the base table for a
+particular snapshot ... one could bound the buffering required and
+transmit the entire (restricted) base table if the last refresh of the
+snapshot precedes the earliest retained changes."
+
+This implementation reproduces both the mechanism and its costs:
+
+- the scan visits *every* retained log record since the snapshot's last
+  refresh LSN (``log_records_scanned`` vs ``relevant_records`` shows the
+  culling overhead the paper warns about);
+- the WAL stores full before/after images, so qualification of old and
+  new values can be decided from the log (making the transmitted set
+  essentially the ideal net change);
+- when the log has been truncated past the snapshot's LSN, refresh falls
+  back to a full refresh (``fell_back_full``).
+
+The caller must hold the base table lock, which guarantees no in-flight
+transaction on the table — so "committed" is decidable from the log
+suffix alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.differential import RefreshResult, Send
+from repro.core.full import FullRefresher
+from repro.core.messages import DeleteMessage, SnapTimeMessage, UpsertMessage
+from repro.errors import LogTruncatedError
+from repro.expr.predicate import Projection, Restriction
+from repro.relation.row import Row, decode_row, encode_row
+from repro.storage.rid import Rid
+from repro.table import Table
+from repro.txn.wal import LogRecord, LogRecordType
+
+
+class LogRefreshResult(RefreshResult):
+    """Refresh counters plus log-culling costs."""
+
+    __slots__ = ("log_records_scanned", "relevant_records", "fell_back_full")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.log_records_scanned = 0
+        self.relevant_records = 0
+        self.fell_back_full = False
+
+    def __repr__(self) -> str:
+        return (
+            f"LogRefreshResult(entries={self.entries_sent}, "
+            f"log_scanned={self.log_records_scanned}, "
+            f"relevant={self.relevant_records}, "
+            f"fallback={self.fell_back_full})"
+        )
+
+
+class LogRefresher:
+    """Refresh by replaying the committed WAL suffix for one table."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+
+    def refresh(
+        self,
+        snap_time: int,
+        restriction: Restriction,
+        projection: Projection,
+        send: Send,
+        from_lsn: int = 1,
+    ) -> LogRefreshResult:
+        """Ship net changes derived from the log since ``from_lsn``."""
+        del snap_time  # the LSN is this method's refresh point
+        table = self.table
+        wal = table.db.wal
+        result = LogRefreshResult()
+
+        def transmit(message) -> None:
+            result.messages_sent += 1
+            result.bytes_sent += message.wire_size()
+            if message.counts_as_entry:
+                result.entries_sent += 1
+            send(message)
+
+        try:
+            relevant, scanned = wal.cull(table.name, from_lsn)
+        except LogTruncatedError:
+            # History is gone; re-populate the snapshot wholesale.
+            inner = FullRefresher(table).refresh(
+                0, restriction, projection, send
+            )
+            result.fell_back_full = True
+            result.scanned = inner.scanned
+            result.qualified = inner.qualified
+            result.entries_sent = inner.entries_sent
+            result.messages_sent = inner.messages_sent
+            result.bytes_sent = inner.bytes_sent
+            result.new_snap_time = inner.new_snap_time
+            return result
+        result.log_records_scanned = scanned
+        result.relevant_records = len(relevant)
+
+        # Net effect per address: the last record wins; the first record
+        # tells us the pre-state (for "qualified before?").
+        last: "Dict[Rid, LogRecord]" = {}
+        first: "Dict[Rid, LogRecord]" = {}
+        for record in relevant:
+            assert record.rid is not None
+            last[record.rid] = record
+            first.setdefault(record.rid, record)
+
+        value_schema = projection.schema
+        for rid, record in last.items():
+            if record.rtype is LogRecordType.DELETE:
+                if self._qualified_image(first[rid], restriction, use_before=True):
+                    transmit(DeleteMessage(rid))
+                # else: was never in the snapshot and is gone — nothing.
+                continue
+            assert record.after is not None
+            row = decode_row(self.table.schema, record.after)
+            if restriction(row):
+                projected = projection(row)
+                value_bytes = len(encode_row(value_schema, projected))
+                transmit(UpsertMessage(rid, projected.values, value_bytes))
+            elif self._qualified_image(first[rid], restriction, use_before=True):
+                transmit(DeleteMessage(rid))
+
+        new_time = table.db.clock.tick()
+        transmit(SnapTimeMessage(new_time))
+        result.new_snap_time = new_time
+        return result
+
+    def _qualified_image(
+        self, record: LogRecord, restriction: Restriction, use_before: bool
+    ) -> bool:
+        """Whether the entry's image qualified before its first change.
+
+        An INSERT's "before" does not exist — the entry was not in the
+        snapshot.  When a before-image is unavailable (e.g. a log that
+        does not record unchanged fields, which the paper flags as the
+        expensive case), the conservative answer is True.
+        """
+        image: Optional[bytes] = record.before if use_before else record.after
+        if record.rtype is LogRecordType.INSERT:
+            return False
+        if image is None:
+            return True
+        row = decode_row(self.table.schema, image)
+        return restriction(row)

@@ -1,0 +1,178 @@
+"""Refresh message types and their wire sizes.
+
+Each message knows its byte cost (``wire_size``) and whether it counts as
+an *entry message* for the paper's evaluation metric ("the number of
+messages, as a percentage of the base table size").  Control messages —
+the final new-SnapTime transmission, the end-of-scan marker, the clear
+command of a full refresh — carry ``counts_as_entry = False`` so the
+benchmarks reproduce the paper's tuple-traffic curves, while byte
+accounting still includes everything.
+
+Sizes: one type byte; addresses are 8-byte RIDs; timestamps 8 bytes;
+entry values cost their real row encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.storage.rid import Rid
+
+_TYPE_BYTE = 1
+_ADDR_BYTES = Rid.WIRE_SIZE
+_TIME_BYTES = 8
+
+
+class RefreshMessage:
+    """Base class: every refresh message is sized and classified."""
+
+    counts_as_entry = True
+
+    def wire_size(self) -> int:
+        raise NotImplementedError
+
+
+class EntryMessage(RefreshMessage):
+    """Figure 3's ``Xmit(Address, LastQual, Value)``.
+
+    Carries the qualified entry's address, the address of the *preceding
+    qualified entry* (so the receiver can clear the empty region between
+    them), and the projected value.
+    """
+
+    __slots__ = ("addr", "prev_qual", "values", "value_bytes")
+
+    def __init__(
+        self, addr: Rid, prev_qual: Rid, values: Tuple, value_bytes: int
+    ) -> None:
+        self.addr = addr
+        self.prev_qual = prev_qual
+        self.values = values
+        self.value_bytes = value_bytes
+
+    def wire_size(self) -> int:
+        return _TYPE_BYTE + 2 * _ADDR_BYTES + self.value_bytes
+
+    def __repr__(self) -> str:
+        return f"EntryMessage({self.addr}, prev={self.prev_qual}, {self.values})"
+
+
+class EndOfScanMessage(RefreshMessage):
+    """Figure 3's final ``Xmit(NULL, LastQual, NULL)``.
+
+    Tells the receiver to delete every snapshot entry beyond the last
+    qualified address (deletions at the end of the base table leave no
+    successor to carry a timestamp).
+    """
+
+    counts_as_entry = False
+
+    __slots__ = ("last_qual",)
+
+    def __init__(self, last_qual: Rid) -> None:
+        self.last_qual = last_qual
+
+    def wire_size(self) -> int:
+        return _TYPE_BYTE + 2 * _ADDR_BYTES  # NULL addr + LastQual
+
+    def __repr__(self) -> str:
+        return f"EndOfScanMessage(last_qual={self.last_qual})"
+
+
+class SnapTimeMessage(RefreshMessage):
+    """The new SnapTime, sent last: ``Xmit(current_time)``."""
+
+    counts_as_entry = False
+
+    __slots__ = ("time",)
+
+    def __init__(self, time: int) -> None:
+        self.time = time
+
+    def wire_size(self) -> int:
+        return _TYPE_BYTE + _TIME_BYTES
+
+    def __repr__(self) -> str:
+        return f"SnapTimeMessage({self.time})"
+
+
+class DeleteRangeMessage(RefreshMessage):
+    """Delete all snapshot entries with BaseAddr strictly inside (lo, hi).
+
+    Used by the optimized differential variant (a delete-only message is
+    cheaper than retransmitting an unchanged qualified entry) and by the
+    empty-region receiver.  ``hi=None`` means "to the end of the table".
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Rid, hi: Optional[Rid]) -> None:
+        self.lo = lo
+        self.hi = hi
+
+    def wire_size(self) -> int:
+        return _TYPE_BYTE + 2 * _ADDR_BYTES
+
+    def __repr__(self) -> str:
+        return f"DeleteRangeMessage({self.lo}, {self.hi})"
+
+
+class UpsertMessage(RefreshMessage):
+    """Ideal/ASAP: insert-or-update one snapshot entry by base address."""
+
+    __slots__ = ("addr", "values", "value_bytes")
+
+    def __init__(self, addr: Rid, values: Tuple, value_bytes: int) -> None:
+        self.addr = addr
+        self.values = values
+        self.value_bytes = value_bytes
+
+    def wire_size(self) -> int:
+        return _TYPE_BYTE + _ADDR_BYTES + self.value_bytes
+
+    def __repr__(self) -> str:
+        return f"UpsertMessage({self.addr}, {self.values})"
+
+
+class DeleteMessage(RefreshMessage):
+    """Ideal/ASAP: delete one snapshot entry by base address."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: Rid) -> None:
+        self.addr = addr
+
+    def wire_size(self) -> int:
+        return _TYPE_BYTE + _ADDR_BYTES
+
+    def __repr__(self) -> str:
+        return f"DeleteMessage({self.addr})"
+
+
+class ClearMessage(RefreshMessage):
+    """Full refresh: drop the entire snapshot contents before reloading."""
+
+    counts_as_entry = False
+
+    def wire_size(self) -> int:
+        return _TYPE_BYTE
+
+    def __repr__(self) -> str:
+        return "ClearMessage()"
+
+
+class FullRowMessage(RefreshMessage):
+    """Full refresh: one qualified entry of the re-transmitted table."""
+
+    __slots__ = ("addr", "values", "value_bytes")
+
+    def __init__(self, addr: Rid, values: Tuple, value_bytes: int) -> None:
+        self.addr = addr
+        self.values = values
+        self.value_bytes = value_bytes
+
+    def wire_size(self) -> int:
+        return _TYPE_BYTE + _ADDR_BYTES + self.value_bytes
+
+    def __repr__(self) -> str:
+        return f"FullRowMessage({self.addr}, {self.values})"

@@ -1,0 +1,213 @@
+"""Stage 1: the simple (impractical) differential refresh algorithm.
+
+"The simple algorithm assumes that the entries of the base table are
+embedded in a *dense*, ordered space ... each element either contains a
+base table entry or is marked as empty.  In addition, each element of
+the base table address space is extended to contain a *timestamp* field
+which records the time at which the address space element was last
+modified."
+
+Refresh (Figures 1–2): every element with ``TimeStamp > SnapTime`` is
+transmitted — full value for qualified entries, bare ``(address, empty)``
+for empty elements *and* for entries that no longer satisfy the
+restriction (they "may have satisfied the restriction before their
+modification").  The receiver deletes on ``empty``, upserts otherwise.
+
+Impractical because "maintaining a status for every possible address is
+not feasible for most database storage systems" — the later stages fix
+exactly that — but it is the correctness yardstick: its refresh is
+trivially complete, so the property tests diff every other variant's
+snapshot against a model equivalent to this one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.core.messages import RefreshMessage, SnapTimeMessage
+from repro.errors import SnapshotError
+from repro.relation.row import Row, encode_row
+from repro.relation.schema import Schema
+from repro.txn.clock import LogicalClock
+
+_TYPE_BYTE = 1
+_DENSE_ADDR_BYTES = 8
+_STATUS_BYTE = 1
+
+
+class SimpleElementMessage(RefreshMessage):
+    """One transmitted address-space element: ``(addr, status[, value])``."""
+
+    __slots__ = ("addr", "empty", "values", "value_bytes")
+
+    def __init__(
+        self, addr: int, empty: bool, values: Optional[Tuple], value_bytes: int
+    ) -> None:
+        self.addr = addr
+        self.empty = empty
+        self.values = values
+        self.value_bytes = value_bytes
+
+    def wire_size(self) -> int:
+        return _TYPE_BYTE + _DENSE_ADDR_BYTES + _STATUS_BYTE + self.value_bytes
+
+    def __repr__(self) -> str:
+        status = "empty" if self.empty else "ok"
+        return f"SimpleElementMessage({self.addr}, {status}, {self.values})"
+
+
+class _Element:
+    __slots__ = ("empty", "timestamp", "values")
+
+    def __init__(self) -> None:
+        self.empty = True
+        self.timestamp = 0
+        self.values: Optional[Tuple] = None
+
+
+class SimpleBaseTable:
+    """A dense, ordered address space of timestamped elements."""
+
+    def __init__(
+        self,
+        capacity: int,
+        schema: Schema,
+        clock: Optional[LogicalClock] = None,
+    ) -> None:
+        if capacity < 1:
+            raise SnapshotError("capacity must be positive")
+        self.capacity = capacity
+        self.schema = schema
+        self.clock = clock if clock is not None else LogicalClock()
+        # 1-based addresses, as in the paper's figures.
+        self._elements = [_Element() for _ in range(capacity + 1)]
+
+    def _element(self, addr: int) -> _Element:
+        if not (1 <= addr <= self.capacity):
+            raise SnapshotError(f"address {addr} out of range 1..{self.capacity}")
+        return self._elements[addr]
+
+    # -- raw state control (golden tests build exact paper figures) -----------
+
+    def load(self, addr: int, values: Tuple, timestamp: int) -> None:
+        """Place a value with an explicit timestamp (no clock advance)."""
+        element = self._element(addr)
+        element.empty = False
+        element.values = tuple(values)
+        element.timestamp = timestamp
+
+    def set_empty(self, addr: int, timestamp: int) -> None:
+        """Mark an address empty with an explicit timestamp."""
+        element = self._element(addr)
+        element.empty = True
+        element.values = None
+        element.timestamp = timestamp
+
+    # -- operations ---------------------------------------------------------------
+
+    def lowest_empty(self) -> Optional[int]:
+        for addr in range(1, self.capacity + 1):
+            if self._elements[addr].empty:
+                return addr
+        return None
+
+    def insert(self, values: Tuple, addr: Optional[int] = None) -> int:
+        """Insert at ``addr`` (or the lowest empty address); stamp it."""
+        if addr is None:
+            addr = self.lowest_empty()
+            if addr is None:
+                raise SnapshotError("address space is full")
+        element = self._element(addr)
+        if not element.empty:
+            raise SnapshotError(f"address {addr} is occupied")
+        element.empty = False
+        element.values = tuple(values)
+        element.timestamp = self.clock.tick()
+        return addr
+
+    def update(self, addr: int, values: Tuple) -> None:
+        element = self._element(addr)
+        if element.empty:
+            raise SnapshotError(f"address {addr} is empty")
+        element.values = tuple(values)
+        element.timestamp = self.clock.tick()
+
+    def delete(self, addr: int) -> None:
+        element = self._element(addr)
+        if element.empty:
+            raise SnapshotError(f"address {addr} is empty")
+        element.empty = True
+        element.values = None
+        element.timestamp = self.clock.tick()
+
+    def get(self, addr: int) -> Optional[Tuple]:
+        element = self._element(addr)
+        return None if element.empty else element.values
+
+    def occupied(self) -> "dict[int, tuple]":
+        return {
+            addr: self._elements[addr].values
+            for addr in range(1, self.capacity + 1)
+            if not self._elements[addr].empty
+        }
+
+    # -- refresh (Figure 1) -----------------------------------------------------
+
+    def refresh(
+        self,
+        snap_time: int,
+        restriction: Callable[[Tuple], bool],
+        send: Callable[[RefreshMessage], None],
+    ) -> int:
+        """Scan every element; transmit those modified since ``snap_time``.
+
+        Returns the new SnapTime (also sent as the final message).
+        """
+        for addr in range(1, self.capacity + 1):
+            element = self._elements[addr]
+            if element.timestamp <= snap_time:
+                continue
+            if element.empty or not restriction(element.values):
+                send(SimpleElementMessage(addr, True, None, 0))
+            else:
+                value_bytes = len(encode_row(self.schema, Row(element.values)))
+                send(
+                    SimpleElementMessage(
+                        addr, False, element.values, value_bytes
+                    )
+                )
+        new_time = self.clock.tick()
+        send(SnapTimeMessage(new_time))
+        return new_time
+
+
+class SimpleSnapshot:
+    """Receiver for the dense-model algorithms (stages 1 and 2)."""
+
+    def __init__(self) -> None:
+        self.entries: "dict[int, tuple]" = {}
+        self.snap_time = 0
+
+    def apply(self, message: RefreshMessage) -> None:
+        if isinstance(message, SimpleElementMessage):
+            if message.empty:
+                self.entries.pop(message.addr, None)
+            else:
+                assert message.values is not None
+                self.entries[message.addr] = message.values
+        elif isinstance(message, SnapTimeMessage):
+            self.snap_time = message.time
+        else:
+            self._apply_other(message)
+
+    def _apply_other(self, message: RefreshMessage) -> None:
+        raise SnapshotError(f"unknown dense-model message: {message!r}")
+
+    def receiver(self):
+        return self.apply
+
+    def as_map(self) -> "dict[int, tuple]":
+        return dict(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the snapshot-refresh reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Subsystems raise the most specific
+subclass that applies; messages always name the offending object (table,
+snapshot, page, ...) to keep failures debuggable from the traceback alone.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a row does not match its schema."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value's Python type does not match the declared column type."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class PageFullError(StorageError):
+    """A record does not fit in the target slotted page."""
+
+
+class PageFormatError(StorageError):
+    """A page image is corrupt or has an unexpected layout."""
+
+
+class RecordNotFoundError(StorageError):
+    """A RID does not name a live record."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool cannot satisfy a pin request (all frames pinned)."""
+
+
+class ExpressionError(ReproError):
+    """Base class for predicate-language failures."""
+
+
+class LexError(ExpressionError):
+    """The restriction text contains an unrecognized token."""
+
+
+class ParseError(ExpressionError):
+    """The restriction text is not a well-formed predicate."""
+
+
+class EvaluationError(ExpressionError):
+    """A predicate referenced an unknown column or misused a type."""
+
+
+class CatalogError(ReproError):
+    """Catalog lookups or definitions failed (duplicate/missing names)."""
+
+
+class SnapshotError(ReproError):
+    """Base class for snapshot-definition and refresh failures."""
+
+
+class RefreshMethodError(SnapshotError):
+    """A snapshot definition is not eligible for the requested method."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-layer failures."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock request could not be granted within its timeout."""
+
+
+class WalError(TransactionError):
+    """The write-ahead log rejected an append or scan."""
+
+
+class LogTruncatedError(WalError):
+    """A log scan needed records that have already been truncated."""
+
+
+class ChannelError(ReproError):
+    """Base class for simulated network failures."""
+
+
+class LinkDownError(ChannelError):
+    """A send was attempted while the simulated link is interrupted."""

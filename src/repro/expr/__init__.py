@@ -1,0 +1,54 @@
+"""SnapRestrict / SnapProject: the snapshot predicate language.
+
+A snapshot definition carries a *restriction* (a WHERE-style predicate
+over the base table) and a *projection* (a subset of columns).  This
+package implements a small SQL-ish predicate language with proper
+three-valued NULL logic, plus a compile step that binds column references
+to row positions once — echoing the paper's R* query-compilation story,
+where refresh plans are compiled at CREATE SNAPSHOT time and executed at
+REFRESH time.
+
+>>> from repro.expr import Restriction
+>>> from repro.relation import Schema, Row
+>>> schema = Schema.of(("name", "string"), ("salary", "int"))
+>>> restrict = Restriction.parse("salary < 10", schema)
+>>> restrict(Row(["Laura", 6]))
+True
+"""
+
+from repro.expr.nodes import (
+    And,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    UnaryMinus,
+)
+from repro.expr.parser import parse_expression
+from repro.expr.predicate import Projection, Restriction
+
+__all__ = [
+    "And",
+    "Between",
+    "BinaryOp",
+    "ColumnRef",
+    "Comparison",
+    "Expr",
+    "InList",
+    "IsNull",
+    "Like",
+    "Literal",
+    "Not",
+    "Or",
+    "Projection",
+    "Restriction",
+    "UnaryMinus",
+    "parse_expression",
+]

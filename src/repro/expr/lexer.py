@@ -1,0 +1,114 @@
+"""Tokenizer for the restriction language.
+
+Token kinds: NUMBER, STRING, IDENT, keyword tokens (AND/OR/NOT/IS/NULL/
+BETWEEN/IN/LIKE/TRUE/FALSE), operators, punctuation, and EOF.  Keywords
+are case-insensitive; identifiers keep their case.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import LexError
+
+KEYWORDS = {
+    "AND",
+    "OR",
+    "NOT",
+    "IS",
+    "NULL",
+    "BETWEEN",
+    "IN",
+    "LIKE",
+    "TRUE",
+    "FALSE",
+}
+
+_TWO_CHAR_OPS = {"<=", ">=", "<>", "!="}
+_ONE_CHAR_OPS = {"=", "<", ">", "+", "-", "*", "/", "%", "(", ")", ","}
+
+
+class Token:
+    """One lexical token: a kind, its value, and its source offset."""
+
+    __slots__ = ("kind", "value", "offset")
+
+    def __init__(self, kind: str, value: object, offset: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.offset = offset
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}@{self.offset})"
+
+
+def tokenize(text: str) -> "list[Token]":
+    """Tokenize ``text``; the final token always has kind ``EOF``."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char.isdigit() or (
+            char == "." and position + 1 < length and text[position + 1].isdigit()
+        ):
+            start = position
+            seen_dot = False
+            while position < length and (
+                text[position].isdigit() or (text[position] == "." and not seen_dot)
+            ):
+                seen_dot = seen_dot or text[position] == "."
+                position += 1
+            raw = text[start:position]
+            value: object = float(raw) if "." in raw else int(raw)
+            yield Token("NUMBER", value, start)
+            continue
+        if char == "'":
+            start = position
+            position += 1
+            chunks = []
+            while True:
+                if position >= length:
+                    raise LexError(f"unterminated string literal at offset {start}")
+                if text[position] == "'":
+                    # '' is an escaped quote inside the literal.
+                    if position + 1 < length and text[position + 1] == "'":
+                        chunks.append("'")
+                        position += 2
+                        continue
+                    position += 1
+                    break
+                chunks.append(text[position])
+                position += 1
+            yield Token("STRING", "".join(chunks), start)
+            continue
+        if char.isalpha() or char == "_" or char == "$":
+            start = position
+            while position < length and (
+                text[position].isalnum() or text[position] in "_$"
+            ):
+                position += 1
+            word = text[start:position]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token(upper, upper, start)
+            else:
+                yield Token("IDENT", word, start)
+            continue
+        two = text[position : position + 2]
+        if two in _TWO_CHAR_OPS:
+            yield Token("OP", two, position)
+            position += 2
+            continue
+        if char in _ONE_CHAR_OPS:
+            yield Token("OP", char, position)
+            position += 1
+            continue
+        raise LexError(f"unexpected character {char!r} at offset {position}")
+    yield Token("EOF", None, length)

@@ -1,0 +1,455 @@
+"""Expression AST with SQL three-valued logic and a compile step.
+
+Every node implements:
+
+- ``eval(row, schema)`` — interpret directly (handy for tests/REPL);
+- ``compile(schema)`` — return a closure ``fn(values) -> True|False|None``
+  with column positions resolved once.  ``None`` is SQL UNKNOWN.
+- ``columns()`` — the set of referenced column names (used by the
+  snapshot compiler to verify a restriction only touches base columns);
+- ``sql()`` — round-trippable text form.
+
+Truth tables follow SQL: ``UNKNOWN AND FALSE = FALSE``,
+``UNKNOWN OR TRUE = TRUE``, ``NOT UNKNOWN = UNKNOWN``; any comparison or
+arithmetic over NULL yields UNKNOWN/NULL.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import EvaluationError
+from repro.relation.schema import Schema
+from repro.relation.types import NULL
+
+Value = Any
+Tri = Optional[bool]
+Compiled = Callable[[Sequence[Value]], Tri]
+
+
+class Expr:
+    """Abstract expression node."""
+
+    def eval(self, row: Sequence[Value], schema: Schema) -> Value:
+        """Interpret against a row (NULL-in, NULL-out)."""
+        return self.compile(schema)(row)
+
+    def compile(self, schema: Schema) -> Compiled:
+        raise NotImplementedError
+
+    def columns(self) -> "set[str]":
+        raise NotImplementedError
+
+    def sql(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.sql()})"
+
+
+class Literal(Expr):
+    """A constant: number, string, boolean, or NULL."""
+
+    def __init__(self, value: Value) -> None:
+        self.value = value
+
+    def compile(self, schema: Schema) -> Compiled:
+        value = self.value
+        return lambda row: value
+
+    def columns(self) -> "set[str]":
+        return set()
+
+    def sql(self) -> str:
+        if self.value is NULL:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+class ColumnRef(Expr):
+    """A reference to a named column of the bound schema."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def compile(self, schema: Schema) -> Compiled:
+        try:
+            position = schema.position(self.name)
+        except Exception:
+            raise EvaluationError(
+                f"unknown column {self.name!r}; schema has {schema.names}"
+            ) from None
+        return lambda row: row[position]
+
+    def columns(self) -> "set[str]":
+        return {self.name}
+
+    def sql(self) -> str:
+        return self.name
+
+
+_COMPARATORS: "dict[str, Callable[[Value, Value], bool]]" = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _comparable(a: Value, b: Value) -> bool:
+    if isinstance(a, bool) or isinstance(b, bool):
+        return isinstance(a, bool) and isinstance(b, bool)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return True
+    return type(a) is type(b)
+
+
+class Comparison(Expr):
+    """``left OP right`` with NULL-propagating semantics."""
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _COMPARATORS:
+            raise EvaluationError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def compile(self, schema: Schema) -> Compiled:
+        compare = _COMPARATORS[self.op]
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        op = self.op
+
+        def run(row: Sequence[Value]) -> Tri:
+            a = left(row)
+            b = right(row)
+            if a is NULL or b is NULL or a is None or b is None:
+                return None
+            if not _comparable(a, b):
+                raise EvaluationError(
+                    f"cannot compare {a!r} {op} {b!r} (incompatible types)"
+                )
+            return compare(a, b)
+
+        return run
+
+    def columns(self) -> "set[str]":
+        return self.left.columns() | self.right.columns()
+
+    def sql(self) -> str:
+        return f"{self.left.sql()} {self.op} {self.right.sql()}"
+
+
+_ARITH: "dict[str, Callable[[Value, Value], Value]]" = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+}
+
+
+class BinaryOp(Expr):
+    """Arithmetic (``+ - * / %``); string ``+`` concatenates."""
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _ARITH:
+            raise EvaluationError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def compile(self, schema: Schema) -> Compiled:
+        apply = _ARITH[self.op]
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        op = self.op
+
+        def run(row: Sequence[Value]) -> Value:
+            a = left(row)
+            b = right(row)
+            if a is NULL or b is NULL or a is None or b is None:
+                return NULL
+            try:
+                return apply(a, b)
+            except (TypeError, ZeroDivisionError) as exc:
+                raise EvaluationError(f"{a!r} {op} {b!r}: {exc}") from None
+
+        return run
+
+    def columns(self) -> "set[str]":
+        return self.left.columns() | self.right.columns()
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} {self.op} {self.right.sql()})"
+
+
+class UnaryMinus(Expr):
+    """Numeric negation."""
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def compile(self, schema: Schema) -> Compiled:
+        inner = self.operand.compile(schema)
+
+        def run(row: Sequence[Value]) -> Value:
+            value = inner(row)
+            if value is NULL or value is None:
+                return NULL
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise EvaluationError(f"cannot negate {value!r}")
+            return -value
+
+        return run
+
+    def columns(self) -> "set[str]":
+        return self.operand.columns()
+
+    def sql(self) -> str:
+        return f"-{self.operand.sql()}"
+
+
+class And(Expr):
+    """SQL AND (UNKNOWN-aware, short-circuiting on FALSE)."""
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+
+    def compile(self, schema: Schema) -> Compiled:
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+
+        def run(row: Sequence[Value]) -> Tri:
+            a = left(row)
+            if a is False:
+                return False
+            b = right(row)
+            if b is False:
+                return False
+            if a is None or a is NULL or b is None or b is NULL:
+                return None
+            return bool(a) and bool(b)
+
+        return run
+
+    def columns(self) -> "set[str]":
+        return self.left.columns() | self.right.columns()
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} AND {self.right.sql()})"
+
+
+class Or(Expr):
+    """SQL OR (UNKNOWN-aware, short-circuiting on TRUE)."""
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+
+    def compile(self, schema: Schema) -> Compiled:
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+
+        def run(row: Sequence[Value]) -> Tri:
+            a = left(row)
+            if a is True:
+                return True
+            b = right(row)
+            if b is True:
+                return True
+            if a is None or a is NULL or b is None or b is NULL:
+                return None
+            return bool(a) or bool(b)
+
+        return run
+
+    def columns(self) -> "set[str]":
+        return self.left.columns() | self.right.columns()
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} OR {self.right.sql()})"
+
+
+class Not(Expr):
+    """SQL NOT: NOT UNKNOWN = UNKNOWN."""
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def compile(self, schema: Schema) -> Compiled:
+        inner = self.operand.compile(schema)
+
+        def run(row: Sequence[Value]) -> Tri:
+            value = inner(row)
+            if value is None or value is NULL:
+                return None
+            return not value
+
+        return run
+
+    def columns(self) -> "set[str]":
+        return self.operand.columns()
+
+    def sql(self) -> str:
+        return f"(NOT {self.operand.sql()})"
+
+
+class IsNull(Expr):
+    """``expr IS [NOT] NULL`` — never UNKNOWN."""
+
+    def __init__(self, operand: Expr, negated: bool = False) -> None:
+        self.operand = operand
+        self.negated = negated
+
+    def compile(self, schema: Schema) -> Compiled:
+        inner = self.operand.compile(schema)
+        negated = self.negated
+
+        def run(row: Sequence[Value]) -> Tri:
+            value = inner(row)
+            is_null = value is NULL or value is None
+            return not is_null if negated else is_null
+
+        return run
+
+    def columns(self) -> "set[str]":
+        return self.operand.columns()
+
+    def sql(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.operand.sql()} {suffix}"
+
+
+class Between(Expr):
+    """``expr BETWEEN lo AND hi`` (inclusive, NULL-propagating)."""
+
+    def __init__(self, operand: Expr, lo: Expr, hi: Expr) -> None:
+        self.operand = operand
+        self.lo = lo
+        self.hi = hi
+
+    def compile(self, schema: Schema) -> Compiled:
+        inner = self.operand.compile(schema)
+        lo = self.lo.compile(schema)
+        hi = self.hi.compile(schema)
+
+        def run(row: Sequence[Value]) -> Tri:
+            value = inner(row)
+            a = lo(row)
+            b = hi(row)
+            if value is NULL or a is NULL or b is NULL:
+                return None
+            if value is None or a is None or b is None:
+                return None
+            return a <= value <= b
+
+        return run
+
+    def columns(self) -> "set[str]":
+        return self.operand.columns() | self.lo.columns() | self.hi.columns()
+
+    def sql(self) -> str:
+        return f"{self.operand.sql()} BETWEEN {self.lo.sql()} AND {self.hi.sql()}"
+
+
+class InList(Expr):
+    """``expr [NOT] IN (literal, ...)`` with SQL NULL semantics."""
+
+    def __init__(self, operand: Expr, items: Sequence[Expr], negated: bool = False):
+        self.operand = operand
+        self.items = tuple(items)
+        self.negated = negated
+
+    def compile(self, schema: Schema) -> Compiled:
+        inner = self.operand.compile(schema)
+        item_fns = [item.compile(schema) for item in self.items]
+        negated = self.negated
+
+        def run(row: Sequence[Value]) -> Tri:
+            value = inner(row)
+            if value is NULL or value is None:
+                return None
+            saw_null = False
+            found = False
+            for fn in item_fns:
+                candidate = fn(row)
+                if candidate is NULL or candidate is None:
+                    saw_null = True
+                elif _comparable(value, candidate) and value == candidate:
+                    found = True
+                    break
+            if found:
+                return False if negated else True
+            if saw_null:
+                return None
+            return True if negated else False
+
+        return run
+
+    def columns(self) -> "set[str]":
+        cols = self.operand.columns()
+        for item in self.items:
+            cols |= item.columns()
+        return cols
+
+    def sql(self) -> str:
+        inner = ", ".join(item.sql() for item in self.items)
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"{self.operand.sql()} {keyword} ({inner})"
+
+
+class Like(Expr):
+    """``expr [NOT] LIKE pattern`` with ``%``/``_`` wildcards."""
+
+    def __init__(self, operand: Expr, pattern: str, negated: bool = False) -> None:
+        self.operand = operand
+        self.pattern = pattern
+        self.negated = negated
+        self._regex = re.compile(_like_to_regex(pattern), re.DOTALL)
+
+    def compile(self, schema: Schema) -> Compiled:
+        inner = self.operand.compile(schema)
+        regex = self._regex
+        negated = self.negated
+
+        def run(row: Sequence[Value]) -> Tri:
+            value = inner(row)
+            if value is NULL or value is None:
+                return None
+            if not isinstance(value, str):
+                raise EvaluationError(f"LIKE needs a string, got {value!r}")
+            matched = regex.fullmatch(value) is not None
+            return not matched if negated else matched
+
+        return run
+
+    def columns(self) -> "set[str]":
+        return self.operand.columns()
+
+    def sql(self) -> str:
+        escaped = self.pattern.replace("'", "''")
+        keyword = "NOT LIKE" if self.negated else "LIKE"
+        return f"{self.operand.sql()} {keyword} '{escaped}'"
+
+
+def _like_to_regex(pattern: str) -> str:
+    parts = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return "".join(parts)

@@ -1,0 +1,199 @@
+"""Recursive-descent parser for the restriction language.
+
+Grammar (standard precedence, loosest first)::
+
+    expr        := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | predicate
+    predicate   := additive comparison_tail?
+    comparison_tail :=
+          ('=' | '<>' | '!=' | '<' | '<=' | '>' | '>=') additive
+        | IS [NOT] NULL
+        | [NOT] BETWEEN additive AND additive
+        | [NOT] IN '(' expr (',' expr)* ')'
+        | [NOT] LIKE STRING
+    additive    := term (('+' | '-') term)*
+    term        := factor (('*' | '/' | '%') factor)*
+    factor      := '-' factor | primary
+    primary     := NUMBER | STRING | TRUE | FALSE | NULL
+                 | IDENT | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.expr.lexer import Token, tokenize
+from repro.expr.nodes import (
+    And,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    UnaryMinus,
+)
+from repro.relation.types import NULL
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = tokenize(text)
+        self._position = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        self._position += 1
+        return token
+
+    def _accept(self, kind: str, value: Optional[object] = None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind != kind:
+            return None
+        if value is not None and token.value != value:
+            return None
+        return self._advance()
+
+    def _expect(self, kind: str, value: Optional[object] = None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            actual = self._peek()
+            wanted = value if value is not None else kind
+            raise ParseError(
+                f"expected {wanted} at offset {actual.offset} in {self._text!r}, "
+                f"found {actual.value!r}"
+            )
+        return token
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> Expr:
+        expr = self._or_expr()
+        trailing = self._peek()
+        if trailing.kind != "EOF":
+            raise ParseError(
+                f"unexpected trailing input {trailing.value!r} at offset "
+                f"{trailing.offset} in {self._text!r}"
+            )
+        return expr
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self._accept("OR"):
+            left = Or(left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._not_expr()
+        while self._accept("AND"):
+            left = And(left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expr:
+        if self._accept("NOT"):
+            return Not(self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> Expr:
+        left = self._additive()
+        token = self._peek()
+        if token.kind == "OP" and token.value in _COMPARISON_OPS:
+            self._advance()
+            return Comparison(str(token.value), left, self._additive())
+        if self._accept("IS"):
+            negated = self._accept("NOT") is not None
+            self._expect("NULL")
+            return IsNull(left, negated=negated)
+        negated = False
+        if self._peek().kind == "NOT":
+            # NOT BETWEEN / NOT IN / NOT LIKE
+            follow = self._tokens[self._position + 1]
+            if follow.kind in ("BETWEEN", "IN", "LIKE"):
+                self._advance()
+                negated = True
+        if self._accept("BETWEEN"):
+            lo = self._additive()
+            self._expect("AND")
+            hi = self._additive()
+            between: Expr = Between(left, lo, hi)
+            return Not(between) if negated else between
+        if self._accept("IN"):
+            self._expect("OP", "(")
+            items = [self._or_expr()]
+            while self._accept("OP", ","):
+                items.append(self._or_expr())
+            self._expect("OP", ")")
+            return InList(left, items, negated=negated)
+        if self._accept("LIKE"):
+            pattern = self._expect("STRING")
+            return Like(left, str(pattern.value), negated=negated)
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._term()
+        while True:
+            token = self._peek()
+            if token.kind == "OP" and token.value in ("+", "-"):
+                self._advance()
+                left = BinaryOp(str(token.value), left, self._term())
+            else:
+                return left
+
+    def _term(self) -> Expr:
+        left = self._factor()
+        while True:
+            token = self._peek()
+            if token.kind == "OP" and token.value in ("*", "/", "%"):
+                self._advance()
+                left = BinaryOp(str(token.value), left, self._factor())
+            else:
+                return left
+
+    def _factor(self) -> Expr:
+        if self._accept("OP", "-"):
+            return UnaryMinus(self._factor())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "NUMBER" or token.kind == "STRING":
+            self._advance()
+            return Literal(token.value)
+        if self._accept("TRUE"):
+            return Literal(True)
+        if self._accept("FALSE"):
+            return Literal(False)
+        if self._accept("NULL"):
+            return Literal(NULL)
+        if token.kind == "IDENT":
+            self._advance()
+            return ColumnRef(str(token.value))
+        if self._accept("OP", "("):
+            inner = self._or_expr()
+            self._expect("OP", ")")
+            return inner
+        raise ParseError(
+            f"unexpected token {token.value!r} at offset {token.offset} "
+            f"in {self._text!r}"
+        )
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse ``text`` into an expression AST."""
+    return _Parser(text).parse()

@@ -1,0 +1,95 @@
+"""Restriction (SnapRestrict) and Projection (SnapProject) objects.
+
+A :class:`Restriction` pairs a parsed predicate with a schema and a
+compiled evaluator; calling it on a row answers "does this entry qualify
+for the snapshot?".  SQL semantics apply: rows whose predicate evaluates
+to UNKNOWN do **not** qualify.
+
+A :class:`Projection` is an ordered subset of visible columns; it derives
+the snapshot's value schema and extracts the projected values from base
+rows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import EvaluationError, SchemaError
+from repro.expr.nodes import Expr, Literal
+from repro.expr.parser import parse_expression
+from repro.relation.row import Row
+from repro.relation.schema import Schema
+
+
+class Restriction:
+    """A compiled predicate over a base-table schema."""
+
+    def __init__(self, expr: Expr, schema: Schema) -> None:
+        unknown = expr.columns() - set(schema.names)
+        if unknown:
+            raise EvaluationError(
+                f"restriction references unknown columns: {sorted(unknown)}"
+            )
+        hidden = expr.columns() & set(schema.hidden_names())
+        if hidden:
+            raise EvaluationError(
+                f"restriction may not reference hidden columns: {sorted(hidden)}"
+            )
+        self.expr = expr
+        self.schema = schema
+        self._compiled = expr.compile(schema)
+
+    @classmethod
+    def parse(cls, text: str, schema: Schema) -> "Restriction":
+        """Parse and compile ``text`` (e.g. ``"salary < 10"``)."""
+        return cls(parse_expression(text), schema)
+
+    @classmethod
+    def true(cls, schema: Schema) -> "Restriction":
+        """The unrestricted snapshot (every entry qualifies)."""
+        return cls(Literal(True), schema)
+
+    def __call__(self, row: "Row | Sequence[object]") -> bool:
+        """True iff the row qualifies (UNKNOWN counts as not qualifying)."""
+        values = row.values if isinstance(row, Row) else row
+        return self._compiled(values) is True
+
+    @property
+    def text(self) -> str:
+        return self.expr.sql()
+
+    def __repr__(self) -> str:
+        return f"Restriction({self.text})"
+
+
+class Projection:
+    """An ordered subset of a schema's visible columns."""
+
+    def __init__(self, schema: Schema, names: Optional[Sequence[str]] = None):
+        visible = schema.visible().names
+        if names is None:
+            names = visible
+        for name in names:
+            if name not in schema:
+                raise SchemaError(f"projection names unknown column {name!r}")
+            if schema.column(name).hidden:
+                raise SchemaError(f"projection may not include hidden {name!r}")
+        if len(set(names)) != len(tuple(names)):
+            raise SchemaError("projection has duplicate columns")
+        self.base_schema = schema
+        self.names: "tuple[str, ...]" = tuple(names)
+        self.schema = schema.project(self.names)
+        self._positions = tuple(schema.position(name) for name in self.names)
+
+    def __call__(self, row: "Row | Sequence[object]") -> Row:
+        """Extract the projected values from a base row."""
+        values = row.values if isinstance(row, Row) else tuple(row)
+        return Row(tuple(values[p] for p in self._positions))
+
+    @property
+    def is_identity(self) -> bool:
+        """True when this projection keeps all visible columns in order."""
+        return self.names == self.base_schema.visible().names
+
+    def __repr__(self) -> str:
+        return f"Projection({', '.join(self.names)})"

@@ -1,0 +1,127 @@
+"""Point-to-point message channels with traffic accounting.
+
+A :class:`Channel` delivers messages to a receiver callback (or queues
+them when no receiver is attached) and tallies message counts and bytes
+by message class.  Any object with a ``wire_size() -> int`` method can be
+sent; the refresh message types in :mod:`repro.core.messages` qualify.
+
+A :class:`Link` adds an availability flag: while down, sends raise
+:class:`~repro.errors.LinkDownError`.  The ASAP propagator uses this to
+demonstrate the paper's "if communication ... is interrupted, the base
+table changes must be buffered or rejected".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.errors import ChannelError, LinkDownError
+
+Receiver = Callable[[Any], None]
+
+
+class TrafficStats:
+    """Message and byte counters, split by message class name."""
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+        self.by_type: "dict[str, int]" = {}
+        self.bytes_by_type: "dict[str, int]" = {}
+
+    def record(self, message: Any) -> None:
+        size = message.wire_size()
+        name = type(message).__name__
+        self.messages += 1
+        self.bytes += size
+        self.by_type[name] = self.by_type.get(name, 0) + 1
+        self.bytes_by_type[name] = self.bytes_by_type.get(name, 0) + size
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+        self.by_type.clear()
+        self.bytes_by_type.clear()
+
+    def snapshot(self) -> "dict[str, int]":
+        """A plain-dict summary (handy for bench reporting)."""
+        return {"messages": self.messages, "bytes": self.bytes, **self.by_type}
+
+    def __repr__(self) -> str:
+        return f"TrafficStats(messages={self.messages}, bytes={self.bytes})"
+
+
+class Channel:
+    """Reliable ordered delivery with counting.
+
+    With a receiver attached, ``send`` delivers synchronously; without
+    one, messages queue until :meth:`drain` or until a receiver is
+    attached (queued messages flush immediately on attach).
+    """
+
+    def __init__(self, name: str = "channel") -> None:
+        self.name = name
+        self.stats = TrafficStats()
+        self._receiver: Optional[Receiver] = None
+        self._queue: "Deque[Any]" = deque()
+
+    def attach(self, receiver: Receiver) -> None:
+        if self._receiver is not None:
+            raise ChannelError(f"{self.name}: receiver already attached")
+        self._receiver = receiver
+        self._flush()
+
+    def detach(self) -> None:
+        self._receiver = None
+
+    def send(self, message: Any) -> None:
+        """Count and deliver (or queue) one message."""
+        self.stats.record(message)
+        if self._receiver is not None:
+            self._receiver(message)
+        else:
+            self._queue.append(message)
+
+    def _flush(self) -> None:
+        while self._queue and self._receiver is not None:
+            self._receiver(self._queue.popleft())
+
+    def drain(self) -> "list[Any]":
+        """Return and clear queued (undelivered) messages."""
+        drained = list(self._queue)
+        self._queue.clear()
+        return drained
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return f"Channel({self.name}, {self.stats})"
+
+
+class Link(Channel):
+    """A channel that can be taken down and brought back up."""
+
+    def __init__(self, name: str = "link") -> None:
+        super().__init__(name)
+        self._up = True
+        self.failed_sends = 0
+
+    @property
+    def is_up(self) -> bool:
+        return self._up
+
+    def go_down(self) -> None:
+        self._up = False
+
+    def come_up(self) -> None:
+        self._up = True
+        self._flush()
+
+    def send(self, message: Any) -> None:
+        if not self._up:
+            self.failed_sends += 1
+            raise LinkDownError(f"{self.name} is down")
+        super().send(message)

@@ -1,0 +1,41 @@
+"""Querying tables and snapshots.
+
+"Once a snapshot has been defined and initialized, its contents can be
+accessed using ordinary queries.  Indices can be defined on a snapshot
+to accelerate access to its contents."
+
+This package provides both halves:
+
+- :mod:`~repro.query.indexes` — secondary B+tree indexes over table (or
+  snapshot-storage) columns, maintained by every table operation;
+- a SELECT engine — :mod:`~repro.query.parser` (text form),
+  :mod:`~repro.query.plan` (logical plans + the index-aware planner),
+  and :mod:`~repro.query.executor` (iterator-model execution) — with
+  restriction pushdown into an index scan when one applies.
+
+>>> from repro.query import run_select
+>>> rows = run_select(db, "SELECT name, salary FROM emp "
+...                        "WHERE salary < 10 ORDER BY salary DESC LIMIT 3")
+"""
+
+from repro.query.executor import QueryResult, execute
+from repro.query.indexes import SecondaryIndex
+from repro.query.parser import parse_select
+from repro.query.plan import plan_select
+
+
+def run_select(db, sql: str) -> "QueryResult":
+    """Parse, plan, and execute a SELECT against ``db``."""
+    statement = parse_select(sql)
+    plan = plan_select(db, statement)
+    return execute(plan)
+
+
+__all__ = [
+    "QueryResult",
+    "SecondaryIndex",
+    "execute",
+    "parse_select",
+    "plan_select",
+    "run_select",
+]

@@ -1,0 +1,217 @@
+"""Plan execution.
+
+Execution is materialized (lists of value tuples flowing up the plan) —
+the datasets here are simulation-scale, and materializing keeps the
+semantics obvious.  NULL ordering is NULLS LAST regardless of direction;
+aggregates follow SQL: COUNT(*) counts rows, COUNT(expr)/SUM/AVG/MIN/MAX
+ignore NULLs, and SUM/AVG/MIN/MAX over zero non-NULL inputs yield NULL.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Tuple
+
+from repro.errors import EvaluationError
+from repro.query.parser import SelectItem
+from repro.query.plan import (
+    Aggregate,
+    Filter,
+    IndexScan,
+    Limit,
+    PassThroughStar,
+    PlanNode,
+    Project,
+    SeqScan,
+    Sort,
+)
+from repro.relation.row import Row
+from repro.relation.types import NULL
+
+
+class QueryResult:
+    """Named columns plus materialized rows."""
+
+    def __init__(self, columns: "list[str]", rows: "list[tuple]") -> None:
+        self.columns = columns
+        self.rows = [Row(values) for values in rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"QueryResult({self.columns}, {len(self.rows)} rows)"
+
+    def first(self):
+        return self.rows[0] if self.rows else None
+
+    def scalar(self):
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise EvaluationError(
+                f"scalar() needs a 1x1 result, have "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> "list":
+        position = self.columns.index(name)
+        return [row[position] for row in self.rows]
+
+    def to_dicts(self) -> "list[dict]":
+        return [dict(zip(self.columns, row.values)) for row in self.rows]
+
+
+def execute(plan: PlanNode) -> QueryResult:
+    columns, rows = _run(plan)
+    return QueryResult(columns, rows)
+
+
+def _run(plan: PlanNode) -> "Tuple[list[str], list[tuple]]":
+    if isinstance(plan, SeqScan):
+        columns = list(plan.table.schema.names)
+        rows = [row.values for _, row in plan.table.scan(visible=False)]
+        return columns, rows
+    if isinstance(plan, IndexScan):
+        columns = list(plan.table.schema.names)
+        rows = []
+        for rid in plan.index.lookup_range(
+            plan.lo, plan.hi, plan.include_lo, plan.include_hi
+        ):
+            rows.append(plan.table.read(rid, visible=False).values)
+        return columns, rows
+    if isinstance(plan, Filter):
+        columns, rows = _run(plan.child)
+        predicate = plan.predicate.compile(plan.schema)
+        return columns, [values for values in rows if predicate(values) is True]
+    if isinstance(plan, Sort):
+        columns, rows = _run(plan.child)
+        return columns, _sort(rows, columns, plan)
+    if isinstance(plan, Limit):
+        columns, rows = _run(plan.child)
+        return columns, rows[: plan.count]
+    if isinstance(plan, PassThroughStar):
+        columns, rows = _run(plan.child)
+        visible = list(plan.schema.visible().names)
+        positions = [columns.index(name) for name in visible]
+        return visible, [tuple(values[p] for p in positions) for values in rows]
+    if isinstance(plan, Project):
+        columns, rows = _run(plan.child)
+        names = [item.output_name(n) for n, item in enumerate(plan.items)]
+        compiled = [item.expr.compile(plan.schema) for item in plan.items]
+        projected = [tuple(fn(values) for fn in compiled) for values in rows]
+        return names, projected
+    if isinstance(plan, Aggregate):
+        return _aggregate(plan)
+    raise EvaluationError(f"unknown plan node: {plan!r}")
+
+
+def _sort(rows, columns, plan: Sort):
+    if plan.schema is not None:
+        positions = [plan.schema.position(o.column) for o in plan.order]
+    else:
+        positions = [columns.index(o.column) for o in plan.order]
+    ordered = list(rows)
+    # Stable sorts applied last-key-first give multi-key ordering.
+    for order_item, position in reversed(list(zip(plan.order, positions))):
+        non_null = [v for v in ordered if v[position] is not NULL]
+        nulls = [v for v in ordered if v[position] is NULL]
+        non_null.sort(key=lambda v: v[position], reverse=order_item.descending)
+        ordered = non_null + nulls  # NULLS LAST
+    return ordered
+
+
+class _Accumulator:
+    """One aggregate's state."""
+
+    __slots__ = ("kind", "count", "total", "best")
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.count = 0
+        self.total = 0
+        self.best: Any = None
+
+    def feed(self, value: Any) -> None:
+        if self.kind == "COUNT":
+            if value is not NULL:
+                self.count += 1
+            return
+        if value is NULL:
+            return
+        self.count += 1
+        if self.kind in ("SUM", "AVG"):
+            self.total += value
+        elif self.kind == "MIN":
+            self.best = value if self.best is None else min(self.best, value)
+        elif self.kind == "MAX":
+            self.best = value if self.best is None else max(self.best, value)
+
+    def result(self) -> Any:
+        if self.kind == "COUNT":
+            return self.count
+        if self.count == 0:
+            return NULL
+        if self.kind == "SUM":
+            return self.total
+        if self.kind == "AVG":
+            return self.total / self.count
+        return self.best
+
+
+def _aggregate(plan: Aggregate) -> "Tuple[list[str], list[tuple]]":
+    columns, rows = _run(plan.child)
+    schema = plan.schema
+    names = [item.output_name(n) for n, item in enumerate(plan.items)]
+    group_positions = [schema.position(name) for name in plan.group_by]
+    argument_fns = []
+    for item in plan.items:
+        if item.is_aggregate and item.argument is not None:
+            argument_fns.append(item.argument.compile(schema))
+        elif item.is_aggregate:
+            argument_fns.append(None)  # COUNT(*)
+        else:
+            argument_fns.append(item.expr.compile(schema))
+
+    groups: "dict[tuple, list[_Accumulator]]" = {}
+    representatives: "dict[tuple, tuple]" = {}
+    order_of_arrival: "list[tuple]" = []
+    for values in rows:
+        key = tuple(values[p] for p in group_positions)
+        if key not in groups:
+            groups[key] = [
+                _Accumulator(item.aggregate) if item.is_aggregate else None
+                for item in plan.items
+            ]
+            representatives[key] = values
+            order_of_arrival.append(key)
+        for item, accumulator, fn in zip(plan.items, groups[key], argument_fns):
+            if accumulator is None:
+                continue
+            if fn is None:  # COUNT(*)
+                accumulator.count += 1
+            else:
+                accumulator.feed(fn(values))
+
+    if not plan.group_by and not groups:
+        # Aggregates over an empty input still produce one row.
+        empty = [
+            _Accumulator(item.aggregate) if item.is_aggregate else None
+            for item in plan.items
+        ]
+        groups[()] = empty
+        representatives[()] = ()
+        order_of_arrival.append(())
+
+    output = []
+    for key in order_of_arrival:
+        row = []
+        for item, accumulator, fn in zip(plan.items, groups[key], argument_fns):
+            if accumulator is not None:
+                row.append(accumulator.result())
+            else:
+                row.append(fn(representatives[key]))
+        output.append(tuple(row))
+    return names, output

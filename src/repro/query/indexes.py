@@ -1,0 +1,154 @@
+"""Secondary indexes: B+trees over a table column.
+
+An index maps ``(column value, rid key) -> rid``; the composite key
+makes duplicates unambiguous while keeping ordered range scans.  NULL
+values are not indexed (an index scan can therefore never satisfy an
+``IS NULL`` predicate; the planner knows this).
+
+Indexes register with their table, which notifies them from every
+mutation path — transactional operations, system operations (the
+snapshot receiver), bulk loads, and transaction undo — so an index is
+always consistent with a full scan.  ``check_consistency()`` verifies
+exactly that and is called liberally from tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.errors import CatalogError, SchemaError
+from repro.relation.types import NULL
+from repro.storage.btree import BPlusTree
+from repro.storage.rid import Rid
+
+
+class SecondaryIndex:
+    """An ordered index over one (visible or hidden, non-annotation) column."""
+
+    def __init__(self, table: Any, column: str, name: Optional[str] = None):
+        from repro.table import PREVADDR, TIMESTAMP
+
+        if column not in table.schema:
+            raise SchemaError(f"no such column to index: {column!r}")
+        if column in (PREVADDR, TIMESTAMP):
+            raise CatalogError("annotation fields cannot be indexed")
+        self.table = table
+        self.column = column
+        self.name = name if name is not None else f"{table.name}_{column}_idx"
+        self._position = table.schema.position(column)
+        self._tree = BPlusTree(order=64)
+        self._build()
+        table.attach_index(self)
+
+    def _build(self) -> None:
+        for rid, row in self.table.scan(visible=False):
+            value = row[self._position]
+            if value is not NULL:
+                self._tree.insert(self._key(value, rid), rid)
+
+    def rebuild(self) -> None:
+        """Rebuild from scratch (after bulk reorganizations)."""
+        self._position = self.table.schema.position(self.column)
+        self._tree = BPlusTree(order=64)
+        self._build()
+
+    @staticmethod
+    def _key(value: Any, rid: Rid):
+        return (value, rid.key())
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def __repr__(self) -> str:
+        return f"SecondaryIndex({self.name} on {self.column}, {len(self)} keys)"
+
+    # -- maintenance hooks (called by the table) ---------------------------------
+
+    def on_insert(self, rid: Rid, values: "tuple") -> None:
+        value = values[self._position]
+        if value is not NULL:
+            self._tree.insert(self._key(value, rid), rid)
+
+    def on_delete(self, rid: Rid, values: "tuple") -> None:
+        value = values[self._position]
+        if value is not NULL:
+            self._tree.delete(self._key(value, rid))
+
+    def on_update(
+        self, old_rid: Rid, old_values: "tuple", new_rid: Rid, new_values: "tuple"
+    ) -> None:
+        old_value = old_values[self._position]
+        new_value = new_values[self._position]
+        if old_value is new_value or (
+            old_rid == new_rid
+            and old_value is not NULL
+            and new_value is not NULL
+            and old_value == new_value
+        ):
+            return
+        if old_value is not NULL:
+            self._tree.delete(self._key(old_value, old_rid))
+        if new_value is not NULL:
+            self._tree.insert(self._key(new_value, new_rid), new_rid)
+
+    # -- lookups -------------------------------------------------------------------
+
+    def lookup_eq(self, value: Any) -> "list[Rid]":
+        """All RIDs whose column equals ``value`` (address order)."""
+        if value is NULL:
+            return []
+        return [
+            rid
+            for _, rid in self._tree.range(
+                (value, Rid.BEGIN.key()), (value, (2**31, 0)), include_hi=True
+            )
+        ]
+
+    def lookup_range(
+        self,
+        lo: Any = None,
+        hi: Any = None,
+        include_lo: bool = True,
+        include_hi: bool = False,
+    ) -> "Iterator[Rid]":
+        """RIDs whose column lies in the interval, in column order."""
+        lo_key = None if lo is None else (lo, Rid.BEGIN.key())
+        if hi is None:
+            hi_key = None
+            include_hi_key = False
+        elif include_hi:
+            hi_key = (hi, (2**31, 0))
+            include_hi_key = True
+        else:
+            hi_key = (hi, Rid.BEGIN.key())
+            include_hi_key = False
+        for _, rid in self._tree.range(
+            lo_key, hi_key, include_lo=include_lo, include_hi=include_hi_key
+        ):
+            yield rid
+
+    def min_value(self) -> Any:
+        key = self._tree.min_key()
+        return None if key is None else key[0]
+
+    def max_value(self) -> Any:
+        key = self._tree.max_key()
+        return None if key is None else key[0]
+
+    # -- verification -----------------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Assert the index matches a full scan of the table."""
+        expected = {}
+        for rid, row in self.table.scan(visible=False):
+            value = row[self._position]
+            if value is not NULL:
+                expected[self._key(value, rid)] = rid
+        actual = dict(self._tree.items())
+        if actual != expected:
+            missing = set(expected) - set(actual)
+            extra = set(actual) - set(expected)
+            raise AssertionError(
+                f"index {self.name} inconsistent: missing={sorted(missing)[:5]} "
+                f"extra={sorted(extra)[:5]}"
+            )

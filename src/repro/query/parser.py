@@ -1,0 +1,305 @@
+"""SELECT statement parsing.
+
+Grammar::
+
+    select     := SELECT select_list FROM ident
+                  (WHERE expr)?
+                  (GROUP BY ident (',' ident)*)?
+                  (ORDER BY ident (ASC|DESC)? (',' ident (ASC|DESC)?)*)?
+                  (LIMIT number)?
+    select_list := '*' | item (',' item)*
+    item        := expr (AS ident)?
+                 | (COUNT|SUM|AVG|MIN|MAX) '(' ('*' | expr) ')' (AS ident)?
+
+Clause keywords are recognized case-insensitively at parenthesis depth
+zero; everything inside a clause is handed to the restriction-language
+parser (:mod:`repro.expr.parser`) by slicing the original text at token
+offsets, so the two languages stay perfectly consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.expr.lexer import Token, tokenize
+from repro.expr.nodes import Expr
+from repro.expr.parser import parse_expression
+
+AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+_CLAUSE_WORDS = ("FROM", "WHERE", "GROUP", "ORDER", "LIMIT")
+
+
+class SelectItem:
+    """One output column: an expression or an aggregate call."""
+
+    def __init__(
+        self,
+        expr: Optional[Expr] = None,
+        aggregate: Optional[str] = None,
+        argument: Optional[Expr] = None,
+        alias: Optional[str] = None,
+    ) -> None:
+        self.expr = expr
+        self.aggregate = aggregate  # None for plain expressions
+        self.argument = argument  # None for COUNT(*)
+        self.alias = alias
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.aggregate is not None
+
+    def output_name(self, position: int) -> str:
+        if self.alias:
+            return self.alias
+        if self.is_aggregate:
+            inner = self.argument.sql() if self.argument is not None else "*"
+            return f"{self.aggregate.lower()}({inner})"
+        assert self.expr is not None
+        return self.expr.sql()
+
+    def __repr__(self) -> str:
+        return f"SelectItem({self.output_name(0)})"
+
+
+class OrderItem:
+    __slots__ = ("column", "descending")
+
+    def __init__(self, column: str, descending: bool = False) -> None:
+        self.column = column
+        self.descending = descending
+
+    def __repr__(self) -> str:
+        return f"OrderItem({self.column}{' DESC' if self.descending else ''})"
+
+
+class SelectStatement:
+    """A parsed SELECT."""
+
+    def __init__(
+        self,
+        items: "Optional[List[SelectItem]]",  # None means SELECT *
+        table: str,
+        where: Optional[Expr] = None,
+        group_by: Optional[List[str]] = None,
+        order_by: Optional[List[OrderItem]] = None,
+        limit: Optional[int] = None,
+    ) -> None:
+        self.items = items
+        self.table = table
+        self.where = where
+        self.group_by = group_by or []
+        self.order_by = order_by or []
+        self.limit = limit
+
+    @property
+    def is_star(self) -> bool:
+        return self.items is None
+
+    @property
+    def has_aggregates(self) -> bool:
+        return bool(self.items) and any(i.is_aggregate for i in self.items)
+
+    def __repr__(self) -> str:
+        return f"SelectStatement(FROM {self.table})"
+
+
+def _word(token: Token) -> Optional[str]:
+    if token.kind == "IDENT":
+        return str(token.value).upper()
+    return None
+
+
+def _clause_spans(tokens: "list[Token]", text: str):
+    """Split the token stream into clauses at depth-0 keywords."""
+    spans = {}  # clause word -> (start_token_index, end_token_index)
+    order: "list[tuple[str, int]]" = []
+    depth = 0
+    for index, token in enumerate(tokens):
+        if token.kind == "OP" and token.value == "(":
+            depth += 1
+        elif token.kind == "OP" and token.value == ")":
+            depth -= 1
+        elif depth == 0:
+            word = _word(token)
+            if word in _CLAUSE_WORDS or word == "SELECT":
+                order.append((word, index))
+    for position, (word, start) in enumerate(order):
+        end = order[position + 1][1] if position + 1 < len(order) else len(tokens) - 1
+        if word in spans:
+            raise ParseError(f"duplicate {word} clause in {text!r}")
+        spans[word] = (start, end)
+    return spans
+
+
+def _slice_text(text: str, tokens: "list[Token]", start: int, end: int) -> str:
+    """The source text covering tokens[start:end]."""
+    if start >= end:
+        return ""
+    first = tokens[start].offset
+    last = tokens[end].offset if end < len(tokens) else len(text)
+    return text[first:last].strip()
+
+
+def _split_top_level_commas(tokens: "list[Token]", start: int, end: int):
+    """Index boundaries of comma-separated chunks in tokens[start:end]."""
+    chunks = []
+    depth = 0
+    chunk_start = start
+    for index in range(start, end):
+        token = tokens[index]
+        if token.kind == "OP" and token.value == "(":
+            depth += 1
+        elif token.kind == "OP" and token.value == ")":
+            depth -= 1
+        elif token.kind == "OP" and token.value == "," and depth == 0:
+            chunks.append((chunk_start, index))
+            chunk_start = index + 1
+    chunks.append((chunk_start, end))
+    return chunks
+
+
+def _parse_item(text: str, tokens: "list[Token]", start: int, end: int) -> SelectItem:
+    if start >= end:
+        raise ParseError(f"empty select item in {text!r}")
+    # Optional trailing "AS alias" (or bare alias after an aggregate).
+    alias = None
+    if (
+        end - start >= 2
+        and _word(tokens[end - 2]) == "AS"
+        and tokens[end - 1].kind == "IDENT"
+    ):
+        alias = str(tokens[end - 1].value)
+        end -= 2
+    first = tokens[start]
+    word = _word(first)
+    if (
+        word in AGGREGATES
+        and start + 1 < end
+        and tokens[start + 1].kind == "OP"
+        and tokens[start + 1].value == "("
+    ):
+        if not (tokens[end - 1].kind == "OP" and tokens[end - 1].value == ")"):
+            raise ParseError(f"malformed aggregate call in {text!r}")
+        inner_start, inner_end = start + 2, end - 1
+        if (
+            inner_end - inner_start == 1
+            and tokens[inner_start].kind == "OP"
+            and tokens[inner_start].value == "*"
+        ):
+            if word != "COUNT":
+                raise ParseError(f"{word}(*) is not a thing; only COUNT(*)")
+            return SelectItem(aggregate=word, argument=None, alias=alias)
+        argument = parse_expression(_slice_text(text, tokens, inner_start, inner_end))
+        return SelectItem(aggregate=word, argument=argument, alias=alias)
+    expr = parse_expression(_slice_text(text, tokens, start, end))
+    return SelectItem(expr=expr, alias=alias)
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse a SELECT statement."""
+    tokens = tokenize(text)
+    if _word(tokens[0]) != "SELECT":
+        raise ParseError(f"expected SELECT at the start of {text!r}")
+    spans = _clause_spans(tokens, text)
+    if "FROM" not in spans:
+        raise ParseError(f"SELECT without FROM in {text!r}")
+
+    # select list
+    list_start, list_end = spans["SELECT"][0] + 1, spans["FROM"][0]
+    items: "Optional[list[SelectItem]]"
+    if (
+        list_end - list_start == 1
+        and tokens[list_start].kind == "OP"
+        and tokens[list_start].value == "*"
+    ):
+        items = None
+    else:
+        items = [
+            _parse_item(text, tokens, start, end)
+            for start, end in _split_top_level_commas(tokens, list_start, list_end)
+        ]
+
+    # FROM
+    from_start, from_end = spans["FROM"]
+    if from_end - from_start != 2 or tokens[from_start + 1].kind != "IDENT":
+        raise ParseError(f"FROM expects a single table name in {text!r}")
+    table = str(tokens[from_start + 1].value)
+
+    # WHERE
+    where = None
+    if "WHERE" in spans:
+        start, end = spans["WHERE"]
+        where_text = _slice_text(text, tokens, start + 1, end)
+        if not where_text:
+            raise ParseError(f"empty WHERE clause in {text!r}")
+        where = parse_expression(where_text)
+
+    # GROUP BY
+    group_by: "list[str]" = []
+    if "GROUP" in spans:
+        start, end = spans["GROUP"]
+        if _word(tokens[start + 1]) != "BY":
+            raise ParseError(f"GROUP must be followed by BY in {text!r}")
+        for chunk_start, chunk_end in _split_top_level_commas(
+            tokens, start + 2, end
+        ):
+            if chunk_end - chunk_start != 1 or tokens[chunk_start].kind != "IDENT":
+                raise ParseError(f"GROUP BY expects column names in {text!r}")
+            group_by.append(str(tokens[chunk_start].value))
+
+    # ORDER BY
+    order_by: "list[OrderItem]" = []
+    if "ORDER" in spans:
+        start, end = spans["ORDER"]
+        if _word(tokens[start + 1]) != "BY":
+            raise ParseError(f"ORDER must be followed by BY in {text!r}")
+        for chunk_start, chunk_end in _split_top_level_commas(
+            tokens, start + 2, end
+        ):
+            width = chunk_end - chunk_start
+            if width not in (1, 2) or tokens[chunk_start].kind != "IDENT":
+                raise ParseError(f"malformed ORDER BY in {text!r}")
+            descending = False
+            if width == 2:
+                direction = _word(tokens[chunk_start + 1])
+                if direction not in ("ASC", "DESC"):
+                    raise ParseError(f"expected ASC/DESC in {text!r}")
+                descending = direction == "DESC"
+            order_by.append(OrderItem(str(tokens[chunk_start].value), descending))
+
+    # LIMIT
+    limit = None
+    if "LIMIT" in spans:
+        start, end = spans["LIMIT"]
+        if end - start != 2 or tokens[start + 1].kind != "NUMBER":
+            raise ParseError(f"LIMIT expects one number in {text!r}")
+        limit = int(tokens[start + 1].value)
+        if limit < 0:
+            raise ParseError("LIMIT must be non-negative")
+
+    statement = SelectStatement(items, table, where, group_by, order_by, limit)
+    _validate(statement, text)
+    return statement
+
+
+def _validate(statement: SelectStatement, text: str) -> None:
+    if statement.group_by:
+        if statement.is_star:
+            raise ParseError(f"SELECT * with GROUP BY in {text!r}")
+        for item in statement.items or []:
+            if item.is_aggregate:
+                continue
+            expr_cols = item.expr.columns() if item.expr else set()
+            if not expr_cols <= set(statement.group_by):
+                raise ParseError(
+                    f"non-aggregate select item {item!r} not covered by "
+                    f"GROUP BY in {text!r}"
+                )
+    elif statement.has_aggregates:
+        for item in statement.items or []:
+            if not item.is_aggregate:
+                raise ParseError(
+                    f"mixing aggregates and plain columns without GROUP BY "
+                    f"in {text!r}"
+                )

@@ -1,0 +1,257 @@
+"""Logical plans and the (deliberately small) planner.
+
+``plan_select`` resolves the FROM name — a table, or a snapshot's
+storage table via the ``$SNAP$`` prefix — then builds::
+
+    Limit? <- Project/Aggregate <- Sort? <- Filter? <- (SeqScan | IndexScan)
+
+The only optimization is the one the paper cares about ("when an
+efficient method for applying the snapshot restriction is available
+(e.g., an index)"): if the WHERE clause contains a depth-0 conjunct of
+the form ``column <op> literal`` over an indexed column, the scan
+becomes an index range scan and that conjunct is dropped from the
+residual filter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.errors import CatalogError
+from repro.expr.nodes import And, ColumnRef, Comparison, Expr, Literal
+from repro.query.parser import OrderItem, SelectItem, SelectStatement
+from repro.relation.types import NULL
+
+
+class PlanNode:
+    """Base class; executor dispatches on concrete type."""
+
+    def explain(self, depth: int = 0) -> str:
+        raise NotImplementedError
+
+
+class SeqScan(PlanNode):
+    def __init__(self, table: Any) -> None:
+        self.table = table
+
+    def explain(self, depth: int = 0) -> str:
+        return "  " * depth + f"SeqScan({self.table.name})"
+
+
+class IndexScan(PlanNode):
+    def __init__(
+        self,
+        table: Any,
+        index: Any,
+        lo: Any,
+        hi: Any,
+        include_lo: bool,
+        include_hi: bool,
+    ) -> None:
+        self.table = table
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        self.include_lo = include_lo
+        self.include_hi = include_hi
+
+    def explain(self, depth: int = 0) -> str:
+        lo = "" if self.lo is None else f"{self.lo} <{'=' if self.include_lo else ''} "
+        hi = "" if self.hi is None else f" <{'=' if self.include_hi else ''} {self.hi}"
+        return (
+            "  " * depth
+            + f"IndexScan({self.index.name}: {lo}{self.index.column}{hi})"
+        )
+
+
+class Filter(PlanNode):
+    def __init__(self, child: PlanNode, predicate: Expr, schema: Any) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.schema = schema
+
+    def explain(self, depth: int = 0) -> str:
+        own = "  " * depth + f"Filter({self.predicate.sql()})"
+        return own + "\n" + self.child.explain(depth + 1)
+
+
+class Sort(PlanNode):
+    def __init__(self, child: PlanNode, order: List[OrderItem], schema: Any):
+        self.child = child
+        self.order = order
+        self.schema = schema
+
+    def explain(self, depth: int = 0) -> str:
+        keys = ", ".join(
+            f"{o.column}{' DESC' if o.descending else ''}" for o in self.order
+        )
+        return "  " * depth + f"Sort({keys})\n" + self.child.explain(depth + 1)
+
+
+class Limit(PlanNode):
+    def __init__(self, child: PlanNode, count: int) -> None:
+        self.child = child
+        self.count = count
+
+    def explain(self, depth: int = 0) -> str:
+        return "  " * depth + f"Limit({self.count})\n" + self.child.explain(depth + 1)
+
+
+class Project(PlanNode):
+    def __init__(self, child: PlanNode, items: List[SelectItem], schema: Any):
+        self.child = child
+        self.items = items
+        self.schema = schema
+
+    def explain(self, depth: int = 0) -> str:
+        names = ", ".join(i.output_name(n) for n, i in enumerate(self.items))
+        return "  " * depth + f"Project({names})\n" + self.child.explain(depth + 1)
+
+
+class Aggregate(PlanNode):
+    def __init__(
+        self,
+        child: PlanNode,
+        items: List[SelectItem],
+        group_by: List[str],
+        schema: Any,
+    ) -> None:
+        self.child = child
+        self.items = items
+        self.group_by = group_by
+        self.schema = schema
+
+    def explain(self, depth: int = 0) -> str:
+        groups = ", ".join(self.group_by) if self.group_by else "<all>"
+        return (
+            "  " * depth
+            + f"Aggregate(by {groups})\n"
+            + self.child.explain(depth + 1)
+        )
+
+
+class PassThroughStar(PlanNode):
+    """SELECT *: emit the visible columns unchanged."""
+
+    def __init__(self, child: PlanNode, schema: Any) -> None:
+        self.child = child
+        self.schema = schema
+
+    def explain(self, depth: int = 0) -> str:
+        return "  " * depth + "Project(*)\n" + self.child.explain(depth + 1)
+
+
+# -- planner ---------------------------------------------------------------------
+
+
+def resolve_source(db: Any, name: str) -> Any:
+    """A table by name, falling back to a snapshot's storage table."""
+    from repro.core.snapshot import STORAGE_PREFIX
+
+    if db.catalog.has_table(name):
+        return db.table(name)
+    if db.catalog.has_table(STORAGE_PREFIX + name):
+        return db.table(STORAGE_PREFIX + name)
+    raise CatalogError(f"no table or snapshot named {name!r}")
+
+
+def _conjuncts(expr: Expr) -> "list[Expr]":
+    if isinstance(expr, And):
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _sargable(conjunct: Expr):
+    """``(column, op, constant)`` for an indexable comparison, else None."""
+    if not isinstance(conjunct, Comparison):
+        return None
+    if conjunct.op in ("<>", "!="):
+        return None
+    left, right, op = conjunct.left, conjunct.right, conjunct.op
+    flips = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+    if isinstance(left, Literal) and isinstance(right, ColumnRef):
+        left, right, op = right, left, flips[op]
+    if not (isinstance(left, ColumnRef) and isinstance(right, Literal)):
+        return None
+    if right.value is NULL or isinstance(right.value, bool):
+        return None
+    return left.name, op, right.value
+
+
+def _bounds_for(op: str, value: Any):
+    """(lo, hi, include_lo, include_hi) for one comparison."""
+    if op == "=":
+        return value, value, True, True
+    if op == "<":
+        return None, value, True, False
+    if op == "<=":
+        return None, value, True, True
+    if op == ">":
+        return value, None, False, True
+    return value, None, True, True  # >=
+
+
+def _and_all(conjuncts: "list[Expr]") -> Optional[Expr]:
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = And(result, conjunct)
+    return result
+
+
+def restriction_has_index(table: Any, restriction: Any) -> bool:
+    """Whether an index can apply some conjunct of ``restriction``.
+
+    Used by the snapshot manager to feed the cost model's ``has_index``
+    input when resolving method AUTO.
+    """
+    for conjunct in _conjuncts(restriction.expr):
+        sarg = _sargable(conjunct)
+        if sarg is not None and table.index_on(sarg[0]) is not None:
+            return True
+    return False
+
+
+def plan_select(db: Any, statement: SelectStatement) -> PlanNode:
+    """Build an executable plan for ``statement`` against ``db``."""
+    table = resolve_source(db, statement.table)
+    schema = table.schema
+
+    scan: PlanNode = SeqScan(table)
+    residual = statement.where
+    if statement.where is not None:
+        conjuncts = _conjuncts(statement.where)
+        for position, conjunct in enumerate(conjuncts):
+            sarg = _sargable(conjunct)
+            if sarg is None:
+                continue
+            column, op, value = sarg
+            index = table.index_on(column)
+            if index is None:
+                continue
+            lo, hi, include_lo, include_hi = _bounds_for(op, value)
+            scan = IndexScan(table, index, lo, hi, include_lo, include_hi)
+            residual = _and_all(conjuncts[:position] + conjuncts[position + 1 :])
+            break
+
+    plan: PlanNode = scan
+    if residual is not None:
+        plan = Filter(plan, residual, schema)
+
+    if statement.has_aggregates or statement.group_by:
+        plan = Aggregate(plan, statement.items or [], statement.group_by, schema)
+        if statement.order_by:
+            # Order over the aggregate's output columns by name.
+            plan = Sort(plan, statement.order_by, None)
+    else:
+        if statement.order_by:
+            plan = Sort(plan, statement.order_by, schema)
+        if statement.is_star:
+            plan = PassThroughStar(plan, schema)
+        else:
+            plan = Project(plan, statement.items or [], schema)
+
+    if statement.limit is not None:
+        plan = Limit(plan, statement.limit)
+    return plan

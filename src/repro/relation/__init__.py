@@ -1,0 +1,34 @@
+"""Relational building blocks: column types, schemas, and row encoding.
+
+This package is deliberately small and dependency-free; the storage engine
+stores the byte encodings produced here, and the network layer charges
+message sizes based on them, so the evaluation's byte counts are grounded
+in a real serialization format rather than guesses.
+"""
+
+from repro.relation.row import Row, decode_row, encode_row
+from repro.relation.schema import Column, Schema
+from repro.relation.types import (
+    NULL,
+    ColumnType,
+    FloatType,
+    IntType,
+    NullValue,
+    StringType,
+    type_for_name,
+)
+
+__all__ = [
+    "NULL",
+    "Column",
+    "ColumnType",
+    "FloatType",
+    "IntType",
+    "NullValue",
+    "Row",
+    "Schema",
+    "StringType",
+    "decode_row",
+    "encode_row",
+    "type_for_name",
+]

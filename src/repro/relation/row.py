@@ -1,0 +1,117 @@
+"""Row values and their byte encoding.
+
+A :class:`Row` is an immutable sequence of Python values matching a
+:class:`~repro.relation.schema.Schema`.  The byte encoding is a NULL
+bitmap followed by each non-NULL column's type-specific encoding; the same
+bytes are stored in slotted pages and charged against the simulated
+network channel, so storage sizes and message sizes agree by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.relation.schema import Schema
+from repro.relation.types import NULL
+
+
+class Row:
+    """An immutable tuple of column values tied to no particular schema.
+
+    Rows are plain value containers: equality and hashing are structural.
+    Use :meth:`replace` to derive an updated row and ``row["name"]`` /
+    ``row[idx]`` via :meth:`get` with a schema for named access.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Sequence[Any]) -> None:
+        self._values: "tuple[Any, ...]" = tuple(values)
+
+    @property
+    def values(self) -> "tuple[Any, ...]":
+        return self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __getitem__(self, index: int) -> Any:
+        return self._values[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self._values == other._values
+        if isinstance(other, tuple):
+            return self._values == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:
+        return f"Row{self._values!r}"
+
+    def get(self, schema: Schema, name: str) -> Any:
+        """Return the value of column ``name`` under ``schema``."""
+        return self._values[schema.position(name)]
+
+    def replace(self, schema: Schema, **updates: Any) -> "Row":
+        """Return a copy with the named columns replaced."""
+        values = list(self._values)
+        for name, value in updates.items():
+            values[schema.position(name)] = value
+        return Row(values)
+
+    def project(self, schema: Schema, names: Sequence[str]) -> "Row":
+        """Return a row holding only the named columns, in order."""
+        return Row(self._values[schema.position(name)] for name in names)
+
+
+def _bitmap_size(column_count: int) -> int:
+    return (column_count + 7) // 8
+
+
+def encode_row(schema: Schema, row: Row) -> bytes:
+    """Serialize ``row`` under ``schema`` (validating it first).
+
+    Layout: ``ceil(ncols/8)`` bytes of NULL bitmap (bit i set means column
+    i is NULL) followed by the concatenated encodings of non-NULL values
+    in schema order.
+    """
+    schema.validate(row.values)
+    bitmap = bytearray(_bitmap_size(len(schema)))
+    parts = [bytes(bitmap)]  # placeholder, replaced below
+    body = bytearray()
+    for position, (column, value) in enumerate(zip(schema, row)):
+        if value is NULL and not column.ctype.inline_null:
+            bitmap[position // 8] |= 1 << (position % 8)
+        else:
+            body += column.ctype.encode(value)
+    parts[0] = bytes(bitmap)
+    parts.append(bytes(body))
+    return b"".join(parts)
+
+
+def decode_row(schema: Schema, data: bytes) -> Row:
+    """Inverse of :func:`encode_row`."""
+    bitmap_size = _bitmap_size(len(schema))
+    if len(data) < bitmap_size:
+        raise SchemaError("row image shorter than its NULL bitmap")
+    values = []
+    offset = bitmap_size
+    for position, column in enumerate(schema):
+        if data[position // 8] & (1 << (position % 8)):
+            values.append(NULL)
+        else:
+            value, offset = column.ctype.decode(data, offset)
+            values.append(value)
+    return Row(values)
+
+
+def encoded_size(schema: Schema, row: Row) -> int:
+    """Size in bytes of the encoding of ``row`` (used for traffic accounting)."""
+    return len(encode_row(schema, row))

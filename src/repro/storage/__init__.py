@@ -1,0 +1,38 @@
+"""A small but real storage engine.
+
+The differential refresh algorithm needs exactly three things from its
+storage substrate, all called out in the paper:
+
+1. every live entry has an *address* (here a :class:`~repro.storage.rid.Rid`,
+   a page number plus slot index — the classic System R "TID");
+2. addresses are *totally ordered* and the table can be scanned in address
+   order;
+3. deleted addresses may be *reused* by later inserts (which is what makes
+   the empty-region bookkeeping interesting).
+
+This package provides those via byte-level slotted pages
+(:mod:`~repro.storage.page`), an in-memory or file-backed page store
+(:mod:`~repro.storage.pager`), an LRU buffer pool
+(:mod:`~repro.storage.buffer`), heap files with lowest-address slot reuse
+(:mod:`~repro.storage.heap`), and a B+tree (:mod:`~repro.storage.btree`)
+used for the snapshot's BaseAddr index.
+"""
+
+from repro.storage.btree import BPlusTree
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile
+from repro.storage.page import PAGE_SIZE, SlottedPage
+from repro.storage.pager import FilePager, InMemoryPager, Pager
+from repro.storage.rid import Rid
+
+__all__ = [
+    "BPlusTree",
+    "BufferPool",
+    "FilePager",
+    "HeapFile",
+    "InMemoryPager",
+    "PAGE_SIZE",
+    "Pager",
+    "Rid",
+    "SlottedPage",
+]

@@ -1,0 +1,376 @@
+"""An in-memory B+tree with range scans and range deletes.
+
+The snapshot receiver (Figure 4 of the paper) must, for each refresh
+message ``(Addr, PrevAddr, Value)``, delete every snapshot entry whose
+``BaseAddr`` lies in the open interval ``(PrevAddr, Addr)`` and then
+upsert at ``Addr``.  That demands an *ordered* index on ``BaseAddr``; the
+paper itself notes "a snapshot index on BaseAddr will accelerate snapshot
+refresh processing".  This module provides that index.
+
+Keys may be any mutually comparable values (the snapshot uses
+``Rid.key()`` tuples); values are arbitrary payloads.  Duplicate keys are
+not allowed — inserting an existing key replaces its value, as an index
+over unique addresses requires.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterator, Optional
+
+from repro.errors import StorageError
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: "list[Any]" = []
+        self.values: "list[Any]" = []
+        self.next: "Optional[_Leaf]" = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        # children[i] holds keys < keys[i]; children[-1] holds the rest.
+        self.keys: "list[Any]" = []
+        self.children: "list[Any]" = []
+
+
+class BPlusTree:
+    """Ordered map: insert/get/delete, ordered iteration, range scan/delete."""
+
+    def __init__(self, order: int = 32) -> None:
+        if order < 4:
+            raise StorageError("B+tree order must be at least 4")
+        self._order = order  # max children of an internal / max leaf entries
+        self._min = order // 2
+        self._root: "Any" = _Leaf()
+        self._count = 0
+        self._last_insert_was_new = False
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: Any) -> bool:
+        return self.get(key, default=_MISSING) is not _MISSING
+
+    # -- lookup ------------------------------------------------------------
+
+    def _find_leaf(self, key: Any) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[bisect_right(node.keys, key)]
+        return node
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return the value for ``key`` or ``default``."""
+        leaf = self._find_leaf(key)
+        index = bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.values[index]
+        return default
+
+    def floor_item(self, key: Any) -> "Optional[tuple[Any, Any]]":
+        """The largest ``(k, v)`` with ``k < key``, or ``None``.
+
+        The eager-annotation table uses this to find an address's
+        predecessor in O(log n).
+        """
+        node = self._root
+        best_subtree = None
+        while isinstance(node, _Internal):
+            child_index = bisect_left(node.keys, key)
+            if child_index > 0:
+                best_subtree = node.children[child_index - 1]
+            node = node.children[child_index]
+        index = bisect_left(node.keys, key)
+        if index > 0:
+            return node.keys[index - 1], node.values[index - 1]
+        if best_subtree is None:
+            return None
+        leaf = best_subtree
+        while isinstance(leaf, _Internal):
+            leaf = leaf.children[-1]
+        if not leaf.keys:
+            return None
+        return leaf.keys[-1], leaf.values[-1]
+
+    def min_key(self) -> Any:
+        """Smallest key, or ``None`` when empty."""
+        if not self._count:
+            return None
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node.keys[0]
+
+    def max_key(self) -> Any:
+        """Largest key, or ``None`` when empty."""
+        if not self._count:
+            return None
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[-1]
+        return node.keys[-1]
+
+    # -- insert --------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> bool:
+        """Insert or replace; return True when the key was new."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        return self._last_insert_was_new
+
+    def _insert(self, node: Any, key: Any, value: Any):
+        if isinstance(node, _Leaf):
+            index = bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+                self._last_insert_was_new = False
+                return None
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            self._count += 1
+            self._last_insert_was_new = True
+            if len(node.keys) <= self._order:
+                return None
+            return self._split_leaf(node)
+        child_index = bisect_right(node.keys, key)
+        split = self._insert(node.children[child_index], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(child_index, sep)
+        node.children.insert(child_index + 1, right)
+        if len(node.children) <= self._order:
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, node: _Leaf):
+        mid = len(node.keys) // 2
+        right = _Leaf()
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next = node.next
+        node.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # -- delete --------------------------------------------------------------
+
+    def delete(self, key: Any) -> bool:
+        """Remove ``key``; return True when it was present."""
+        removed = self._delete(self._root, key)
+        if isinstance(self._root, _Internal) and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+        return removed
+
+    def _delete(self, node: Any, key: Any) -> bool:
+        if isinstance(node, _Leaf):
+            index = bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.keys.pop(index)
+                node.values.pop(index)
+                self._count -= 1
+                return True
+            return False
+        child_index = bisect_right(node.keys, key)
+        child = node.children[child_index]
+        removed = self._delete(child, key)
+        if removed:
+            self._rebalance(node, child_index)
+        return removed
+
+    def _node_size(self, node: Any) -> int:
+        return len(node.keys) if isinstance(node, _Leaf) else len(node.children)
+
+    def _rebalance(self, parent: _Internal, child_index: int) -> None:
+        child = parent.children[child_index]
+        if self._node_size(child) >= self._min:
+            return
+        left = parent.children[child_index - 1] if child_index > 0 else None
+        right = (
+            parent.children[child_index + 1]
+            if child_index + 1 < len(parent.children)
+            else None
+        )
+        if left is not None and self._node_size(left) > self._min:
+            self._borrow_from_left(parent, child_index, left, child)
+        elif right is not None and self._node_size(right) > self._min:
+            self._borrow_from_right(parent, child_index, child, right)
+        elif left is not None:
+            self._merge(parent, child_index - 1, left, child)
+        elif right is not None:
+            self._merge(parent, child_index, child, right)
+
+    def _borrow_from_left(
+        self, parent: _Internal, child_index: int, left: Any, child: Any
+    ) -> None:
+        if isinstance(child, _Leaf):
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[child_index - 1] = child.keys[0]
+        else:
+            child.keys.insert(0, parent.keys[child_index - 1])
+            parent.keys[child_index - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(
+        self, parent: _Internal, child_index: int, child: Any, right: Any
+    ) -> None:
+        if isinstance(child, _Leaf):
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[child_index] = right.keys[0]
+        else:
+            child.keys.append(parent.keys[child_index])
+            parent.keys[child_index] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge(
+        self, parent: _Internal, left_index: int, left: Any, right: Any
+    ) -> None:
+        if isinstance(left, _Leaf):
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next = right.next
+        else:
+            left.keys.append(parent.keys[left_index])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(left_index)
+        parent.children.pop(left_index + 1)
+
+    # -- scans ---------------------------------------------------------------
+
+    def items(self) -> "Iterator[tuple[Any, Any]]":
+        """Yield all ``(key, value)`` pairs in key order."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        while node is not None:
+            yield from zip(list(node.keys), list(node.values))
+            node = node.next
+
+    def range(
+        self,
+        lo: Any = None,
+        hi: Any = None,
+        include_lo: bool = True,
+        include_hi: bool = False,
+    ) -> "Iterator[tuple[Any, Any]]":
+        """Yield pairs with ``lo <(=) key <(=) hi`` in key order.
+
+        ``None`` bounds are open-ended.  Defaults give the half-open
+        interval ``[lo, hi)``.
+        """
+        if lo is None:
+            node: "Optional[_Leaf]" = self._root
+            while isinstance(node, _Internal):
+                node = node.children[0]
+            index = 0
+        else:
+            node = self._find_leaf(lo)
+            index = (
+                bisect_left(node.keys, lo) if include_lo else bisect_right(node.keys, lo)
+            )
+        while node is not None:
+            keys = list(node.keys)
+            values = list(node.values)
+            for position in range(index, len(keys)):
+                key = keys[position]
+                if hi is not None:
+                    if include_hi:
+                        if key > hi:
+                            return
+                    elif key >= hi:
+                        return
+                yield key, values[position]
+            node = node.next
+            index = 0
+
+    def delete_range(
+        self,
+        lo: Any = None,
+        hi: Any = None,
+        include_lo: bool = True,
+        include_hi: bool = False,
+    ) -> "list[tuple[Any, Any]]":
+        """Delete every key in the interval; return the removed pairs.
+
+        This is the operation behind the receiver's "delete all snapshot
+        entries with BaseAddr in the transmitted empty region".
+        """
+        doomed = list(self.range(lo, hi, include_lo, include_hi))
+        for key, _ in doomed:
+            self.delete(key)
+        return doomed
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants (tests call this after mutations)."""
+        count = self._walk_check(self._root, is_root=True)
+        if count != self._count:
+            raise AssertionError(
+                f"count mismatch: walked {count}, tracked {self._count}"
+            )
+        keys = [key for key, _ in self.items()]
+        if keys != sorted(keys):
+            raise AssertionError("leaf chain out of order")
+        if len(set(keys)) != len(keys):
+            raise AssertionError("duplicate keys in leaf chain")
+
+    def _walk_check(self, node: Any, is_root: bool) -> int:
+        if isinstance(node, _Leaf):
+            if not is_root and len(node.keys) < self._min:
+                raise AssertionError("leaf underflow")
+            if len(node.keys) > self._order:
+                raise AssertionError("leaf overflow")
+            return len(node.keys)
+        if not is_root and len(node.children) < self._min:
+            raise AssertionError("internal underflow")
+        if len(node.children) > self._order:
+            raise AssertionError("internal overflow")
+        if len(node.children) != len(node.keys) + 1:
+            raise AssertionError("internal arity mismatch")
+        total = 0
+        for index, child in enumerate(node.children):
+            total += self._walk_check(child, is_root=False)
+            if index < len(node.keys):
+                child_max = self._subtree_max(child)
+                if child_max is not None and child_max >= node.keys[index]:
+                    raise AssertionError("separator key violated")
+        return total
+
+    def _subtree_max(self, node: Any) -> Any:
+        while isinstance(node, _Internal):
+            node = node.children[-1]
+        return node.keys[-1] if node.keys else None
+
+
+class _Missing:
+    def __repr__(self) -> str:
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+__all__ = ["BPlusTree"]

@@ -1,0 +1,139 @@
+"""An LRU buffer pool with pin counts and dirty tracking.
+
+The refresh algorithms do full sequential scans of the base table; the
+buffer pool makes those scans cheap to reason about (page images are
+materialized once per visit) and exposes hit/miss/eviction statistics so
+the engineering benchmarks can report scan cost honestly.
+
+Usage is the classic discipline::
+
+    frame = pool.pin(page_no)
+    ...mutate frame (a bytearray view of the page image)...
+    pool.unpin(page_no, dirty=True)
+
+Pinned pages are never evicted; unpinned dirty pages are written back on
+eviction or on :meth:`BufferPool.flush_all`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import BufferPoolError
+from repro.storage.pager import Pager
+
+
+class _Frame:
+    __slots__ = ("data", "pin_count", "dirty")
+
+    def __init__(self, data: bytearray) -> None:
+        self.data = data
+        self.pin_count = 0
+        self.dirty = False
+
+
+class BufferStats:
+    """Counters exposed for benchmarks: hits, misses, evictions, writebacks."""
+
+    __slots__ = ("hits", "misses", "evictions", "writebacks")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, writebacks={self.writebacks})"
+        )
+
+
+class BufferPool:
+    """Fixed-capacity page cache over a :class:`~repro.storage.pager.Pager`."""
+
+    def __init__(self, pager: Pager, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise BufferPoolError("buffer pool needs at least one frame")
+        self._pager = pager
+        self._capacity = capacity
+        # OrderedDict as LRU: most recently used at the end.
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self.stats = BufferStats()
+
+    @property
+    def pager(self) -> Pager:
+        return self._pager
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def allocate_page(self) -> int:
+        """Allocate a fresh page in the underlying pager."""
+        return self._pager.allocate()
+
+    def pin(self, page_no: int) -> bytearray:
+        """Return the page's frame, loading and possibly evicting."""
+        frame = self._frames.get(page_no)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_no)
+        else:
+            self.stats.misses += 1
+            self._make_room()
+            frame = _Frame(self._pager.read_page(page_no))
+            self._frames[page_no] = frame
+        frame.pin_count += 1
+        return frame.data
+
+    def unpin(self, page_no: int, dirty: bool = False) -> None:
+        """Drop one pin; mark the frame dirty if the caller mutated it."""
+        frame = self._frames.get(page_no)
+        if frame is None or frame.pin_count == 0:
+            raise BufferPoolError(f"page {page_no} is not pinned")
+        frame.pin_count -= 1
+        frame.dirty = frame.dirty or dirty
+
+    def _make_room(self) -> None:
+        if len(self._frames) < self._capacity:
+            return
+        for page_no, frame in self._frames.items():  # LRU order
+            if frame.pin_count == 0:
+                self._evict(page_no, frame)
+                return
+        raise BufferPoolError("all buffer frames are pinned")
+
+    def _evict(self, page_no: int, frame: _Frame) -> None:
+        if frame.dirty:
+            self._pager.write_page(page_no, bytes(frame.data))
+            self.stats.writebacks += 1
+        del self._frames[page_no]
+        self.stats.evictions += 1
+
+    def flush_all(self) -> None:
+        """Write back every dirty frame (frames stay cached)."""
+        for page_no, frame in self._frames.items():
+            if frame.dirty:
+                self._pager.write_page(page_no, bytes(frame.data))
+                frame.dirty = False
+                self.stats.writebacks += 1
+
+    def pinned_pages(self) -> "list[int]":
+        """Page numbers currently pinned (diagnostic)."""
+        return [no for no, frame in self._frames.items() if frame.pin_count > 0]
+
+    def __len__(self) -> int:
+        return len(self._frames)

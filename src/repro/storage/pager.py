@@ -1,0 +1,138 @@
+"""Page stores: allocate, read, and write fixed-size page images.
+
+Two implementations share the :class:`Pager` interface:
+
+- :class:`InMemoryPager` keeps page images in a dict (the default for
+  simulations and tests — fast and deterministic);
+- :class:`FilePager` memory-maps nothing fancy, just seeks and reads a
+  regular file, demonstrating that the engine's page discipline is real.
+
+The buffer pool sits on top of either and is the only component that
+should talk to a pager in normal operation.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import StorageError
+from repro.storage.page import PAGE_SIZE
+
+
+class Pager:
+    """Abstract fixed-size page store."""
+
+    def __init__(self, page_size: int = PAGE_SIZE) -> None:
+        self.page_size = page_size
+
+    @property
+    def page_count(self) -> int:
+        raise NotImplementedError
+
+    def allocate(self) -> int:
+        """Allocate a new zeroed page; return its page number."""
+        raise NotImplementedError
+
+    def read_page(self, page_no: int) -> bytearray:
+        """Return a *copy* of the page image."""
+        raise NotImplementedError
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        """Persist a full page image."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources (no-op by default)."""
+
+    def _check_page_no(self, page_no: int) -> None:
+        if not (0 <= page_no < self.page_count):
+            raise StorageError(
+                f"page {page_no} out of range (have {self.page_count})"
+            )
+
+    def _check_size(self, data: bytes) -> None:
+        if len(data) != self.page_size:
+            raise StorageError(
+                f"page image must be {self.page_size} bytes, got {len(data)}"
+            )
+
+
+class InMemoryPager(Pager):
+    """Page store backed by a Python dict; the default substrate."""
+
+    def __init__(self, page_size: int = PAGE_SIZE) -> None:
+        super().__init__(page_size)
+        self._pages: "dict[int, bytes]" = {}
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def allocate(self) -> int:
+        page_no = len(self._pages)
+        self._pages[page_no] = bytes(self.page_size)
+        return page_no
+
+    def read_page(self, page_no: int) -> bytearray:
+        self._check_page_no(page_no)
+        return bytearray(self._pages[page_no])
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        self._check_page_no(page_no)
+        self._check_size(data)
+        self._pages[page_no] = bytes(data)
+
+
+class FilePager(Pager):
+    """Page store backed by a single flat file of page-size blocks."""
+
+    def __init__(self, path: str, page_size: int = PAGE_SIZE) -> None:
+        super().__init__(page_size)
+        self._path = path
+        mode = "r+b" if os.path.exists(path) else "w+b"
+        self._file = open(path, mode)
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % page_size:
+            raise StorageError(
+                f"{path} is not a whole number of {page_size}-byte pages"
+            )
+        self._count = size // page_size
+
+    @property
+    def page_count(self) -> int:
+        return self._count
+
+    def allocate(self) -> int:
+        page_no = self._count
+        self._file.seek(page_no * self.page_size)
+        self._file.write(bytes(self.page_size))
+        self._count += 1
+        return page_no
+
+    def read_page(self, page_no: int) -> bytearray:
+        self._check_page_no(page_no)
+        self._file.seek(page_no * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) != self.page_size:
+            raise StorageError(f"short read on page {page_no}")
+        return bytearray(data)
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        self._check_page_no(page_no)
+        self._check_size(data)
+        self._file.seek(page_no * self.page_size)
+        self._file.write(data)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "FilePager":
+        return self
+
+    def __exit__(self, *exc: object) -> Optional[bool]:
+        self.close()
+        return None

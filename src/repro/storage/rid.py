@@ -1,0 +1,76 @@
+"""Record identifiers: the totally ordered address space of a table.
+
+A :class:`Rid` is ``(page_no, slot_no)``.  The ordering is lexicographic,
+which matches physical scan order of a heap file.  The paper's algorithms
+use a conceptual address ``0`` that precedes every real entry (the first
+entry's ``PrevAddr`` is 0); :data:`Rid.BEGIN` plays that role here and
+compares less than every allocatable address.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+_RID_PACKER = struct.Struct("<iI")
+
+
+class Rid:
+    """An immutable, totally ordered record address."""
+
+    __slots__ = ("page_no", "slot_no")
+
+    #: Serialized size in bytes (used by message/byte accounting).
+    WIRE_SIZE = _RID_PACKER.size
+
+    def __init__(self, page_no: int, slot_no: int) -> None:
+        self.page_no = page_no
+        self.slot_no = slot_no
+
+    def __repr__(self) -> str:
+        if self == Rid.BEGIN:
+            return "Rid.BEGIN"
+        return f"Rid({self.page_no}, {self.slot_no})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rid):
+            return NotImplemented
+        return self.page_no == other.page_no and self.slot_no == other.slot_no
+
+    def __lt__(self, other: "Rid") -> bool:
+        return (self.page_no, self.slot_no) < (other.page_no, other.slot_no)
+
+    def __le__(self, other: "Rid") -> bool:
+        return (self.page_no, self.slot_no) <= (other.page_no, other.slot_no)
+
+    def __gt__(self, other: "Rid") -> bool:
+        return (self.page_no, self.slot_no) > (other.page_no, other.slot_no)
+
+    def __ge__(self, other: "Rid") -> bool:
+        return (self.page_no, self.slot_no) >= (other.page_no, other.slot_no)
+
+    def __hash__(self) -> int:
+        return hash((self.page_no, self.slot_no))
+
+    def key(self) -> "tuple[int, int]":
+        """A plain tuple usable as a sort/index key."""
+        return (self.page_no, self.slot_no)
+
+    def encode(self) -> bytes:
+        return _RID_PACKER.pack(self.page_no, self.slot_no)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int = 0) -> "tuple[Rid, int]":
+        page_no, slot_no = _RID_PACKER.unpack_from(data, offset)
+        return cls(page_no, slot_no), offset + _RID_PACKER.size
+
+    #: Conceptual address preceding every real record (the paper's address 0).
+    BEGIN: "Rid"
+
+
+Rid.BEGIN = Rid(-1, 0)
+
+
+def rid_or_begin(rid: Optional[Rid]) -> Rid:
+    """Map ``None`` to :data:`Rid.BEGIN`; convenience for refresh bookkeeping."""
+    return Rid.BEGIN if rid is None else rid

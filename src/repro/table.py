@@ -1,0 +1,643 @@
+"""The user-facing base table: rows, transactions, and annotations.
+
+A :class:`Table` wraps a heap file with schema-aware, transactional
+operations.  It also owns the paper's *annotation* machinery — the hidden
+``$PREVADDR$`` and ``$TIMESTAMP$`` fields — in one of three modes:
+
+``none``
+    Plain table; no snapshot support beyond full refresh.
+
+``lazy`` (the paper's final design)
+    Inserts leave both fields NULL, updates NULL the timestamp, deletes
+    just delete.  A fix-up pass at refresh time repairs the fields; base
+    operations pay (almost) nothing for snapshot support.
+
+``eager`` (the paper's intermediate design)
+    Inserts and deletes maintain the successor's ``PrevAddr``/
+    ``TimeStamp`` immediately; updates stamp the current time.  Costlier
+    per operation — this is the variant whose "serious impact on
+    operations" motivated batch maintenance — but refresh needs no
+    fix-up.
+
+The annotation fields use inline-NULL fixed-width encodings, so flipping
+them never changes a record's size and the fix-up pass can always update
+in place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.errors import (
+    CatalogError,
+    PageFullError,
+    RecordNotFoundError,
+    SchemaError,
+)
+from repro.relation.row import Row, decode_row, encode_row
+from repro.relation.schema import Column, Schema
+from repro.relation.types import NULL, RidType, TimestampType
+from repro.storage.btree import BPlusTree
+from repro.storage.heap import HeapFile
+from repro.storage.rid import Rid
+from repro.txn.locks import LockMode
+from repro.txn.transactions import Transaction, UndoInterface
+from repro.txn.wal import LogRecordType
+
+#: "Funny" names for the annotation fields, per the R* implementation.
+PREVADDR = "$PREVADDR$"
+TIMESTAMP = "$TIMESTAMP$"
+
+ANNOTATION_MODES = ("none", "lazy", "eager")
+
+
+def annotation_columns() -> "tuple[Column, Column]":
+    """The two hidden columns differential refresh adds to a base table."""
+    return (
+        Column(PREVADDR, RidType(), nullable=True, hidden=True),
+        Column(TIMESTAMP, TimestampType(), nullable=True, hidden=True),
+    )
+
+
+class TableStats:
+    """Operation counters used by the refresh cost model."""
+
+    __slots__ = ("inserts", "updates", "deletes")
+
+    def __init__(self) -> None:
+        self.inserts = 0
+        self.updates = 0
+        self.deletes = 0
+
+    @property
+    def modifications(self) -> int:
+        return self.inserts + self.updates + self.deletes
+
+    def __repr__(self) -> str:
+        return (
+            f"TableStats(inserts={self.inserts}, updates={self.updates}, "
+            f"deletes={self.deletes})"
+        )
+
+
+class Table(UndoInterface):
+    """A named, schema'd, transactional table over a heap file."""
+
+    def __init__(self, db: Any, name: str, schema: Schema, heap: HeapFile) -> None:
+        if PREVADDR in schema or TIMESTAMP in schema:
+            raise SchemaError(
+                "user schemas may not use the reserved annotation names"
+            )
+        self.db = db
+        self.name = name
+        self.schema = schema  # full schema, including hidden columns if any
+        self.heap = heap
+        self.annotation_mode = "none"
+        self.stats = TableStats()
+        # Live-address index; maintained only in eager mode, where insert
+        # and delete must find the successor entry.
+        self._live: Optional[BPlusTree] = None
+        self._prev_pos: Optional[int] = None
+        self._ts_pos: Optional[int] = None
+        # Secondary indexes (repro.query.indexes); notified on mutation.
+        self._indexes: "list[Any]" = []
+
+    # -- schema views ---------------------------------------------------------
+
+    @property
+    def visible_schema(self) -> Schema:
+        return self.schema.visible()
+
+    @property
+    def has_annotations(self) -> bool:
+        return self.annotation_mode != "none"
+
+    @property
+    def row_count(self) -> int:
+        return self.heap.record_count
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name}, rows={self.row_count}, "
+            f"annotations={self.annotation_mode})"
+        )
+
+    # -- secondary-index plumbing -------------------------------------------------
+
+    def attach_index(self, index: Any) -> None:
+        """Register a secondary index for mutation notifications."""
+        self._indexes.append(index)
+
+    def detach_index(self, index: Any) -> None:
+        self._indexes.remove(index)
+
+    @property
+    def indexes(self) -> "tuple[Any, ...]":
+        return tuple(self._indexes)
+
+    def index_on(self, column: str) -> Optional[Any]:
+        """The attached index over ``column``, if any (planner hook)."""
+        for index in self._indexes:
+            if index.column == column:
+                return index
+        return None
+
+    def _notify_insert(self, rid: Rid, values: "tuple") -> None:
+        for index in self._indexes:
+            index.on_insert(rid, values)
+
+    def _notify_delete(self, rid: Rid, values: "tuple") -> None:
+        for index in self._indexes:
+            index.on_delete(rid, values)
+
+    def _notify_update(
+        self, old_rid: Rid, old_values: "tuple", new_rid: Rid, new_values: "tuple"
+    ) -> None:
+        for index in self._indexes:
+            index.on_update(old_rid, old_values, new_rid, new_values)
+
+    # -- annotations -----------------------------------------------------------
+
+    def enable_annotations(self, mode: str = "lazy") -> None:
+        """Add the hidden fields and start maintaining them in ``mode``.
+
+        Existing rows are rewritten with NULL annotations (R* adds the
+        fields "without accessing all the entries"; we must rewrite
+        because our row encoding is positional, but semantically the
+        result is identical: old rows read as NULL/NULL).  Rows that no
+        longer fit their page relocate — harmless, since no differential
+        snapshot can exist before its base table is annotated.
+
+        In eager mode every existing row is stamped with the current
+        time and chained via ``PrevAddr``, as if just bulk-loaded.
+        """
+        if mode not in ("lazy", "eager"):
+            raise CatalogError(f"unknown annotation mode: {mode!r}")
+        if self.annotation_mode != "none":
+            if self.annotation_mode == mode:
+                return
+            raise CatalogError(
+                f"table {self.name!r} already annotated "
+                f"({self.annotation_mode!r}); cannot switch to {mode!r}"
+            )
+        old_schema = self.schema
+        new_schema = old_schema.with_columns(annotation_columns())
+        self._rewrite_for_annotations(old_schema, new_schema, mode)
+        self.schema = new_schema
+        self._prev_pos = new_schema.position(PREVADDR)
+        self._ts_pos = new_schema.position(TIMESTAMP)
+        self.annotation_mode = mode
+        if mode == "eager":
+            self._live = BPlusTree(order=64)
+            self._chain_all()
+        # The rewrite may have relocated rows; secondary indexes rebuild.
+        for index in self._indexes:
+            index.rebuild()
+
+    def _rewrite_for_annotations(
+        self, old_schema: Schema, new_schema: Schema, mode: str
+    ) -> None:
+        relocations = []
+        for rid, body in list(self.heap.scan()):
+            row = decode_row(old_schema, body)
+            extended = Row(row.values + (NULL, NULL))
+            new_body = encode_row(new_schema, extended)
+            try:
+                self.heap.update(rid, new_body)
+            except PageFullError:
+                relocations.append((rid, new_body))
+        for rid, new_body in relocations:
+            self.heap.delete(rid)
+            self.heap.insert(new_body)
+
+    def _chain_all(self) -> None:
+        """Stamp and chain every row (eager-mode bootstrap)."""
+        assert self._live is not None
+        now = self.db.clock.tick()
+        prev = Rid.BEGIN
+        for rid, body in self.heap.scan():
+            row = decode_row(self.schema, body)
+            stamped = row.replace(self.schema, **{PREVADDR: prev, TIMESTAMP: now})
+            self.heap.update(rid, encode_row(self.schema, stamped))
+            self._live.insert(rid.key(), rid)
+            prev = rid
+
+    def annotations(self, rid: Rid) -> "tuple[Any, Any]":
+        """Return ``(PrevAddr, TimeStamp)`` for the row at ``rid``."""
+        self._require_annotations()
+        row = decode_row(self.schema, self.heap.read(rid))
+        return row[self._prev_pos], row[self._ts_pos]
+
+    def set_annotations(self, rid: Rid, **fields: Any) -> None:
+        """Directly overwrite annotation fields (fix-up primitive).
+
+        Accepts ``prev`` and/or ``ts``; writes in place without logging —
+        annotation repair is maintenance, not a user update, and must not
+        itself look like a base-table modification.
+        """
+        self._require_annotations()
+        unknown = set(fields) - {"prev", "ts"}
+        if unknown:
+            raise SchemaError(f"unknown annotation fields: {sorted(unknown)}")
+        row = decode_row(self.schema, self.heap.read(rid))
+        updates: "dict[str, Any]" = {}
+        if "prev" in fields:
+            updates[PREVADDR] = fields["prev"]
+        if "ts" in fields:
+            updates[TIMESTAMP] = fields["ts"]
+        new_row = row.replace(self.schema, **updates)
+        self.heap.update(rid, encode_row(self.schema, new_row))
+
+    def _require_annotations(self) -> None:
+        if not self.has_annotations:
+            raise CatalogError(f"table {self.name!r} has no annotations")
+
+    # -- encode/decode helpers -------------------------------------------------
+
+    def _full_row(self, visible_values: Sequence[Any], prev: Any, ts: Any) -> Row:
+        visible = self.visible_schema
+        if len(visible_values) != len(visible):
+            raise SchemaError(
+                f"expected {len(visible)} values, got {len(visible_values)}"
+            )
+        if self.has_annotations:
+            return Row(tuple(visible_values) + (prev, ts))
+        return Row(tuple(visible_values))
+
+    def _decode(self, body: bytes) -> Row:
+        return decode_row(self.schema, body)
+
+    def _visible(self, row: Row) -> Row:
+        if self.has_annotations:
+            return Row(row.values[: len(self.visible_schema)])
+        return row
+
+    # -- transactional operations ----------------------------------------------
+
+    def _resolve_txn(self, txn: Optional[Transaction]):
+        """Return ``(txn, autocommit_guard_or_None)``."""
+        if txn is not None:
+            txn._require_active()
+            return txn, None
+        guard = self.db.txns.autocommit()
+        return guard.__enter__(), guard
+
+    def _finish(self, guard, error: Optional[BaseException]) -> None:
+        if guard is not None:
+            if error is None:
+                guard.__exit__(None, None, None)
+            else:
+                guard.__exit__(type(error), error, None)
+
+    def _lock_for_write(self, txn: Transaction, rid: Optional[Rid]) -> None:
+        owner = ("txn", txn.txn_id)
+        self.db.locks.acquire(owner, ("table", self.name), LockMode.IX)
+        if rid is not None:
+            self.db.locks.acquire(owner, ("row", self.name, rid), LockMode.X)
+
+    def insert(
+        self, values: Sequence[Any], txn: Optional[Transaction] = None
+    ) -> Rid:
+        """Insert a row (visible values only); return its address.
+
+        Lazy mode leaves annotations NULL/NULL — "Insert operations will
+        set the PrevAddr and TimeStamp fields to NULL and insert the
+        entry into some empty address of the base table."
+        """
+        txn, guard = self._resolve_txn(txn)
+        try:
+            if self.annotation_mode == "eager":
+                rid = self._eager_insert(values, txn)
+            else:
+                row = self._full_row(values, NULL, NULL)
+                body = encode_row(self.schema, row)
+                self._lock_for_write(txn, None)
+                rid = self.heap.insert(body)
+                self._lock_for_write(txn, rid)
+                self.db.txns.record_operation(
+                    txn, LogRecordType.INSERT, self.name, rid, None, body
+                )
+                self._notify_insert(rid, row.values)
+            self.stats.inserts += 1
+        except BaseException as exc:
+            self._finish(guard, exc)
+            raise
+        self._finish(guard, None)
+        return rid
+
+    def update(
+        self,
+        rid: Rid,
+        changes: "dict[str, Any]",
+        txn: Optional[Transaction] = None,
+    ) -> Rid:
+        """Update visible columns of the row at ``rid``; return its address.
+
+        Lazy mode NULLs the timestamp ("Update operations will simply set
+        the TimeStamp field to NULL"); eager mode stamps the current
+        time.  If the grown record no longer fits its page the update
+        degrades to delete+insert (new address) — the annotation scheme
+        handles that pair exactly like a real delete and insert.
+        """
+        for name in changes:
+            column = self.schema.column(name)
+            if column.hidden:
+                raise SchemaError(f"cannot update hidden column {name!r}")
+        txn, guard = self._resolve_txn(txn)
+        try:
+            self._lock_for_write(txn, rid)
+            before = self.heap.read(rid)
+            row = self._decode(before)
+            new_row = row.replace(self.schema, **changes)
+            if self.annotation_mode == "lazy":
+                new_row = new_row.replace(self.schema, **{TIMESTAMP: NULL})
+            elif self.annotation_mode == "eager":
+                new_row = new_row.replace(
+                    self.schema, **{TIMESTAMP: self.db.clock.tick()}
+                )
+            body = encode_row(self.schema, new_row)
+            try:
+                self.heap.update(rid, body)
+                self.db.txns.record_operation(
+                    txn, LogRecordType.UPDATE, self.name, rid, before, body
+                )
+                self._notify_update(rid, row.values, rid, new_row.values)
+                result = rid
+            except PageFullError:
+                result = self._relocating_update(txn, rid, before, new_row)
+            self.stats.updates += 1
+        except BaseException as exc:
+            self._finish(guard, exc)
+            raise
+        self._finish(guard, None)
+        return result
+
+    def _relocating_update(
+        self, txn: Transaction, rid: Rid, before: bytes, new_row: Row
+    ) -> Rid:
+        """Delete+insert fallback when an updated record outgrows its page."""
+        if self.annotation_mode == "eager":
+            self._eager_delete_maintenance(txn, rid)
+        self.heap.delete(rid)
+        if self._live is not None:
+            self._live.delete(rid.key())
+        self.db.txns.record_operation(
+            txn, LogRecordType.DELETE, self.name, rid, before, None
+        )
+        self._notify_delete(rid, self._decode(before).values)
+        if self.annotation_mode == "eager":
+            visible_count = len(self.visible_schema)
+            return self._eager_insert(new_row.values[:visible_count], txn)
+        if self.annotation_mode == "lazy":
+            new_row = new_row.replace(
+                self.schema, **{PREVADDR: NULL, TIMESTAMP: NULL}
+            )
+        body = encode_row(self.schema, new_row)
+        new_rid = self.heap.insert(body)
+        self._lock_for_write(txn, new_rid)
+        self.db.txns.record_operation(
+            txn, LogRecordType.INSERT, self.name, new_rid, None, body
+        )
+        self._notify_insert(new_rid, new_row.values)
+        return new_rid
+
+    def delete(self, rid: Rid, txn: Optional[Transaction] = None) -> None:
+        """Delete the row at ``rid``.
+
+        Lazy mode: "Delete operations on the base table will be
+        unaffected by the snapshots — the base table entry is simply
+        deleted."
+        """
+        txn, guard = self._resolve_txn(txn)
+        try:
+            self._lock_for_write(txn, rid)
+            before = self.heap.read(rid)
+            if self.annotation_mode == "eager":
+                self._eager_delete_maintenance(txn, rid)
+            self.heap.delete(rid)
+            if self._live is not None:
+                self._live.delete(rid.key())
+            self.db.txns.record_operation(
+                txn, LogRecordType.DELETE, self.name, rid, before, None
+            )
+            self._notify_delete(rid, self._decode(before).values)
+            self.stats.deletes += 1
+        except BaseException as exc:
+            self._finish(guard, exc)
+            raise
+        self._finish(guard, None)
+
+    # -- eager-mode maintenance -------------------------------------------------
+
+    def _successor(self, rid: Rid) -> Optional[Rid]:
+        assert self._live is not None
+        for _, value in self._live.range(lo=rid.key(), include_lo=False):
+            return value
+        return None
+
+    def _predecessor(self, rid: Rid) -> Optional[Rid]:
+        assert self._live is not None
+        item = self._live.floor_item(rid.key())
+        return item[1] if item is not None else None
+
+    def _eager_insert(self, values: Sequence[Any], txn: Transaction) -> Rid:
+        """Insert with immediate PrevAddr/TimeStamp maintenance.
+
+        "When an entry is inserted, the PrevAddr of the new entry must be
+        set to the value of the PrevAddr from the next entry in the base
+        table, and the PrevAddr in the next entry must be set to the
+        address of the new entry."
+        """
+        assert self._live is not None
+        now = self.db.clock.tick()
+        # Insert with placeholder annotations, then fix once the address
+        # is known (the heap chooses placement).
+        row = self._full_row(values, NULL, now)
+        body = encode_row(self.schema, row)
+        self._lock_for_write(txn, None)
+        rid = self.heap.insert(body)
+        self._lock_for_write(txn, rid)
+        successor = self._successor(rid)
+        if successor is not None:
+            succ_prev, _ = self.annotations(successor)
+            self.set_annotations(rid, prev=succ_prev)
+            self.set_annotations(successor, prev=rid)
+        else:
+            predecessor = self._predecessor(rid)
+            self.set_annotations(
+                rid, prev=predecessor if predecessor is not None else Rid.BEGIN
+            )
+        self._live.insert(rid.key(), rid)
+        final = self.heap.read(rid)
+        self.db.txns.record_operation(
+            txn, LogRecordType.INSERT, self.name, rid, None, final
+        )
+        self._notify_insert(rid, self._decode(final).values)
+        return rid
+
+    def _eager_delete_maintenance(self, txn: Transaction, rid: Rid) -> None:
+        """Propagate a delete to the successor's annotations.
+
+        "When an entry is deleted, the PrevAddr and TimeStamp fields of
+        the succeeding base table entry must be updated with the PrevAddr
+        from the deleted entry and the current time."
+        """
+        prev, _ = self.annotations(rid)
+        successor = self._successor(rid)
+        if successor is not None:
+            self.set_annotations(successor, prev=prev, ts=self.db.clock.tick())
+
+    # -- system operations --------------------------------------------------------
+
+    # The paper's R* implementation needed "special runtime routines ...
+    # to implement the differential refresh algorithm" because the
+    # algorithm manipulates entry addresses and hidden fields below the
+    # query-language level.  These are those routines: they accept
+    # hidden non-annotation columns (e.g. the snapshot's $BASEADDR$),
+    # maintain lazy annotations exactly like user operations, but skip
+    # the WAL and lock manager — they are internal maintenance, not user
+    # transactions.
+
+    def system_insert(self, values_by_name: "dict[str, Any]") -> Rid:
+        """Insert a row given per-column values (hidden columns allowed)."""
+        if self.annotation_mode == "eager":
+            raise CatalogError("system operations require none/lazy mode")
+        row_values = []
+        for column in self.schema:
+            if column.name in (PREVADDR, TIMESTAMP):
+                row_values.append(NULL)
+            else:
+                row_values.append(values_by_name[column.name])
+        row = Row(row_values)
+        rid = self.heap.insert(encode_row(self.schema, row))
+        if self._live is not None:
+            self._live.insert(rid.key(), rid)
+        self._notify_insert(rid, row.values)
+        self.stats.inserts += 1
+        return rid
+
+    def system_update(self, rid: Rid, changes: "dict[str, Any]") -> Rid:
+        """Update any non-annotation columns in place; returns the address
+        (a new one when the grown record had to relocate)."""
+        for name in changes:
+            if name in (PREVADDR, TIMESTAMP):
+                raise SchemaError("use set_annotations for annotation fields")
+        row = self._decode(self.heap.read(rid))
+        new_row = row.replace(self.schema, **changes)
+        if self.annotation_mode == "lazy":
+            new_row = new_row.replace(self.schema, **{TIMESTAMP: NULL})
+        body = encode_row(self.schema, new_row)
+        self.stats.updates += 1
+        try:
+            self.heap.update(rid, body)
+            self._notify_update(rid, row.values, rid, new_row.values)
+            return rid
+        except PageFullError:
+            self.heap.delete(rid)
+            if self._live is not None:
+                self._live.delete(rid.key())
+            self._notify_delete(rid, row.values)
+            if self.annotation_mode == "lazy":
+                new_row = new_row.replace(
+                    self.schema, **{PREVADDR: NULL, TIMESTAMP: NULL}
+                )
+            new_rid = self.heap.insert(encode_row(self.schema, new_row))
+            if self._live is not None:
+                self._live.insert(new_rid.key(), new_rid)
+            self._notify_insert(new_rid, new_row.values)
+            return new_rid
+
+    def system_delete(self, rid: Rid) -> None:
+        """Delete a row without logging ("delete just deletes")."""
+        values = None
+        if self._indexes:
+            values = self._decode(self.heap.read(rid)).values
+        self.heap.delete(rid)
+        if self._live is not None:
+            self._live.delete(rid.key())
+        if values is not None:
+            self._notify_delete(rid, values)
+        self.stats.deletes += 1
+
+    # -- bulk loading ------------------------------------------------------------
+
+    def bulk_load(self, rows: "Sequence[Sequence[Any]]") -> "list[Rid]":
+        """Insert many rows without logging or locking (initial loads).
+
+        Bypasses the WAL and lock manager the way a utility load would;
+        annotations (if lazy) are NULL/NULL, exactly as if freshly
+        inserted.  Not supported in eager mode, where every insert must
+        maintain its successor.
+        """
+        if self.annotation_mode == "eager":
+            raise CatalogError("bulk_load is not supported on eager tables")
+        rids = []
+        for values in rows:
+            if self.has_annotations:
+                row = self._full_row(values, NULL, NULL)
+            else:
+                row = self._full_row(values, None, None)
+            rid = self.heap.insert(encode_row(self.schema, row))
+            self._notify_insert(rid, row.values)
+            rids.append(rid)
+            self.stats.inserts += 1
+        return rids
+
+    # -- reads -------------------------------------------------------------------
+
+    def read(self, rid: Rid, visible: bool = True) -> Row:
+        """Return the row at ``rid`` (hidden columns stripped by default)."""
+        row = self._decode(self.heap.read(rid))
+        return self._visible(row) if visible else row
+
+    def exists(self, rid: Rid) -> bool:
+        return self.heap.exists(rid)
+
+    def scan(self, visible: bool = True) -> "Iterator[tuple[Rid, Row]]":
+        """Yield ``(rid, row)`` in address order."""
+        for rid, body in self.heap.scan():
+            row = self._decode(body)
+            yield rid, (self._visible(row) if visible else row)
+
+    def scan_full(self) -> "Iterator[tuple[Rid, Row]]":
+        """Address-order scan including hidden columns (refresh uses this)."""
+        return self.scan(visible=False)
+
+    def estimate_selectivity(self, predicate, sample: int = 256) -> float:
+        """Fraction of (up to ``sample``) rows satisfying ``predicate``."""
+        seen = 0
+        hits = 0
+        for _, row in self.scan(visible=True):
+            seen += 1
+            if predicate(row):
+                hits += 1
+            if seen >= sample:
+                break
+        return hits / seen if seen else 0.0
+
+    # -- raw undo interface ---------------------------------------------------
+
+    def raw_insert_at(self, rid: Rid, record: bytes) -> None:
+        self.heap.insert_at(rid, record)
+        if self._live is not None:
+            self._live.insert(rid.key(), rid)
+        if self._indexes:
+            self._notify_insert(rid, self._decode(record).values)
+
+    def raw_update(self, rid: Rid, record: bytes) -> None:
+        old_values = None
+        if self._indexes:
+            old_values = self._decode(self.heap.read(rid)).values
+        self.heap.update(rid, record)
+        if old_values is not None:
+            self._notify_update(rid, old_values, rid, self._decode(record).values)
+
+    def raw_delete(self, rid: Rid) -> None:
+        values = None
+        if self._indexes:
+            values = self._decode(self.heap.read(rid)).values
+        self.heap.delete(rid)
+        if self._live is not None:
+            self._live.delete(rid.key())
+        if values is not None:
+            self._notify_delete(rid, values)

@@ -1,0 +1,34 @@
+"""Transaction substrate: clocks, locks, write-ahead log, transactions.
+
+The paper needs three things from this layer:
+
+- a *local, monotonically increasing* timestamp source ("the local
+  standard time, or a local, recoverable counter could serve as the time
+  base") — :mod:`~repro.txn.clock`;
+- a *table-level lock* held during fix-up and refresh so the scan sees a
+  transaction-consistent base table — :mod:`~repro.txn.locks`;
+- a *recovery log* that the log-scan refresh alternative culls committed
+  changes from — :mod:`~repro.txn.wal` — plus transactions with real
+  rollback so "committed" is a meaningful filter —
+  :mod:`~repro.txn.transactions`.
+"""
+
+from repro.txn.clock import LogicalClock, ManualClock, RecoverableCounter, WallClock
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.transactions import Transaction, TransactionManager, TxnStatus
+from repro.txn.wal import LogRecord, LogRecordType, WriteAheadLog
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "LogRecord",
+    "LogRecordType",
+    "LogicalClock",
+    "ManualClock",
+    "RecoverableCounter",
+    "Transaction",
+    "TransactionManager",
+    "TxnStatus",
+    "WallClock",
+    "WriteAheadLog",
+]

@@ -1,0 +1,23 @@
+"""Workload generators for the evaluation.
+
+:mod:`~repro.workload.employees` pins the paper's worked example
+(Figures 1–6) as constructible states; :mod:`~repro.workload.generator`
+produces the randomized modification streams behind Figures 8–9.
+"""
+
+from repro.workload.employees import (
+    EMPLOYEES,
+    figure1_simple_table,
+    figure5_base_table,
+    figure5_snapshot_contents,
+)
+from repro.workload.generator import MixedWorkload, WorkloadMix
+
+__all__ = [
+    "EMPLOYEES",
+    "MixedWorkload",
+    "WorkloadMix",
+    "figure1_simple_table",
+    "figure5_base_table",
+    "figure5_snapshot_contents",
+]

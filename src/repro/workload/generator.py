@@ -1,0 +1,213 @@
+"""Randomized modification workloads for the Figure-8/9 sweeps.
+
+A :class:`MixedWorkload` builds a base table of ``n`` rows whose
+``value`` column is uniform over ``[0, VALUE_SPACE)``, so the restriction
+``value < selectivity * VALUE_SPACE`` qualifies an expected fraction
+``selectivity`` of rows.  :meth:`~MixedWorkload.apply_activity` then
+applies ``activity * n`` modifications, each hitting a uniformly random
+entry, with a configurable insert/update/delete mix; updates redraw the
+value, so qualification flips with the natural probability, and deletes
+followed by inserts exercise address reuse through the heap's first-fit
+placement — the pattern the annotation scheme exists to detect.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.database import Database
+from repro.errors import ReproError
+from repro.storage.rid import Rid
+from repro.table import Table
+
+#: Resolution of the value column; selectivities down to 1e-6 stay exact.
+VALUE_SPACE = 1_000_000
+
+
+class WorkloadMix:
+    """Proportions of update/insert/delete operations (must sum to 1)."""
+
+    __slots__ = ("update", "insert", "delete")
+
+    def __init__(
+        self, update: float = 0.6, insert: float = 0.2, delete: float = 0.2
+    ) -> None:
+        total = update + insert + delete
+        if abs(total - 1.0) > 1e-9:
+            raise ReproError(f"mix must sum to 1, got {total}")
+        if min(update, insert, delete) < 0:
+            raise ReproError("mix proportions must be non-negative")
+        self.update = update
+        self.insert = insert
+        self.delete = delete
+
+    @classmethod
+    def updates_only(cls) -> "WorkloadMix":
+        return cls(update=1.0, insert=0.0, delete=0.0)
+
+    @classmethod
+    def churn(cls) -> "WorkloadMix":
+        """Insert/delete-heavy mix stressing the empty-region machinery."""
+        return cls(update=0.2, insert=0.4, delete=0.4)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadMix(update={self.update}, insert={self.insert}, "
+            f"delete={self.delete})"
+        )
+
+
+class MixedWorkload:
+    """A base table plus a stream of random modifications."""
+
+    def __init__(
+        self,
+        n: int,
+        selectivity: float,
+        seed: int = 0,
+        mix: Optional[WorkloadMix] = None,
+        db: Optional[Database] = None,
+        table_name: str = "base",
+        payload_width: int = 8,
+        preserve_qualification: bool = False,
+        hotspot: "Optional[tuple[float, float]]" = None,
+    ) -> None:
+        if n < 1:
+            raise ReproError("workload needs at least one row")
+        if not (0.0 <= selectivity <= 1.0):
+            raise ReproError(f"selectivity must be in [0, 1], got {selectivity}")
+        self.n = n
+        self.selectivity = selectivity
+        self.mix = mix if mix is not None else WorkloadMix()
+        self.rng = random.Random(seed)
+        self.db = db if db is not None else Database(f"wl-{table_name}")
+        self.payload_width = payload_width
+        #: When True, updates redraw the value *within* its current side
+        #: of the cutoff, so an update never changes whether the entry
+        #: qualifies — the assumption behind the paper's Figure-8/9
+        #: curves (updates touch entries; restriction membership is a
+        #: property of which entries they are).  When False (default),
+        #: updates flip qualification with the natural probability,
+        #: which exercises the "may have qualified before" machinery.
+        self.preserve_qualification = preserve_qualification
+        #: Optional access skew: ``(ops_fraction, rows_fraction)`` — that
+        #: fraction of operations targets the lowest-index ``rows_fraction``
+        #: of the live set (e.g. ``(0.9, 0.1)`` is the classic 90/10 rule).
+        #: Skew is the regime where differential refresh shines: repeated
+        #: hits on hot entries coalesce into one transmission each.
+        if hotspot is not None:
+            ops_fraction, rows_fraction = hotspot
+            if not (0.0 < ops_fraction <= 1.0 and 0.0 < rows_fraction <= 1.0):
+                raise ReproError(f"bad hotspot spec: {hotspot!r}")
+        self.hotspot = hotspot
+        self._next_id = 0
+        # Annotations are enabled before loading: enabling them later
+        # rewrites rows 17 bytes wider, which can relocate records on
+        # packed pages and invalidate the RIDs this workload tracks.
+        self.table: Table = self.db.create_table(
+            table_name,
+            [("id", "int"), ("payload", "string"), ("value", "int")],
+            annotations="lazy",
+        )
+        self._cutoff = int(round(selectivity * VALUE_SPACE))
+        rows = [self._new_row() for _ in range(n)]
+        self._live: "list[Rid]" = self.table.bulk_load(rows)
+        self._positions: "dict[Rid, int]" = {
+            rid: index for index, rid in enumerate(self._live)
+        }
+
+    @property
+    def restriction_text(self) -> str:
+        """The snapshot predicate achieving the configured selectivity."""
+        return f"value < {self._cutoff}"
+
+    def _new_row(self) -> "list":
+        row_id = self._next_id
+        self._next_id += 1
+        payload = format(self.rng.getrandbits(4 * self.payload_width), "x").rjust(
+            self.payload_width, "0"
+        )
+        return [row_id, payload, self.rng.randrange(VALUE_SPACE)]
+
+    # -- live-set maintenance ------------------------------------------------
+
+    def _track(self, rid: Rid) -> None:
+        self._positions[rid] = len(self._live)
+        self._live.append(rid)
+
+    def _untrack(self, rid: Rid) -> None:
+        index = self._positions.pop(rid)
+        last = self._live.pop()
+        if last != rid:
+            self._live[index] = last
+            self._positions[last] = index
+
+    def _random_live(self) -> Rid:
+        if self.hotspot is not None:
+            ops_fraction, rows_fraction = self.hotspot
+            hot_rows = max(1, int(rows_fraction * len(self._live)))
+            if self.rng.random() < ops_fraction:
+                return self._live[self.rng.randrange(hot_rows)]
+            if hot_rows < len(self._live):
+                return self._live[self.rng.randrange(hot_rows, len(self._live))]
+        return self._live[self.rng.randrange(len(self._live))]
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+    # -- modification stream ------------------------------------------------------
+
+    def apply_activity(self, activity: float) -> "dict[str, int]":
+        """Apply ``round(activity * n)`` random modifications.
+
+        Returns the operation counts actually performed.  Deletes are
+        skipped (counted as updates) when the table is about to empty,
+        keeping degenerate parameterizations well-defined.
+        """
+        return self.apply_operations(int(round(activity * self.n)))
+
+    def apply_operations(self, count: int) -> "dict[str, int]":
+        performed = {"update": 0, "insert": 0, "delete": 0}
+        for _ in range(count):
+            roll = self.rng.random()
+            if roll < self.mix.insert:
+                rid = self.table.insert(self._new_row())
+                self._track(rid)
+                performed["insert"] += 1
+            elif roll < self.mix.insert + self.mix.delete and len(self._live) > 1:
+                rid = self._random_live()
+                self.table.delete(rid)
+                self._untrack(rid)
+                performed["delete"] += 1
+            else:
+                rid = self._random_live()
+                new_rid = self.table.update(rid, {"value": self._redraw(rid)})
+                if new_rid != rid:  # page-overflow relocation
+                    self._untrack(rid)
+                    self._track(new_rid)
+                performed["update"] += 1
+        return performed
+
+    def _redraw(self, rid: Rid) -> int:
+        """A new value for ``rid``, honouring ``preserve_qualification``."""
+        if not self.preserve_qualification:
+            return self.rng.randrange(VALUE_SPACE)
+        value_pos = self.table.visible_schema.position("value")
+        current = self.table.read(rid)[value_pos]
+        if current < self._cutoff:
+            return self.rng.randrange(max(self._cutoff, 1))
+        if self._cutoff >= VALUE_SPACE:
+            return self.rng.randrange(VALUE_SPACE)
+        return self.rng.randrange(self._cutoff, VALUE_SPACE)
+
+    def qualified_map(self) -> "dict[Rid, tuple]":
+        """Ground truth: the qualified rows the snapshot should hold."""
+        cutoff = self._cutoff
+        value_pos = self.table.visible_schema.position("value")
+        result = {}
+        for rid, row in self.table.scan(visible=True):
+            if row[value_pos] < cutoff:
+                result[rid] = row.values
+        return result

@@ -1,0 +1,55 @@
+"""Traffic measurement helpers."""
+
+from repro.analysis.measures import (
+    entry_messages,
+    percent_of_base,
+    superfluous_ratio,
+)
+from repro.net.channel import TrafficStats
+
+
+class _Sized:
+    def __init__(self, size):
+        self._size = size
+
+    def wire_size(self):
+        return self._size
+
+
+class TestPercentOfBase:
+    def test_basic(self):
+        assert percent_of_base(25, 100) == 25.0
+
+    def test_empty_base(self):
+        assert percent_of_base(5, 0) == 0.0
+
+
+class TestSuperfluous:
+    def test_basic(self):
+        assert superfluous_ratio(10, 6) == 0.4
+
+    def test_zero_differential(self):
+        assert superfluous_ratio(0, 0) == 0.0
+
+    def test_never_negative(self):
+        assert superfluous_ratio(5, 9) == 0.0
+
+
+class TestEntryMessages:
+    def test_excludes_control_types(self):
+        stats = TrafficStats()
+
+        class EntryMessage(_Sized):
+            pass
+
+        class SnapTimeMessage(_Sized):
+            pass
+
+        class EndOfScanMessage(_Sized):
+            pass
+
+        stats.record(EntryMessage(10))
+        stats.record(EntryMessage(10))
+        stats.record(SnapTimeMessage(9))
+        stats.record(EndOfScanMessage(17))
+        assert entry_messages(stats) == 2

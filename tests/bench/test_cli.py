@@ -1,0 +1,27 @@
+"""The `python -m repro.bench` command-line harness."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_model_series(self, capsys):
+        assert main(["model", "--q", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "Analytic traffic model" in out
+        assert "diff%" in out
+
+    def test_fig8_small(self, capsys):
+        assert main(["fig8", "--n", "200", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "touched%" in out
+
+    def test_fig9_small(self, capsys):
+        assert main(["fig9", "--n", "400", "--seed", "3"]) == 0
+        assert "Figure 9" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig10"])

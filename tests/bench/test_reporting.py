@@ -1,0 +1,37 @@
+"""ASCII reporting helpers."""
+
+from repro.bench.reporting import (
+    ascii_table,
+    format_percent,
+    print_series,
+    sweep_headers,
+)
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        text = ascii_table(["a", "long"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_header_rule(self):
+        text = ascii_table(["x"], [[1]])
+        assert "-" in text.splitlines()[1]
+
+
+class TestFormatters:
+    def test_format_percent(self):
+        assert format_percent(12.3456) == "12.35%"
+        assert format_percent(12.3456, digits=0) == "12%"
+
+    def test_sweep_headers(self):
+        headers = sweep_headers(("ideal", "full"))
+        assert headers[:3] == ["q%", "u%", "touched%"]
+        assert "model:full%" in headers
+
+    def test_print_series(self, capsys):
+        print_series("Demo", ["a"], [[1]])
+        out = capsys.readouterr().out
+        assert "== Demo ==" in out
+        assert "1" in out

@@ -1,0 +1,83 @@
+"""Catalog: name management for tables and snapshots."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog, SnapshotInfo, TableInfo
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def catalog():
+    c = Catalog()
+    c.add_table(TableInfo("emp", table=object()))
+    return c
+
+
+def _snap(name, base="emp"):
+    return SnapshotInfo(name, base, plan=object(), snapshot_table=object())
+
+
+class TestTables:
+    def test_add_and_lookup(self, catalog):
+        assert catalog.table("emp").name == "emp"
+        assert catalog.has_table("emp")
+
+    def test_duplicate_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.add_table(TableInfo("emp", table=object()))
+
+    def test_missing_lookup(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.table("nope")
+
+    def test_drop(self, catalog):
+        catalog.drop_table("emp")
+        assert not catalog.has_table("emp")
+
+    def test_drop_with_snapshots_rejected(self, catalog):
+        catalog.add_snapshot(_snap("s1"))
+        with pytest.raises(CatalogError):
+            catalog.drop_table("emp")
+
+    def test_tables_listing(self, catalog):
+        assert [t.name for t in catalog.tables()] == ["emp"]
+
+
+class TestSnapshots:
+    def test_add_links_base_table(self, catalog):
+        catalog.add_snapshot(_snap("s1"))
+        assert catalog.table("emp").snapshots == {"s1"}
+        assert catalog.has_snapshot("s1")
+
+    def test_snapshot_over_missing_table(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.add_snapshot(_snap("s1", base="ghost"))
+
+    def test_name_collision_with_table(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.add_snapshot(_snap("emp"))
+
+    def test_table_name_collision_with_snapshot(self, catalog):
+        catalog.add_snapshot(_snap("s1"))
+        with pytest.raises(CatalogError):
+            catalog.add_table(TableInfo("s1", table=object()))
+
+    def test_drop_unlinks(self, catalog):
+        catalog.add_snapshot(_snap("s1"))
+        catalog.drop_snapshot("s1")
+        assert catalog.table("emp").snapshots == set()
+        assert not catalog.has_snapshot("s1")
+
+    def test_snapshots_filter_by_base(self, catalog):
+        catalog.add_table(TableInfo("dept", table=object()))
+        catalog.add_snapshot(_snap("s1"))
+        catalog.add_snapshot(_snap("s2", base="dept"))
+        assert [s.name for s in catalog.snapshots("emp")] == ["s1"]
+        assert len(catalog.snapshots()) == 2
+
+    def test_initial_refresh_state(self, catalog):
+        info = _snap("s1")
+        catalog.add_snapshot(info)
+        assert info.snap_time == 0
+        assert info.refresh_count == 0
+        assert info.last_refresh_lsn == 1

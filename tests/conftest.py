@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.database import Database
+from repro.relation.schema import Schema
+from repro.txn.clock import ManualClock
+
+
+@pytest.fixture
+def db() -> Database:
+    """A fresh single-site database with a small buffer pool."""
+    return Database("test", buffer_capacity=16)
+
+
+@pytest.fixture
+def manual_db() -> Database:
+    """A database whose clock tests can control explicitly."""
+    return Database("test-manual", clock=ManualClock())
+
+
+@pytest.fixture
+def employee_schema() -> Schema:
+    return Schema.of(("name", "string"), ("salary", "int"))
+
+
+@pytest.fixture
+def employees(db, employee_schema):
+    """A lazily annotated employee table with the paper's cast loaded."""
+    table = db.create_table("emp", employee_schema, annotations="lazy")
+    table.bulk_load(
+        [
+            ["Bruce", 15],
+            ["Laura", 6],
+            ["Hamid", 15],
+            ["Jack", 6],
+            ["Mohan", 9],
+            ["Paul", 8],
+            ["Bob", 8],
+        ]
+    )
+    return table

@@ -1,0 +1,111 @@
+"""ASAP propagation: per-operation push and its drawbacks."""
+
+import pytest
+
+from repro.core.asap import AsapPropagator
+from repro.core.snapshot import SnapshotTable
+from repro.database import Database
+from repro.expr.predicate import Projection, Restriction
+from repro.net.channel import Link
+
+
+@pytest.fixture
+def setup(db):
+    table = db.create_table("t", [("name", "string"), ("v", "int")])
+    table.bulk_load([[f"r{i}", i] for i in range(10)])
+    restriction = Restriction.parse("v < 5", table.schema)
+    projection = Projection(table.schema)
+    link = Link("hq->branch")
+    snapshot = SnapshotTable(Database("remote"), "s", projection.schema)
+    # Seed the snapshot with the current qualified contents.
+    for rid, row in table.scan():
+        if row.values[1] < 5:
+            snapshot._upsert(rid, row.values)
+    link.attach(snapshot.receiver())
+    propagator = AsapPropagator(table, restriction, projection, link)
+    return table, link, snapshot, propagator
+
+
+class TestContinuousPropagation:
+    def test_committed_insert_arrives_immediately(self, setup):
+        table, link, snapshot, _ = setup
+        rid = table.insert(["new", 1])
+        assert snapshot.lookup(rid).values == ("new", 1)
+
+    def test_update_out_of_qualification_deletes(self, setup):
+        table, link, snapshot, _ = setup
+        rids = [rid for rid, _ in table.scan()]
+        table.update(rids[1], {"v": 100})
+        assert snapshot.lookup(rids[1]) is None
+
+    def test_delete_propagates(self, setup):
+        table, link, snapshot, _ = setup
+        rids = [rid for rid, _ in table.scan()]
+        table.delete(rids[0])
+        assert snapshot.lookup(rids[0]) is None
+
+    def test_irrelevant_changes_suppressed(self, setup):
+        table, link, snapshot, propagator = setup
+        rids = [rid for rid, _ in table.scan()]
+        table.update(rids[8], {"v": 901})  # unqualified before and after
+        table.delete(rids[9])  # was unqualified
+        assert propagator.suppressed == 2
+        assert propagator.propagated == 0
+
+    def test_aborted_transactions_never_propagate(self, setup, db):
+        table, link, snapshot, propagator = setup
+        txn = db.txns.begin()
+        table.insert(["ghost", 1], txn=txn)
+        txn.abort()
+        assert propagator.propagated == 0
+
+    def test_per_operation_cost(self, setup):
+        # The drawback: N updates to one entry cost N messages, where
+        # differential refresh would transmit at most one.
+        table, link, snapshot, propagator = setup
+        rids = [rid for rid, _ in table.scan()]
+        for value in (1, 2, 3, 4):
+            table.update(rids[0], {"v": value})
+        assert propagator.propagated == 4
+        assert link.stats.messages == 4
+
+
+class TestLinkFailure:
+    def test_changes_buffer_while_down(self, setup):
+        table, link, snapshot, propagator = setup
+        link.go_down()
+        rid = table.insert(["offline", 2])
+        assert propagator.buffered == 1
+        assert snapshot.lookup(rid) is None
+
+    def test_flush_on_recovery_preserves_order(self, setup):
+        table, link, snapshot, propagator = setup
+        rids = [rid for rid, _ in table.scan()]
+        link.go_down()
+        table.update(rids[0], {"v": 1})
+        table.update(rids[0], {"v": 2})
+        table.delete(rids[1])
+        assert propagator.buffered == 3
+        assert propagator.buffered_high_water == 3
+        link.come_up()
+        propagator.try_flush()
+        assert propagator.buffered == 0
+        assert snapshot.lookup(rids[0]).values == ("r0", 2)
+        assert snapshot.lookup(rids[1]) is None
+
+    def test_nothing_overtakes_the_backlog(self, setup):
+        table, link, snapshot, propagator = setup
+        link.go_down()
+        first = table.insert(["first", 1])
+        link.come_up()
+        # The next committed change must flush the backlog first.
+        second = table.insert(["second", 2])
+        assert propagator.buffered == 0
+        assert snapshot.lookup(first) is not None
+        assert snapshot.lookup(second) is not None
+
+    def test_detach_stops_propagation(self, setup):
+        table, link, snapshot, propagator = setup
+        propagator.detach()
+        rid = table.insert(["after", 1])
+        assert snapshot.lookup(rid) is None

@@ -1,0 +1,74 @@
+"""Refresh-method cost model and selection."""
+
+import pytest
+
+from repro.catalog.compiler import RefreshMethod
+from repro.core.costmodel import CostModel
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def model():
+    return CostModel()
+
+
+class TestCosts:
+    def test_full_cost_scales_with_selectivity(self, model):
+        assert model.full_cost(1000, 0.5) > model.full_cost(1000, 0.1)
+
+    def test_index_reduces_full_scan_cost(self, model):
+        assert model.full_cost(1000, 0.1, has_index=True) < model.full_cost(
+            1000, 0.1, has_index=False
+        )
+
+    def test_differential_cost_grows_with_activity(self, model):
+        low = model.differential_cost(1000, 0.5, 0.01)
+        high = model.differential_cost(1000, 0.5, 1.0)
+        assert high > low
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ReproError):
+            CostModel(message_weight=-1)
+
+
+class TestSelection:
+    def test_low_activity_picks_differential(self, model):
+        choice = model.choose(10_000, 0.5, update_activity=0.01)
+        assert choice is RefreshMethod.DIFFERENTIAL
+
+    def test_high_activity_with_index_picks_full(self, model):
+        choice = model.choose(10_000, 0.5, update_activity=4.0, has_index=True)
+        assert choice is RefreshMethod.FULL
+
+    def test_selective_snapshot_with_index_prefers_full(self, model):
+        # With q = 1% and an index, full refresh touches 1% of the table;
+        # differential still scans everything.
+        choice = model.choose(
+            100_000, 0.01, update_activity=0.5, has_index=True
+        )
+        assert choice is RefreshMethod.FULL
+
+    def test_crossover_monotone_in_selectivity(self, model):
+        # A wider snapshot keeps differential attractive longer.
+        narrow = model.crossover_activity(10_000, 0.05, has_index=True)
+        wide = model.crossover_activity(10_000, 0.8, has_index=True)
+        assert wide > narrow
+
+    def test_crossover_consistent_with_choice(self, model):
+        crossover = model.crossover_activity(10_000, 0.3, has_index=True)
+        if crossover != float("inf"):
+            below = model.choose(
+                10_000, 0.3, update_activity=crossover * 0.5, has_index=True
+            )
+            above = model.choose(
+                10_000, 0.3, update_activity=min(crossover * 2.0, 8.0),
+                has_index=True,
+            )
+            assert below is RefreshMethod.DIFFERENTIAL
+            assert above is RefreshMethod.FULL
+
+    def test_no_index_differential_usually_wins(self, model):
+        # Without an index the full method also scans the whole table,
+        # so differential dominates until traffic converges.
+        choice = model.choose(10_000, 0.5, update_activity=0.2)
+        assert choice is RefreshMethod.DIFFERENTIAL

@@ -1,0 +1,301 @@
+"""The combined differential refresh: scenario coverage.
+
+Each test drives the full base-table → channel → snapshot pipeline and
+checks both the transmitted traffic and the resulting snapshot contents
+against ground truth (re-evaluating the restriction over the table).
+"""
+
+import pytest
+
+from repro.core.differential import DifferentialRefresher, base_refresh
+from repro.core.fixup import base_fixup
+from repro.core.messages import EntryMessage
+from repro.core.snapshot import SnapshotTable
+from repro.database import Database
+from repro.errors import RefreshMethodError
+from repro.expr.predicate import Projection, Restriction
+
+
+class Pipeline:
+    """One base table + one differential snapshot, refreshable at will."""
+
+    def __init__(self, db, where="v < 100", mode="lazy", **flags):
+        self.db = db
+        self.table = db.create_table(
+            "base", [("name", "string"), ("v", "int")], annotations=mode
+        )
+        self.restriction = Restriction.parse(where, self.table.schema)
+        self.projection = Projection(self.table.schema)
+        self.snapshot = SnapshotTable(
+            Database("remote"), "snap", self.projection.schema
+        )
+        self.refresher = DifferentialRefresher(self.table, **flags)
+        self.snap_time = 0
+
+    def load(self, rows):
+        if self.table.annotation_mode == "eager":
+            return [self.table.insert(row) for row in rows]
+        return self.table.bulk_load(rows)
+
+    def refresh(self):
+        messages = []
+
+        def deliver(message):
+            messages.append(message)
+            self.snapshot.apply(message)
+
+        result = self.refresher.refresh(
+            self.snap_time, self.restriction, self.projection, deliver
+        )
+        self.snap_time = result.new_snap_time
+        return result, messages
+
+    def truth(self):
+        return {
+            rid: row.values
+            for rid, row in self.table.scan()
+            if self.restriction(tuple(row.values) + (None, None))
+        }
+
+    def assert_converged(self):
+        expected = {
+            rid: row.values
+            for rid, row in self.table.scan(visible=True)
+            if self.restriction(row.values + (None, None))
+        }
+        assert self.snapshot.as_map() == expected
+
+
+@pytest.fixture
+def pipe(db):
+    pipeline = Pipeline(db)
+    pipeline.load([[f"r{i}", i * 10] for i in range(20)])  # v: 0..190
+    pipeline.refresh()  # initial population
+    return pipeline
+
+
+def rids(pipe):
+    return [rid for rid, _ in pipe.table.scan()]
+
+
+class TestInitialPopulation:
+    def test_first_refresh_ships_all_qualified(self, db):
+        pipeline = Pipeline(db)
+        pipeline.load([[f"r{i}", i * 10] for i in range(20)])
+        result, _ = pipeline.refresh()
+        assert result.entries_sent == 10  # v in {0..90}
+        pipeline.assert_converged()
+
+    def test_empty_table_refresh(self, db):
+        pipeline = Pipeline(db)
+        result, messages = pipeline.refresh()
+        assert result.entries_sent == 0
+        assert len(pipeline.snapshot) == 0
+
+    def test_quiescent_refresh_sends_no_entries(self, pipe):
+        result, _ = pipe.refresh()
+        assert result.entries_sent == 0
+        assert result.fixup_writes == 0
+
+
+class TestUpdates:
+    def test_qualified_update_ships_one_entry(self, pipe):
+        target = rids(pipe)[3]  # v=30, qualified
+        pipe.table.update(target, {"v": 35})
+        result, messages = pipe.refresh()
+        entries = [m for m in messages if isinstance(m, EntryMessage)]
+        assert [m.addr for m in entries] == [target]
+        pipe.assert_converged()
+
+    def test_update_out_of_qualification(self, pipe):
+        target = rids(pipe)[3]
+        pipe.table.update(target, {"v": 500})
+        result, _ = pipe.refresh()
+        pipe.assert_converged()
+        assert pipe.snapshot.lookup(target) is None
+
+    def test_update_into_qualification(self, pipe):
+        target = rids(pipe)[15]  # v=150, unqualified
+        pipe.table.update(target, {"v": 50})
+        result, messages = pipe.refresh()
+        assert pipe.snapshot.lookup(target).values == ("r15", 50)
+        pipe.assert_converged()
+
+    def test_unqualified_to_unqualified_forces_successor(self, pipe):
+        # An update among unqualified entries "may have qualified
+        # before": the next qualified entry is retransmitted.
+        target = rids(pipe)[15]
+        pipe.table.update(target, {"v": 160})
+        result, _ = pipe.refresh()
+        # rids 10..19 are unqualified; there is no qualified entry after
+        # 15, so only the EndOfScan covers it: zero entries.
+        assert result.entries_sent == 0
+        pipe.assert_converged()
+
+    def test_unqualified_update_before_qualified_entry(self, db):
+        pipeline = Pipeline(db)
+        loaded = pipeline.load([["a", 10], ["b", 500], ["c", 20]])
+        pipeline.refresh()
+        pipeline.table.update(loaded[1], {"v": 600})  # still unqualified
+        result, messages = pipeline.refresh()
+        entries = [m for m in messages if isinstance(m, EntryMessage)]
+        # Superfluous but necessary: "c" is retransmitted to clear the gap.
+        assert [m.addr for m in entries] == [loaded[2]]
+        pipeline.assert_converged()
+
+
+class TestDeletes:
+    def test_delete_qualified_entry(self, pipe):
+        target = rids(pipe)[4]
+        pipe.table.delete(target)
+        result, _ = pipe.refresh()
+        assert pipe.snapshot.lookup(target) is None
+        pipe.assert_converged()
+
+    def test_delete_at_end_of_table(self, pipe):
+        all_rids = rids(pipe)
+        for rid in all_rids[-3:]:
+            pipe.table.delete(rid)
+        result, _ = pipe.refresh()
+        pipe.assert_converged()
+
+    def test_delete_everything(self, pipe):
+        for rid in rids(pipe):
+            pipe.table.delete(rid)
+        result, _ = pipe.refresh()
+        assert len(pipe.snapshot) == 0
+        assert result.entries_sent == 0  # EndOfScan does all the work
+
+    def test_delete_run_covered_by_one_entry(self, db):
+        pipeline = Pipeline(db)
+        loaded = pipeline.load([[f"r{i}", 10] for i in range(10)])
+        pipeline.refresh()
+        for rid in loaded[2:7]:
+            pipeline.table.delete(rid)
+        result, messages = pipeline.refresh()
+        entries = [m for m in messages if isinstance(m, EntryMessage)]
+        # One retransmitted survivor's interval covers all five deletes.
+        assert len(entries) == 1
+        assert entries[0].addr == loaded[7]
+        assert entries[0].prev_qual == loaded[1]
+        pipeline.assert_converged()
+
+
+class TestInsertsAndReuse:
+    def test_insert_qualified(self, pipe):
+        new = pipe.table.insert(["fresh", 5])
+        result, _ = pipe.refresh()
+        assert pipe.snapshot.lookup(new).values == ("fresh", 5)
+        pipe.assert_converged()
+
+    def test_insert_unqualified_is_superfluous_only(self, pipe):
+        pipe.table.insert(["fresh", 5000])
+        result, _ = pipe.refresh()
+        pipe.assert_converged()
+
+    def test_reuse_of_qualified_address_by_unqualified_row(self, pipe):
+        target = rids(pipe)[4]  # qualified, in snapshot
+        pipe.table.delete(target)
+        reborn = pipe.table.insert(["ghost", 9999])
+        assert reborn == target
+        result, _ = pipe.refresh()
+        assert pipe.snapshot.lookup(target) is None
+        pipe.assert_converged()
+
+    def test_reuse_of_qualified_address_by_qualified_row(self, pipe):
+        target = rids(pipe)[4]
+        pipe.table.delete(target)
+        reborn = pipe.table.insert(["phoenix", 7])
+        assert reborn == target
+        result, _ = pipe.refresh()
+        assert pipe.snapshot.lookup(target).values == ("phoenix", 7)
+        pipe.assert_converged()
+
+
+class TestMultipleRefreshCycles:
+    def test_interleaved_changes_converge_every_round(self, db):
+        import random
+
+        rng = random.Random(11)
+        pipeline = Pipeline(db, where="v < 50")
+        pipeline.load([[f"r{i}", rng.randrange(100)] for i in range(30)])
+        pipeline.refresh()
+        for round_no in range(8):
+            live = [rid for rid, _ in pipeline.table.scan()]
+            for _ in range(10):
+                roll = rng.random()
+                if roll < 0.3 and len(live) > 5:
+                    victim = live.pop(rng.randrange(len(live)))
+                    pipeline.table.delete(victim)
+                elif roll < 0.7:
+                    target = live[rng.randrange(len(live))]
+                    new_rid = pipeline.table.update(
+                        target, {"v": rng.randrange(100)}
+                    )
+                    if new_rid != target:
+                        live[live.index(target)] = new_rid
+                else:
+                    live.append(
+                        pipeline.table.insert([f"n{round_no}", rng.randrange(100)])
+                    )
+            result, _ = pipeline.refresh()
+            pipeline.assert_converged()
+
+
+class TestEagerMode:
+    def test_eager_refresh_without_fixup(self, db):
+        pipeline = Pipeline(db, mode="eager")
+        loaded = pipeline.load([["a", 10], ["b", 500], ["c", 20]])
+        result, _ = pipeline.refresh()
+        assert result.fixup_writes == 0
+        pipeline.assert_converged()
+        pipeline.table.update(loaded[0], {"v": 11})
+        pipeline.table.delete(loaded[2])
+        result, _ = pipeline.refresh()
+        assert result.fixup_writes == 0
+        pipeline.assert_converged()
+
+    def test_base_refresh_wrapper(self, db):
+        table = db.create_table("t", [("v", "int")], annotations="eager")
+        table.insert([1])
+        restriction = Restriction.true(table.schema)
+        projection = Projection(table.schema)
+        messages = []
+        result = base_refresh(table, 0, restriction, projection, messages.append)
+        assert result.entries_sent == 1
+
+    def test_null_timestamp_without_fixup_rejected(self, db):
+        table = db.create_table("t", [("v", "int")], annotations="lazy")
+        table.insert([1])
+        restriction = Restriction.true(table.schema)
+        projection = Projection(table.schema)
+        with pytest.raises(RefreshMethodError):
+            DifferentialRefresher(table).refresh(
+                0, restriction, projection, lambda m: None, fixup=False
+            )
+
+    def test_annotations_required(self, db):
+        table = db.create_table("t", [("v", "int")])
+        with pytest.raises(RefreshMethodError):
+            DifferentialRefresher(table)
+
+
+class TestProjectionAndBytes:
+    def test_projection_narrows_messages(self, db):
+        pipeline = Pipeline(db)
+        pipeline.projection = Projection(pipeline.table.schema, ["v"])
+        pipeline.snapshot = SnapshotTable(
+            Database("remote2"), "snap2", pipeline.projection.schema
+        )
+        pipeline.load([["averylongname" * 4, 10]])
+        result, messages = pipeline.refresh()
+        entry = next(m for m in messages if isinstance(m, EntryMessage))
+        assert entry.values == (10,)
+        assert entry.value_bytes < 20
+
+    def test_bytes_accounted(self, pipe):
+        target = rids(pipe)[0]
+        pipe.table.update(target, {"v": 1})
+        result, messages = pipe.refresh()
+        assert result.bytes_sent == sum(m.wire_size() for m in messages)
+        assert result.messages_sent == len(messages)

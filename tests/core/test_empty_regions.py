@@ -1,0 +1,161 @@
+"""Stage 2: empty-region maintenance and combined-region refresh."""
+
+import random
+
+import pytest
+
+from repro.core.empty_regions import (
+    DenseRegionMessage,
+    EmptyRegionTable,
+    RegionSnapshot,
+)
+from repro.core.simple import SimpleElementMessage
+from repro.errors import SnapshotError
+from repro.relation.schema import Schema
+
+SCHEMA = Schema.of(("v", "int"),)
+
+
+@pytest.fixture
+def table():
+    return EmptyRegionTable(20, SCHEMA)
+
+
+def refresh_into(table, snapshot, snap_time, restriction):
+    messages = []
+
+    def deliver(message):
+        messages.append(message)
+        snapshot.apply(message)
+
+    new_time = table.refresh(snap_time, restriction, deliver)
+    return messages, new_time
+
+
+class TestRegionMaintenance:
+    def test_initially_one_region(self, table):
+        regions = table.regions()
+        assert len(regions) == 1
+        assert (regions[0].lo, regions[0].hi) == (1, 20)
+
+    def test_insert_splits(self, table):
+        table.insert((1,), addr=5)
+        spans = [(r.lo, r.hi) for r in table.regions()]
+        assert spans == [(1, 4), (6, 20)]
+        table.check_invariants()
+
+    def test_insert_at_region_edge(self, table):
+        table.insert((1,), addr=1)
+        assert [(r.lo, r.hi) for r in table.regions()] == [(2, 20)]
+        table.check_invariants()
+
+    def test_delete_coalesces_both_sides(self, table):
+        for addr in (4, 5, 6):
+            table.insert((addr,), addr=addr)
+        table.delete(4)
+        table.delete(6)
+        table.delete(5)  # bridges [?,4] and [6,?] back together
+        assert [(r.lo, r.hi) for r in table.regions()] == [(1, 20)]
+        table.check_invariants()
+
+    def test_randomized_invariants(self, table):
+        rng = random.Random(9)
+        live = set()
+        for _ in range(500):
+            if live and rng.random() < 0.45:
+                addr = rng.choice(sorted(live))
+                table.delete(addr)
+                live.discard(addr)
+            elif len(live) < 20:
+                addr = table.insert((0,))
+                live.add(addr)
+            table.check_invariants()
+        assert set(table.occupied()) == live
+
+    def test_errors(self, table):
+        with pytest.raises(SnapshotError):
+            table.delete(3)
+        with pytest.raises(SnapshotError):
+            table.update(3, (1,))
+        table.insert((1,), addr=3)
+        with pytest.raises(SnapshotError):
+            table.insert((2,), addr=3)
+
+
+class TestRefresh:
+    def test_initial_refresh_sends_qualified(self, table):
+        for addr in (2, 5, 9):
+            table.insert((addr,), addr=addr)
+        snapshot = RegionSnapshot()
+        messages, _ = refresh_into(table, snapshot, 0, lambda v: True)
+        assert snapshot.as_map() == {2: (2,), 5: (5,), 9: (9,)}
+
+    def test_delete_covered_by_region(self, table):
+        for addr in (2, 5, 9):
+            table.insert((addr,), addr=addr)
+        snapshot = RegionSnapshot()
+        _, time1 = refresh_into(table, snapshot, 0, lambda v: True)
+        table.delete(5)
+        messages, _ = refresh_into(table, snapshot, time1, lambda v: True)
+        regions = [m for m in messages if isinstance(m, DenseRegionMessage)]
+        assert len(regions) == 1
+        assert regions[0].lo <= 5 <= regions[0].hi
+        assert snapshot.as_map() == {2: (2,), 9: (9,)}
+
+    def test_regions_merged_across_unqualified_entries(self, table):
+        # qualified(2) [empty 3-4] unqualified(5) [empty 6-7] qualified(8)
+        table.insert((1,), addr=2)
+        table.insert((100,), addr=5)
+        table.insert((1,), addr=8)
+        restriction = lambda v: v[0] < 10  # noqa: E731
+        snapshot = RegionSnapshot()
+        _, time1 = refresh_into(table, snapshot, 0, restriction)
+        # Updating the unqualified entry dirties the merged region.
+        table.update(5, (200,))
+        messages, _ = refresh_into(table, snapshot, time1, restriction)
+        regions = [m for m in messages if isinstance(m, DenseRegionMessage)]
+        assert len(regions) == 1
+        assert regions[0].lo == 3 and regions[0].hi == 7
+
+    def test_clean_regions_not_transmitted(self, table):
+        table.insert((1,), addr=2)
+        table.insert((1,), addr=8)
+        snapshot = RegionSnapshot()
+        _, time1 = refresh_into(table, snapshot, 0, lambda v: True)
+        messages, _ = refresh_into(table, snapshot, time1, lambda v: True)
+        assert [m for m in messages if isinstance(m, DenseRegionMessage)] == []
+        assert [m for m in messages if isinstance(m, SimpleElementMessage)] == []
+
+    def test_unqualified_update_deletes_from_snapshot(self, table):
+        table.insert((5,), addr=4)
+        restriction = lambda v: v[0] < 10  # noqa: E731
+        snapshot = RegionSnapshot()
+        _, time1 = refresh_into(table, snapshot, 0, restriction)
+        assert snapshot.as_map() == {4: (5,)}
+        table.update(4, (50,))  # no longer qualifies
+        refresh_into(table, snapshot, time1, restriction)
+        assert snapshot.as_map() == {}
+
+    def test_matches_ground_truth_under_random_workload(self):
+        rng = random.Random(17)
+        table = EmptyRegionTable(60, SCHEMA)
+        restriction = lambda v: v[0] < 50  # noqa: E731
+        snapshot = RegionSnapshot()
+        snap_time = 0
+        for round_no in range(10):
+            for _ in range(25):
+                roll = rng.random()
+                occupied = sorted(table.occupied())
+                if occupied and roll < 0.3:
+                    table.delete(rng.choice(occupied))
+                elif occupied and roll < 0.6:
+                    table.update(rng.choice(occupied), (rng.randrange(100),))
+                elif len(occupied) < 60:
+                    table.insert((rng.randrange(100),))
+            _, snap_time = refresh_into(table, snapshot, snap_time, restriction)
+            truth = {
+                addr: values
+                for addr, values in table.occupied().items()
+                if restriction(values)
+            }
+            assert snapshot.as_map() == truth, f"diverged in round {round_no}"

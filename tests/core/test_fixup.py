@@ -1,0 +1,148 @@
+"""Figure 7's fix-up pass against constructed scenarios."""
+
+import pytest
+
+from repro.core.fixup import base_fixup
+from repro.errors import RefreshMethodError
+from repro.relation.types import NULL
+from repro.storage.rid import Rid
+
+
+@pytest.fixture
+def table(db):
+    t = db.create_table("t", [("v", "int")], annotations="lazy")
+    t.bulk_load([[i] for i in range(8)])
+    base_fixup(t)  # settle: chain + stamp everything
+    return t
+
+
+def rids(table):
+    return [rid for rid, _ in table.scan()]
+
+
+class TestClassification:
+    def test_clean_table_needs_no_writes(self, table):
+        result = base_fixup(table)
+        assert result.writes == 0
+
+    def test_insert_detected(self, db, table):
+        new = table.insert([100])
+        time_before = db.clock.read()
+        result = base_fixup(table)
+        assert result.inserted == 1
+        prev, ts = table.annotations(new)
+        assert prev is not NULL and ts > time_before
+
+    def test_update_detected(self, table):
+        target = rids(table)[3]
+        table.update(target, {"v": -1})
+        result = base_fixup(table)
+        assert result.updated == 1
+        _, ts = table.annotations(target)
+        assert ts == result.fixup_time
+
+    def test_deletion_detected_at_successor(self, table):
+        all_rids = rids(table)
+        table.delete(all_rids[2])
+        result = base_fixup(table)
+        assert result.deletions_detected == 1
+        prev, ts = table.annotations(all_rids[3])
+        assert prev == all_rids[1]
+        assert ts == result.fixup_time
+
+    def test_consecutive_deletions_detected_once(self, table):
+        all_rids = rids(table)
+        table.delete(all_rids[2])
+        table.delete(all_rids[3])
+        table.delete(all_rids[4])
+        result = base_fixup(table)
+        assert result.deletions_detected == 1
+        prev, _ = table.annotations(all_rids[5])
+        assert prev == all_rids[1]
+
+    def test_trailing_deletions_invisible_to_fixup(self, table):
+        all_rids = rids(table)
+        table.delete(all_rids[-1])
+        result = base_fixup(table)
+        # No successor exists; the refresh's EndOfScan covers it instead.
+        assert result.deletions_detected == 0
+        assert result.writes == 0
+
+    def test_insert_before_entry_repoints_without_stamp(self, db, table):
+        all_rids = rids(table)
+        table.delete(all_rids[2])
+        base_fixup(table)  # successor now points at all_rids[1]
+        reused = table.insert([55])
+        assert reused == all_rids[2]  # first-fit brings the address back
+        result = base_fixup(table)
+        assert result.inserted == 1
+        assert result.repointed_only == 1
+        prev, ts = table.annotations(all_rids[3])
+        assert prev == reused
+        assert ts < result.fixup_time  # not stamped: nothing was deleted
+
+    def test_address_reuse_after_unnoticed_delete(self, db, table):
+        # Delete and reinsert at the same address between fix-ups: the
+        # successor's PrevAddr names the reused address, but ExpectPrev
+        # differs because the reborn entry counts as newly inserted.
+        all_rids = rids(table)
+        table.delete(all_rids[2])
+        reused = table.insert([77])
+        assert reused == all_rids[2]
+        result = base_fixup(table)
+        assert result.inserted == 1
+        assert result.deletions_detected == 1
+        _, successor_ts = table.annotations(all_rids[3])
+        assert successor_ts == result.fixup_time
+
+
+class TestEdgeCases:
+    def test_empty_table(self, db):
+        t = db.create_table("empty", [("v", "int")], annotations="lazy")
+        result = base_fixup(t)
+        assert result.scanned == 0
+
+    def test_single_entry(self, db):
+        t = db.create_table("one", [("v", "int")], annotations="lazy")
+        rid = t.insert([1])
+        result = base_fixup(t)
+        assert result.inserted == 1
+        prev, _ = t.annotations(rid)
+        assert prev == Rid.BEGIN
+
+    def test_delete_first_entry(self, table):
+        all_rids = rids(table)
+        table.delete(all_rids[0])
+        result = base_fixup(table)
+        assert result.deletions_detected == 1
+        prev, _ = table.annotations(all_rids[1])
+        assert prev == Rid.BEGIN
+
+    def test_requires_lazy_mode(self, db):
+        t = db.create_table("plain", [("v", "int")])
+        with pytest.raises(RefreshMethodError):
+            base_fixup(t)
+        e = db.create_table("eager", [("v", "int")], annotations="eager")
+        with pytest.raises(RefreshMethodError):
+            base_fixup(e)
+
+    def test_explicit_fixup_time(self, table):
+        target = rids(table)[0]
+        table.update(target, {"v": 9})
+        result = base_fixup(table, fixup_time=123456)
+        assert result.fixup_time == 123456
+        _, ts = table.annotations(target)
+        assert ts == 123456
+
+    def test_mixed_batch(self, db, table):
+        all_rids = rids(table)
+        table.update(all_rids[1], {"v": -1})
+        table.delete(all_rids[4])
+        table.insert([200])  # reuses all_rids[4]
+        new_tail = table.insert([201])  # fresh address at the end
+        result = base_fixup(table)
+        assert result.inserted == 2
+        assert result.updated == 1
+        assert result.deletions_detected == 1
+        # A second pass confirms everything settled.
+        assert base_fixup(table).writes == 0

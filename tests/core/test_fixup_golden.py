@@ -1,0 +1,138 @@
+"""Figures 5 and 6: the batch-maintenance worked example, pinned.
+
+Covers both the standalone fix-up pass (Figure 7 applied to Figure 5's
+"before" state) and the combined fix-up + refresh (the messages and the
+snapshot transition of Figure 6).
+"""
+
+import pytest
+
+from repro.core.differential import DifferentialRefresher
+from repro.core.fixup import base_fixup
+from repro.core.messages import EndOfScanMessage, EntryMessage, SnapTimeMessage
+from repro.core.snapshot import SnapshotTable
+from repro.database import Database
+from repro.expr.predicate import Projection, Restriction
+from repro.storage.rid import Rid
+from repro.workload.employees import (
+    BASE_TIME,
+    SNAP_TIME,
+    figure5_base_table,
+    figure5_expected_annotations,
+    figure5_snapshot_contents,
+    figure6_snapshot_after,
+)
+
+
+@pytest.fixture
+def figure5():
+    return figure5_base_table()
+
+
+class TestStandaloneFixup:
+    """Figure 7 run against Figure 5's before-image."""
+
+    def test_repairs_to_figure5_after_state(self, figure5):
+        db, table, addrs = figure5
+        result = base_fixup(table, fixup_time=BASE_TIME)
+        for figaddr, expected in figure5_expected_annotations(addrs).items():
+            assert table.annotations(addrs[figaddr]) == expected, figaddr
+
+    def test_classification_counts(self, figure5):
+        db, table, addrs = figure5
+        result = base_fixup(table, fixup_time=BASE_TIME)
+        assert result.scanned == 5
+        assert result.inserted == 1  # Laura
+        assert result.updated == 1  # Hamid
+        assert result.deletions_detected == 1  # Jack's absence, seen at Mohan
+        assert result.repointed_only == 0
+
+    def test_idempotent(self, figure5):
+        db, table, addrs = figure5
+        base_fixup(table, fixup_time=BASE_TIME)
+        second = base_fixup(table, fixup_time=BASE_TIME + 100)
+        assert second.writes == 0
+        assert second.inserted == 0
+        assert second.deletions_detected == 0
+
+    def test_hamid_repoints_to_laura(self, figure5):
+        # Hamid's PrevAddr was 1 (Bruce); Laura's insert at 2 means the
+        # fix-up must repoint Hamid to 2 — the "insertions before the
+        # current entry" arm of Figure 7.
+        db, table, addrs = figure5
+        base_fixup(table, fixup_time=BASE_TIME)
+        prev, _ = table.annotations(addrs[3])
+        assert prev == addrs[2]
+
+
+class TestCombinedRefresh:
+    """Figure 6: messages and snapshot before/after."""
+
+    def run(self, figure5, collect_snapshot=True):
+        db, table, addrs = figure5
+        restriction = Restriction.parse("salary < 10", table.schema)
+        projection = Projection(table.schema)
+        snapshot = SnapshotTable(Database("branch"), "lowpaid", projection.schema)
+        for base_addr, values in figure5_snapshot_contents(addrs).items():
+            snapshot._upsert(base_addr, values)
+        snapshot.snap_time = SNAP_TIME
+        messages = []
+
+        def deliver(message):
+            messages.append(message)
+            snapshot.apply(message)
+
+        result = DifferentialRefresher(table).refresh(
+            SNAP_TIME, restriction, projection, deliver
+        )
+        return table, addrs, snapshot, messages, result
+
+    def test_refresh_messages_match_figure6(self, figure5):
+        table, addrs, snapshot, messages, result = self.run(figure5)
+        entries = [
+            (m.addr, m.prev_qual, m.values)
+            for m in messages
+            if isinstance(m, EntryMessage)
+        ]
+        assert entries == [
+            (addrs[2], Rid.BEGIN, ("Laura", 6)),
+            (addrs[5], addrs[2], ("Mohan", 9)),
+        ]
+
+    def test_end_of_scan_names_paul(self, figure5):
+        table, addrs, snapshot, messages, result = self.run(figure5)
+        end = [m for m in messages if isinstance(m, EndOfScanMessage)]
+        assert len(end) == 1
+        assert end[0].last_qual == addrs[6]
+
+    def test_new_snap_time(self, figure5):
+        table, addrs, snapshot, messages, result = self.run(figure5)
+        assert result.new_snap_time == BASE_TIME
+        assert messages[-1].time == BASE_TIME
+        assert isinstance(messages[-1], SnapTimeMessage)
+
+    def test_snapshot_after_matches_figure6(self, figure5):
+        table, addrs, snapshot, messages, result = self.run(figure5)
+        assert snapshot.as_map() == figure6_snapshot_after(addrs)
+        assert snapshot.snap_time == BASE_TIME
+
+    def test_annotations_repaired_during_refresh(self, figure5):
+        table, addrs, snapshot, messages, result = self.run(figure5)
+        for figaddr, expected in figure5_expected_annotations(addrs).items():
+            assert table.annotations(addrs[figaddr]) == expected
+
+    def test_entry_count(self, figure5):
+        table, addrs, snapshot, messages, result = self.run(figure5)
+        assert result.entries_sent == 2
+        assert result.qualified == 3  # Laura, Mohan, Paul
+        assert result.scanned == 5
+
+    def test_followup_refresh_is_quiet(self, figure5):
+        table, addrs, snapshot, messages, result = self.run(figure5)
+        restriction = Restriction.parse("salary < 10", table.schema)
+        projection = Projection(table.schema)
+        second = []
+        DifferentialRefresher(table).refresh(
+            result.new_snap_time, restriction, projection, second.append
+        )
+        assert [m for m in second if isinstance(m, EntryMessage)] == []

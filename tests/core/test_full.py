@@ -1,0 +1,84 @@
+"""Full refresh baseline."""
+
+import pytest
+
+from repro.core.full import FullRefresher
+from repro.core.messages import ClearMessage, FullRowMessage
+from repro.core.snapshot import SnapshotTable
+from repro.database import Database
+from repro.expr.predicate import Projection, Restriction
+
+
+@pytest.fixture
+def setup(db):
+    table = db.create_table("t", [("name", "string"), ("v", "int")])
+    table.bulk_load([[f"r{i}", i] for i in range(10)])
+    restriction = Restriction.parse("v < 5", table.schema)
+    projection = Projection(table.schema)
+    snapshot = SnapshotTable(Database("remote"), "s", projection.schema)
+    return table, restriction, projection, snapshot
+
+
+def refresh(table, restriction, projection, snapshot):
+    messages = []
+
+    def deliver(message):
+        messages.append(message)
+        snapshot.apply(message)
+
+    result = FullRefresher(table).refresh(
+        snapshot.snap_time, restriction, projection, deliver
+    )
+    return result, messages
+
+
+class TestFullRefresh:
+    def test_clear_then_rows(self, setup):
+        table, restriction, projection, snapshot = setup
+        result, messages = refresh(table, restriction, projection, snapshot)
+        assert isinstance(messages[0], ClearMessage)
+        rows = [m for m in messages if isinstance(m, FullRowMessage)]
+        assert len(rows) == 5
+        assert result.entries_sent == 5
+
+    def test_sends_everything_every_time(self, setup):
+        table, restriction, projection, snapshot = setup
+        first, _ = refresh(table, restriction, projection, snapshot)
+        # No changes at all — full refresh still retransmits.
+        second, _ = refresh(table, restriction, projection, snapshot)
+        assert second.entries_sent == first.entries_sent == 5
+
+    def test_converges_after_changes(self, setup):
+        table, restriction, projection, snapshot = setup
+        refresh(table, restriction, projection, snapshot)
+        rids = [rid for rid, _ in table.scan()]
+        table.delete(rids[0])
+        table.update(rids[1], {"v": 100})
+        table.insert(["new", 2])
+        refresh(table, restriction, projection, snapshot)
+        truth = {
+            rid: row.values
+            for rid, row in table.scan(visible=True)
+            if row.values[1] < 5
+        }
+        assert snapshot.as_map() == truth
+
+    def test_stale_entries_cleared(self, setup):
+        table, restriction, projection, snapshot = setup
+        refresh(table, restriction, projection, snapshot)
+        for rid, _ in list(table.scan()):
+            table.delete(rid)
+        refresh(table, restriction, projection, snapshot)
+        assert len(snapshot) == 0
+
+    def test_no_annotations_needed(self, setup):
+        table, *_ = setup
+        assert not table.has_annotations  # works on a plain table
+
+    def test_works_on_empty_table(self, db):
+        table = db.create_table("e", [("v", "int")])
+        restriction = Restriction.true(table.schema)
+        projection = Projection(table.schema)
+        snapshot = SnapshotTable(Database("remote"), "s", projection.schema)
+        result, _ = refresh(table, restriction, projection, snapshot)
+        assert result.entries_sent == 0

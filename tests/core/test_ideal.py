@@ -1,0 +1,118 @@
+"""Ideal refresh: exact net changes, nothing else."""
+
+import pytest
+
+from repro.core.ideal import IdealRefresher
+from repro.core.messages import DeleteMessage, UpsertMessage
+from repro.core.snapshot import SnapshotTable
+from repro.database import Database
+from repro.expr.predicate import Projection, Restriction
+
+
+@pytest.fixture
+def setup(db):
+    table = db.create_table("t", [("name", "string"), ("v", "int")])
+    table.bulk_load([[f"r{i}", i] for i in range(10)])
+    restriction = Restriction.parse("v < 5", table.schema)
+    projection = Projection(table.schema)
+    snapshot = SnapshotTable(Database("remote"), "s", projection.schema)
+    refresher = IdealRefresher(table)
+    return table, restriction, projection, snapshot, refresher
+
+
+def refresh(setup):
+    table, restriction, projection, snapshot, refresher = setup
+    messages = []
+
+    def deliver(message):
+        messages.append(message)
+        snapshot.apply(message)
+
+    result = refresher.refresh(
+        snapshot.snap_time, restriction, projection, deliver
+    )
+    return result, messages
+
+
+class TestIdealRefresh:
+    def test_initial_population(self, setup):
+        result, messages = refresh(setup)
+        assert result.entries_sent == 5
+        assert all(
+            isinstance(m, UpsertMessage)
+            for m in messages
+            if m.counts_as_entry
+        )
+
+    def test_quiescent_refresh_sends_zero(self, setup):
+        refresh(setup)
+        result, _ = refresh(setup)
+        assert result.entries_sent == 0
+
+    def test_exactly_the_net_change(self, setup):
+        table = setup[0]
+        refresh(setup)
+        rids = [rid for rid, _ in table.scan()]
+        table.update(rids[2], {"v": 3})  # changed, still qualified: 1 upsert
+        table.update(rids[3], {"v": 3})  # unchanged value? no — 3 != 3? it was 3
+        result, messages = refresh(setup)
+        upserts = [m for m in messages if isinstance(m, UpsertMessage)]
+        # rids[3] had v=3 already, so its projected values are unchanged:
+        # the ideal algorithm must NOT transmit it.
+        assert [m.addr for m in upserts] == [rids[2]]
+
+    def test_only_most_recent_change_per_entry(self, setup):
+        table = setup[0]
+        refresh(setup)
+        rids = [rid for rid, _ in table.scan()]
+        for value in (1, 2, 3, 4):  # four updates to one entry
+            table.update(rids[0], {"v": value})
+        result, _ = refresh(setup)
+        assert result.entries_sent == 1
+
+    def test_changes_to_unqualified_entries_not_transmitted(self, setup):
+        table = setup[0]
+        refresh(setup)
+        rids = [rid for rid, _ in table.scan()]
+        table.update(rids[8], {"v": 900})  # unqualified before and after
+        result, _ = refresh(setup)
+        assert result.entries_sent == 0
+
+    def test_disqualified_entry_deleted(self, setup):
+        table = setup[0]
+        refresh(setup)
+        rids = [rid for rid, _ in table.scan()]
+        table.update(rids[1], {"v": 100})
+        result, messages = refresh(setup)
+        deletes = [m for m in messages if isinstance(m, DeleteMessage)]
+        assert [m.addr for m in deletes] == [rids[1]]
+        assert result.entries_sent == 1
+
+    def test_deleted_entry_deleted(self, setup):
+        table, _, _, snapshot, _ = setup
+        refresh(setup)
+        rids = [rid for rid, _ in table.scan()]
+        table.delete(rids[0])
+        result, _ = refresh(setup)
+        assert result.entries_sent == 1
+        assert snapshot.lookup(rids[0]) is None
+
+    def test_shadow_size_tracks_snapshot(self, setup):
+        table, _, _, _, refresher = setup
+        refresh(setup)
+        assert refresher.shadow_size == 5  # base-site state: the cost
+
+    def test_converges(self, setup):
+        table, restriction, _, snapshot, _ = setup
+        refresh(setup)
+        rids = [rid for rid, _ in table.scan()]
+        table.delete(rids[0])
+        table.update(rids[1], {"v": 2})
+        table.insert(["new", 0])
+        refresh(setup)
+        truth = {
+            rid: row.values
+            for rid, row in table.scan(visible=True)
+            if row.values[1] < 5
+        }
+        assert snapshot.as_map() == truth

@@ -1,0 +1,73 @@
+"""Refresh messages: wire sizes and entry classification."""
+
+from repro.core.messages import (
+    ClearMessage,
+    DeleteMessage,
+    DeleteRangeMessage,
+    EndOfScanMessage,
+    EntryMessage,
+    FullRowMessage,
+    SnapTimeMessage,
+    UpsertMessage,
+)
+from repro.storage.rid import Rid
+
+A = Rid(0, 1)
+B = Rid(0, 5)
+
+
+class TestWireSizes:
+    def test_entry_message(self):
+        message = EntryMessage(B, A, ("Laura", 6), value_bytes=20)
+        assert message.wire_size() == 1 + 8 + 8 + 20
+
+    def test_end_of_scan(self):
+        assert EndOfScanMessage(A).wire_size() == 1 + 16
+
+    def test_snap_time(self):
+        assert SnapTimeMessage(430).wire_size() == 1 + 8
+
+    def test_delete_range(self):
+        assert DeleteRangeMessage(A, B).wire_size() == 1 + 16
+        assert DeleteRangeMessage(A, None).wire_size() == 1 + 16
+
+    def test_upsert(self):
+        assert UpsertMessage(A, ("x",), value_bytes=5).wire_size() == 1 + 8 + 5
+
+    def test_delete(self):
+        assert DeleteMessage(A).wire_size() == 1 + 8
+
+    def test_clear(self):
+        assert ClearMessage().wire_size() == 1
+
+    def test_full_row(self):
+        assert FullRowMessage(A, ("x",), value_bytes=5).wire_size() == 1 + 8 + 5
+
+    def test_delete_only_cheaper_than_entry(self):
+        # The optimize_deletes rationale.
+        entry = EntryMessage(B, A, ("Laura", 6), value_bytes=20)
+        assert DeleteRangeMessage(A, B).wire_size() < entry.wire_size()
+
+
+class TestEntryClassification:
+    def test_entry_bearing_messages(self):
+        for message in (
+            EntryMessage(B, A, (), 0),
+            DeleteRangeMessage(A, B),
+            UpsertMessage(A, (), 0),
+            DeleteMessage(A),
+            FullRowMessage(A, (), 0),
+        ):
+            assert message.counts_as_entry
+
+    def test_control_messages(self):
+        for message in (
+            EndOfScanMessage(A),
+            SnapTimeMessage(1),
+            ClearMessage(),
+        ):
+            assert not message.counts_as_entry
+
+    def test_reprs_are_informative(self):
+        assert "Laura" in repr(EntryMessage(B, A, ("Laura", 6), 20))
+        assert "430" in repr(SnapTimeMessage(430))

@@ -1,0 +1,117 @@
+"""Periodic refresh scheduling and staleness accounting."""
+
+import pytest
+
+from repro.core.manager import SnapshotManager
+from repro.core.scheduler import RefreshScheduler
+from repro.errors import SnapshotError
+
+
+@pytest.fixture
+def world(db):
+    table = db.create_table("t", [("v", "int")])
+    rids = table.bulk_load([[i] for i in range(50)])
+    manager = SnapshotManager(db)
+    snapshot = manager.create_snapshot("s", "t", method="differential")
+    scheduler = RefreshScheduler(manager)
+    return db, table, rids, manager, snapshot, scheduler
+
+
+class TestScheduling:
+    def test_refresh_fires_every_k_ops(self, world):
+        db, table, rids, manager, snapshot, scheduler = world
+        entry = scheduler.schedule("s", every_ops=5)
+        for i in range(12):
+            table.update(rids[i], {"v": 1000 + i})
+        assert entry.refreshes == 2  # at ops 5 and 10
+        assert entry.pending == 2
+
+    def test_flush_catches_stragglers(self, world):
+        db, table, rids, manager, snapshot, scheduler = world
+        entry = scheduler.schedule("s", every_ops=100)
+        for i in range(7):
+            table.update(rids[i], {"v": i})
+        scheduler.flush()
+        assert entry.refreshes == 1
+        assert entry.pending == 0
+        assert snapshot.as_map() == {
+            rid: row.values for rid, row in table.scan(visible=True)
+        }
+
+    def test_only_relevant_tables_counted(self, world):
+        db, table, rids, manager, snapshot, scheduler = world
+        other = db.create_table("other", [("x", "int")])
+        entry = scheduler.schedule("s", every_ops=2)
+        other.insert([1])
+        other.insert([2])
+        other.insert([3])
+        assert entry.refreshes == 0
+        assert entry.pending == 0
+
+    def test_multi_op_transaction_counts_each_change(self, world):
+        db, table, rids, manager, snapshot, scheduler = world
+        entry = scheduler.schedule("s", every_ops=3)
+        txn = db.txns.begin()
+        table.update(rids[0], {"v": 1}, txn=txn)
+        table.update(rids[1], {"v": 2}, txn=txn)
+        table.update(rids[2], {"v": 3}, txn=txn)
+        assert entry.refreshes == 0  # nothing until commit
+        txn.commit()
+        assert entry.refreshes == 1
+
+    def test_aborted_transactions_ignored(self, world):
+        db, table, rids, manager, snapshot, scheduler = world
+        entry = scheduler.schedule("s", every_ops=1)
+        txn = db.txns.begin()
+        table.update(rids[0], {"v": 1}, txn=txn)
+        txn.abort()
+        assert entry.refreshes == 0
+
+    def test_bad_period_rejected(self, world):
+        scheduler = world[5]
+        with pytest.raises(SnapshotError):
+            scheduler.schedule("s", every_ops=0)
+
+    def test_unknown_snapshot_rejected(self, world):
+        scheduler = world[5]
+        with pytest.raises(SnapshotError):
+            scheduler.schedule("ghost", every_ops=5)
+
+    def test_close_stops_observing(self, world):
+        db, table, rids, manager, snapshot, scheduler = world
+        entry = scheduler.schedule("s", every_ops=1)
+        scheduler.close()
+        table.update(rids[0], {"v": 9})
+        assert entry.refreshes == 0
+
+
+class TestStaleness:
+    def test_average_staleness_grows_with_period(self, db):
+        table = db.create_table("t", [("v", "int")])
+        rids = table.bulk_load([[i] for i in range(50)])
+        manager = SnapshotManager(db)
+        manager.create_snapshot("fast", "t", method="differential")
+        manager.create_snapshot("slow", "t", method="differential")
+        scheduler = RefreshScheduler(manager)
+        fast = scheduler.schedule("fast", every_ops=2)
+        slow = scheduler.schedule("slow", every_ops=20)
+        for i in range(40):
+            table.update(rids[i % len(rids)], {"v": i})
+        assert fast.average_staleness < slow.average_staleness
+        assert fast.refreshes > slow.refreshes
+
+    def test_coalescing_with_longer_period(self, db):
+        # Hot-row updates: a long period ships fewer entries in total.
+        table = db.create_table("t", [("v", "int")])
+        rids = table.bulk_load([[i] for i in range(20)])
+        manager = SnapshotManager(db)
+        manager.create_snapshot("eager_s", "t", method="differential")
+        manager.create_snapshot("lazy_s", "t", method="differential")
+        scheduler = RefreshScheduler(manager)
+        per_op = scheduler.schedule("eager_s", every_ops=1)
+        batched = scheduler.schedule("lazy_s", every_ops=50)
+        for i in range(50):
+            table.update(rids[0], {"v": i})  # one hot row
+        scheduler.flush()
+        assert per_op.entries_shipped == 50
+        assert batched.entries_shipped == 1  # coalesced

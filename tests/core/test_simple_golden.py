@@ -1,0 +1,138 @@
+"""Figures 1 and 2: the simple algorithm's worked example, pinned."""
+
+import pytest
+
+from repro.core.messages import SnapTimeMessage
+from repro.core.simple import SimpleBaseTable, SimpleElementMessage, SimpleSnapshot
+from repro.errors import SnapshotError
+from repro.relation.schema import Schema
+from repro.workload.employees import (
+    BASE_TIME,
+    SNAP_TIME,
+    figure1_simple_table,
+    figure2_snapshot_before,
+)
+
+
+def salary_lt_10(values):
+    return values[1] < 10
+
+
+class TestFigure1Refresh:
+    """The exact refresh messages of Figure 1."""
+
+    def run_refresh(self):
+        table = figure1_simple_table()
+        messages = []
+        new_time = table.refresh(SNAP_TIME, salary_lt_10, messages.append)
+        return messages, new_time
+
+    def test_messages_match_figure(self):
+        messages, _ = self.run_refresh()
+        elements = [
+            (m.addr, m.empty, m.values)
+            for m in messages
+            if isinstance(m, SimpleElementMessage)
+        ]
+        assert elements == [
+            (2, False, ("Laura", 6)),   # Laura qualifies and changed
+            (3, True, None),            # Hamid had a raise: may have qualified
+            (4, True, None),            # emptied since SnapTime
+            (7, True, None),            # emptied since SnapTime
+        ]
+
+    def test_new_snap_time_is_base_time(self):
+        messages, new_time = self.run_refresh()
+        assert new_time == BASE_TIME
+        assert isinstance(messages[-1], SnapTimeMessage)
+        assert messages[-1].time == BASE_TIME
+
+    def test_unchanged_entries_not_sent(self):
+        messages, _ = self.run_refresh()
+        sent = {m.addr for m in messages if isinstance(m, SimpleElementMessage)}
+        assert 1 not in sent  # Bruce: old timestamp
+        assert 5 not in sent  # Mohan: old timestamp
+        assert 6 not in sent  # Paul: old timestamp
+
+
+class TestFigure2SnapshotTransition:
+    """Snapshot before/after images of Figure 2."""
+
+    def test_before_to_after(self):
+        table = figure1_simple_table()
+        snapshot = SimpleSnapshot()
+        snapshot.entries = figure2_snapshot_before()
+        snapshot.snap_time = SNAP_TIME
+
+        def deliver(message):
+            snapshot.apply(message)
+
+        table.refresh(SNAP_TIME, salary_lt_10, deliver)
+        assert snapshot.as_map() == {
+            2: ("Laura", 6),
+            5: ("Mohan", 9),
+            6: ("Paul", 8),
+        }
+        assert snapshot.snap_time == BASE_TIME
+
+    def test_second_refresh_sends_nothing(self):
+        table = figure1_simple_table()
+        snapshot = SimpleSnapshot()
+        snapshot.entries = figure2_snapshot_before()
+        first = []
+        table.refresh(SNAP_TIME, salary_lt_10, lambda m: (first.append(m), snapshot.apply(m)))
+        second = []
+        table.refresh(BASE_TIME, salary_lt_10, second.append)
+        elements = [m for m in second if isinstance(m, SimpleElementMessage)]
+        assert elements == []
+
+
+class TestSimpleBaseTable:
+    @pytest.fixture
+    def table(self):
+        return SimpleBaseTable(5, Schema.of(("v", "int"),))
+
+    def test_insert_takes_lowest_empty(self, table):
+        assert table.insert((1,)) == 1
+        assert table.insert((2,)) == 2
+        table.delete(1)
+        assert table.insert((3,)) == 1
+
+    def test_insert_into_occupied_rejected(self, table):
+        table.insert((1,), addr=2)
+        with pytest.raises(SnapshotError):
+            table.insert((9,), addr=2)
+
+    def test_full_space_rejected(self, table):
+        for _ in range(5):
+            table.insert((0,))
+        with pytest.raises(SnapshotError):
+            table.insert((9,))
+
+    def test_update_requires_occupied(self, table):
+        with pytest.raises(SnapshotError):
+            table.update(1, (9,))
+
+    def test_delete_requires_occupied(self, table):
+        with pytest.raises(SnapshotError):
+            table.delete(1)
+
+    def test_out_of_range_address(self, table):
+        with pytest.raises(SnapshotError):
+            table.get(99)
+
+    def test_every_modification_advances_timestamps(self, table):
+        addr = table.insert((1,))
+        messages = []
+        table.refresh(0, lambda v: True, messages.append)
+        snap_time = messages[-1].time
+        table.update(addr, (2,))
+        messages2 = []
+        table.refresh(snap_time, lambda v: True, messages2.append)
+        sent = [m for m in messages2 if isinstance(m, SimpleElementMessage)]
+        assert [(m.addr, m.values) for m in sent] == [(addr, (2,))]
+
+    def test_occupied_map(self, table):
+        table.insert((1,))
+        table.insert((2,))
+        assert table.occupied() == {1: (1,), 2: (2,)}

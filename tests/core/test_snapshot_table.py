@@ -1,0 +1,135 @@
+"""Snapshot table receiver (Figure 4 semantics)."""
+
+import pytest
+
+from repro.core.messages import (
+    ClearMessage,
+    DeleteMessage,
+    DeleteRangeMessage,
+    EndOfScanMessage,
+    EntryMessage,
+    FullRowMessage,
+    SnapTimeMessage,
+    UpsertMessage,
+)
+from repro.core.snapshot import SnapshotTable
+from repro.database import Database
+from repro.errors import SnapshotError
+from repro.relation.schema import Schema
+from repro.storage.rid import Rid
+
+SCHEMA = Schema.of(("name", "string"), ("salary", "int"))
+
+
+@pytest.fixture
+def snap():
+    return SnapshotTable(Database("site"), "s", SCHEMA)
+
+
+def addr(slot):
+    return Rid(0, slot)
+
+
+def preload(snap, entries):
+    for slot, values in entries.items():
+        snap._upsert(addr(slot), values)
+
+
+class TestEntryMessage:
+    def test_insert_when_absent(self, snap):
+        snap.apply(EntryMessage(addr(2), Rid.BEGIN, ("Laura", 6), 10))
+        assert snap.as_map() == {addr(2): ("Laura", 6)}
+
+    def test_update_when_present(self, snap):
+        preload(snap, {2: ("Laura", 5)})
+        snap.apply(EntryMessage(addr(2), Rid.BEGIN, ("Laura", 6), 10))
+        assert snap.lookup(addr(2)).values == ("Laura", 6)
+        assert len(snap) == 1
+
+    def test_clears_open_interval(self, snap):
+        preload(snap, {1: ("a", 1), 2: ("b", 2), 3: ("c", 3), 4: ("d", 4)})
+        snap.apply(EntryMessage(addr(4), addr(1), ("d", 40), 10))
+        # Entries strictly between 1 and 4 vanish; endpoints survive.
+        assert set(snap.base_addrs()) == {addr(1), addr(4)}
+
+    def test_interval_excludes_endpoints(self, snap):
+        preload(snap, {1: ("a", 1), 3: ("c", 3)})
+        snap.apply(EntryMessage(addr(3), addr(1), ("c", 30), 10))
+        assert snap.lookup(addr(1)) is not None
+        assert snap.lookup(addr(3)).values == ("c", 30)
+
+
+class TestEndOfScan:
+    def test_deletes_tail(self, snap):
+        preload(snap, {1: ("a", 1), 5: ("e", 5), 6: ("f", 6)})
+        snap.apply(EndOfScanMessage(addr(1)))
+        assert snap.base_addrs() == [addr(1)]
+
+    def test_begin_clears_everything(self, snap):
+        preload(snap, {1: ("a", 1), 2: ("b", 2)})
+        snap.apply(EndOfScanMessage(Rid.BEGIN))
+        assert len(snap) == 0
+
+
+class TestOtherMessages:
+    def test_snap_time(self, snap):
+        snap.apply(SnapTimeMessage(430))
+        assert snap.snap_time == 430
+
+    def test_snap_time_cannot_regress(self, snap):
+        snap.apply(SnapTimeMessage(430))
+        with pytest.raises(SnapshotError):
+            snap.apply(SnapTimeMessage(100))
+
+    def test_delete_range(self, snap):
+        preload(snap, {1: ("a", 1), 2: ("b", 2), 3: ("c", 3)})
+        snap.apply(DeleteRangeMessage(addr(1), addr(3)))
+        assert set(snap.base_addrs()) == {addr(1), addr(3)}
+
+    def test_delete_range_unbounded(self, snap):
+        preload(snap, {1: ("a", 1), 2: ("b", 2), 3: ("c", 3)})
+        snap.apply(DeleteRangeMessage(addr(1), None))
+        assert snap.base_addrs() == [addr(1)]
+
+    def test_upsert_and_delete(self, snap):
+        snap.apply(UpsertMessage(addr(1), ("a", 1), 10))
+        snap.apply(UpsertMessage(addr(1), ("a", 2), 10))
+        assert snap.lookup(addr(1)).values == ("a", 2)
+        snap.apply(DeleteMessage(addr(1)))
+        assert len(snap) == 0
+
+    def test_delete_absent_is_noop(self, snap):
+        snap.apply(DeleteMessage(addr(9)))
+        assert len(snap) == 0
+
+    def test_clear_and_full_rows(self, snap):
+        preload(snap, {1: ("a", 1)})
+        snap.apply(ClearMessage())
+        assert len(snap) == 0
+        snap.apply(FullRowMessage(addr(2), ("b", 2), 10))
+        assert snap.as_map() == {addr(2): ("b", 2)}
+
+    def test_unknown_message_rejected(self, snap):
+        with pytest.raises(SnapshotError):
+            snap.apply(object())
+
+
+class TestReads:
+    def test_rows_ordered_by_base_addr(self, snap):
+        preload(snap, {5: ("e", 5), 1: ("a", 1), 3: ("c", 3)})
+        assert [r.values for r in snap.rows()] == [("a", 1), ("c", 3), ("e", 5)]
+
+    def test_entries_pairs(self, snap):
+        preload(snap, {1: ("a", 1)})
+        assert list(snap.entries()) == [(addr(1), snap.lookup(addr(1)))]
+
+    def test_reserved_column_name_rejected(self):
+        bad = Schema.of(("$BASEADDR$", "int"),)
+        with pytest.raises(SnapshotError):
+            SnapshotTable(Database("x"), "s", bad)
+
+    def test_apply_counters(self, snap):
+        snap.apply(UpsertMessage(addr(1), ("a", 1), 10))
+        snap.apply(DeleteMessage(addr(1)))
+        assert snap.applied_upserts == 1
+        assert snap.applied_deletes == 1

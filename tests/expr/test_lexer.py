@@ -1,0 +1,57 @@
+"""Tokenizer behaviour."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.expr.lexer import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestTokens:
+    def test_numbers(self):
+        assert values("1 23 4.5 .5") == [1, 23, 4.5, 0.5]
+
+    def test_strings(self):
+        assert values("'hello' ''") == ["hello", ""]
+
+    def test_string_escaped_quote(self):
+        assert values("'it''s'") == ["it's"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("and OR Not") == ["AND", "OR", "NOT", "EOF"]
+
+    def test_identifiers(self):
+        assert values("salary dept_2 $TIMESTAMP$") == [
+            "salary",
+            "dept_2",
+            "$TIMESTAMP$",
+        ]
+
+    def test_operators(self):
+        assert values("< <= <> != = >= > + - * / % ( ) ,") == [
+            "<", "<=", "<>", "!=", "=", ">=", ">", "+", "-", "*", "/", "%",
+            "(", ")", ",",
+        ]
+
+    def test_offsets_recorded(self):
+        tokens = tokenize("a < 10")
+        assert [t.offset for t in tokens[:-1]] == [0, 2, 4]
+
+    def test_unknown_char(self):
+        with pytest.raises(LexError):
+            tokenize("a ? b")
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind == "EOF"
+        assert tokenize("x")[-1].kind == "EOF"

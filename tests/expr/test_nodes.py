@@ -1,0 +1,135 @@
+"""Evaluator semantics, especially SQL three-valued logic."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.expr.parser import parse_expression
+from repro.relation.schema import Schema
+from repro.relation.types import NULL
+
+SCHEMA = Schema.of(
+    ("name", "string"), ("salary", "int"), ("dept", "string", True)
+)
+
+
+def run(text, *values):
+    return parse_expression(text).compile(SCHEMA)(values)
+
+
+class TestComparisons:
+    def test_basic(self):
+        assert run("salary < 10", "x", 5, "d") is True
+        assert run("salary < 10", "x", 15, "d") is False
+
+    def test_null_yields_unknown(self):
+        assert run("dept = 'db'", "x", 1, NULL) is None
+        assert run("dept <> 'db'", "x", 1, NULL) is None
+
+    def test_string_comparison(self):
+        assert run("name >= 'L'", "Laura", 1, "d") is True
+
+    def test_incompatible_types_raise(self):
+        with pytest.raises(EvaluationError):
+            run("name < 10", "Laura", 1, "d")
+
+    def test_int_float_compatible(self):
+        assert run("salary < 9.5", "x", 9, "d") is True
+
+
+class TestThreeValuedLogic:
+    def test_unknown_and_false_is_false(self):
+        assert run("dept = 'db' AND salary < 0", "x", 5, NULL) is False
+
+    def test_unknown_and_true_is_unknown(self):
+        assert run("dept = 'db' AND salary > 0", "x", 5, NULL) is None
+
+    def test_unknown_or_true_is_true(self):
+        assert run("dept = 'db' OR salary > 0", "x", 5, NULL) is True
+
+    def test_unknown_or_false_is_unknown(self):
+        assert run("dept = 'db' OR salary < 0", "x", 5, NULL) is None
+
+    def test_not_unknown_is_unknown(self):
+        assert run("NOT dept = 'db'", "x", 5, NULL) is None
+
+    def test_is_null_never_unknown(self):
+        assert run("dept IS NULL", "x", 5, NULL) is True
+        assert run("dept IS NOT NULL", "x", 5, NULL) is False
+        assert run("dept IS NULL", "x", 5, "db") is False
+
+
+class TestArithmetic:
+    def test_operations(self):
+        assert run("salary + 1 = 6", "x", 5, "d") is True
+        assert run("salary * 2 = 10", "x", 5, "d") is True
+        assert run("salary - 7 = -2", "x", 5, "d") is True
+        assert run("salary / 2 = 2.5", "x", 5, "d") is True
+        assert run("salary % 2 = 1", "x", 5, "d") is True
+
+    def test_null_propagates(self):
+        schema = Schema.of(("a", "int", True),)
+        expr = parse_expression("a + 1 = 2").compile(schema)
+        assert expr((NULL,)) is None
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvaluationError):
+            run("salary / 0 = 1", "x", 5, "d")
+
+    def test_string_concat(self):
+        assert run("name + '!' = 'Laura!'", "Laura", 1, "d") is True
+
+    def test_negate_string_raises(self):
+        with pytest.raises(EvaluationError):
+            run("-name = 'x'", "Laura", 1, "d")
+
+
+class TestPredicateForms:
+    def test_between_inclusive(self):
+        assert run("salary BETWEEN 5 AND 9", "x", 5, "d") is True
+        assert run("salary BETWEEN 5 AND 9", "x", 9, "d") is True
+        assert run("salary BETWEEN 5 AND 9", "x", 10, "d") is False
+
+    def test_between_null(self):
+        assert run("dept BETWEEN 'a' AND 'c'", "x", 1, NULL) is None
+
+    def test_in_list(self):
+        assert run("dept IN ('db', 'os')", "x", 1, "os") is True
+        assert run("dept IN ('db', 'os')", "x", 1, "net") is False
+
+    def test_in_with_null_member_is_unknown_when_absent(self):
+        assert run("salary IN (1, NULL)", "x", 2, "d") is None
+        assert run("salary IN (2, NULL)", "x", 2, "d") is True
+
+    def test_not_in(self):
+        assert run("dept NOT IN ('db')", "x", 1, "os") is True
+        assert run("dept NOT IN ('db')", "x", 1, "db") is False
+
+    def test_like(self):
+        assert run("name LIKE 'L%'", "Laura", 1, "d") is True
+        assert run("name LIKE 'L_'", "La", 1, "d") is True
+        assert run("name LIKE 'L_'", "Laura", 1, "d") is False
+        assert run("name LIKE '%a%'", "Laura", 1, "d") is True
+
+    def test_like_escapes_regex_chars(self):
+        assert run("name LIKE 'a.c'", "abc", 1, "d") is False
+        assert run("name LIKE 'a.c'", "a.c", 1, "d") is True
+
+    def test_like_non_string_raises(self):
+        with pytest.raises(EvaluationError):
+            run("salary LIKE '5'", "x", 5, "d")
+
+
+class TestCompilation:
+    def test_unknown_column_raises_at_compile(self):
+        with pytest.raises(EvaluationError):
+            parse_expression("bonus > 0").compile(SCHEMA)
+
+    def test_columns_reported(self):
+        expr = parse_expression("salary < 10 AND name LIKE 'x%' OR dept IS NULL")
+        assert expr.columns() == {"salary", "name", "dept"}
+
+    def test_eval_convenience(self):
+        from repro.relation.row import Row
+
+        expr = parse_expression("salary < 10")
+        assert expr.eval(Row(["x", 5, "d"]).values, SCHEMA) is True

@@ -1,0 +1,138 @@
+"""Parser: precedence, predicates, error reporting."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.expr.nodes import (
+    And,
+    Between,
+    BinaryOp,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Not,
+    Or,
+)
+from repro.expr.parser import parse_expression
+
+
+class TestPrecedence:
+    def test_or_binds_loosest(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, Or)
+        assert isinstance(expr.right, And)
+
+    def test_not_tighter_than_and(self):
+        expr = parse_expression("NOT a = 1 AND b = 2")
+        assert isinstance(expr, And)
+        assert isinstance(expr.left, Not)
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("a + 2 * 3 < 10")
+        assert isinstance(expr, Comparison)
+        plus = expr.left
+        assert isinstance(plus, BinaryOp) and plus.op == "+"
+        assert isinstance(plus.right, BinaryOp) and plus.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(a = 1 OR b = 2) AND c = 3")
+        assert isinstance(expr, And)
+        assert isinstance(expr.left, Or)
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a < -3")
+        assert expr.sql() == "-a < -3"
+
+
+class TestPredicates:
+    def test_comparisons(self):
+        for op in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            expr = parse_expression(f"a {op} 1")
+            assert isinstance(expr, Comparison)
+            assert expr.op == op
+
+    def test_is_null(self):
+        assert isinstance(parse_expression("a IS NULL"), IsNull)
+
+    def test_is_not_null(self):
+        expr = parse_expression("a IS NOT NULL")
+        assert isinstance(expr, IsNull) and expr.negated
+
+    def test_between(self):
+        assert isinstance(parse_expression("a BETWEEN 1 AND 5"), Between)
+
+    def test_not_between(self):
+        expr = parse_expression("a NOT BETWEEN 1 AND 5")
+        assert isinstance(expr, Not)
+        assert isinstance(expr.operand, Between)
+
+    def test_between_and_conjunction(self):
+        # The AND inside BETWEEN must not swallow the outer conjunction.
+        expr = parse_expression("a BETWEEN 1 AND 5 AND b = 2")
+        assert isinstance(expr, And)
+
+    def test_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, InList)
+        assert len(expr.items) == 3
+
+    def test_not_in(self):
+        expr = parse_expression("a NOT IN (1)")
+        assert isinstance(expr, InList) and expr.negated
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'L%'")
+        assert isinstance(expr, Like)
+        assert expr.pattern == "L%"
+
+    def test_not_like(self):
+        expr = parse_expression("name NOT LIKE '_x'")
+        assert isinstance(expr, Like) and expr.negated
+
+    def test_boolean_literals(self):
+        assert parse_expression("TRUE").sql() == "TRUE"
+        assert parse_expression("FALSE").sql() == "FALSE"
+        assert parse_expression("NULL").sql() == "NULL"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "a <",
+            "a = 1 extra junk",  # consecutive idents
+            "a BETWEEN 1",
+            "a IN 1",
+            "a IN ()",
+            "(a = 1",
+            "LIKE 'x'",
+            "a LIKE 5",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_expression(bad)
+
+    def test_error_mentions_offset_and_text(self):
+        with pytest.raises(ParseError, match="offset"):
+            parse_expression("a = ")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "salary < 10",
+            "a BETWEEN 1 AND 5",
+            "name LIKE 'L%'",
+            "a IN (1, 2)",
+            "x IS NOT NULL",
+            "NOT (a = 1 OR b = 2)",
+        ],
+    )
+    def test_sql_reparses_to_same_sql(self, text):
+        once = parse_expression(text).sql()
+        twice = parse_expression(once).sql()
+        assert once == twice

@@ -1,0 +1,85 @@
+"""Restriction and Projection objects."""
+
+import pytest
+
+from repro.errors import EvaluationError, SchemaError
+from repro.expr.predicate import Projection, Restriction
+from repro.relation.row import Row
+from repro.relation.schema import Column, Schema
+from repro.relation.types import NULL
+
+SCHEMA = Schema.of(("name", "string"), ("salary", "int"))
+ANNOTATED = SCHEMA.with_columns(
+    [
+        Column("$PREVADDR$", "rid", nullable=True, hidden=True),
+        Column("$TIMESTAMP$", "timestamp", nullable=True, hidden=True),
+    ]
+)
+
+
+class TestRestriction:
+    def test_parse_and_call(self):
+        restrict = Restriction.parse("salary < 10", SCHEMA)
+        assert restrict(Row(["Laura", 6]))
+        assert not restrict(Row(["Bruce", 15]))
+
+    def test_accepts_plain_sequences(self):
+        restrict = Restriction.parse("salary < 10", SCHEMA)
+        assert restrict(("Laura", 6))
+
+    def test_unknown_does_not_qualify(self):
+        schema = Schema.of(("v", "int", True))
+        restrict = Restriction.parse("v < 10", schema)
+        assert not restrict(Row([NULL]))
+
+    def test_true_restriction(self):
+        restrict = Restriction.true(SCHEMA)
+        assert restrict(Row(["anyone", 123]))
+        assert restrict.text == "TRUE"
+
+    def test_rejects_unknown_columns(self):
+        with pytest.raises(EvaluationError):
+            Restriction.parse("bonus > 0", SCHEMA)
+
+    def test_rejects_hidden_columns(self):
+        with pytest.raises(EvaluationError):
+            Restriction.parse("$TIMESTAMP$ IS NULL", ANNOTATED)
+
+    def test_works_over_annotated_rows(self):
+        restrict = Restriction.parse("salary < 10", ANNOTATED)
+        assert restrict(Row(["Laura", 6, NULL, NULL]))
+
+    def test_text_roundtrip(self):
+        restrict = Restriction.parse("salary < 10 AND name LIKE 'L%'", SCHEMA)
+        again = Restriction.parse(restrict.text, SCHEMA)
+        assert again(Row(["Laura", 6]))
+
+
+class TestProjection:
+    def test_identity_default(self):
+        projection = Projection(SCHEMA)
+        assert projection.is_identity
+        assert projection(Row(["Laura", 6])).values == ("Laura", 6)
+
+    def test_subset_and_order(self):
+        projection = Projection(SCHEMA, ["salary", "name"])
+        assert projection(Row(["Laura", 6])).values == (6, "Laura")
+        assert projection.schema.names == ("salary", "name")
+        assert not projection.is_identity
+
+    def test_hidden_columns_stripped_from_identity(self):
+        projection = Projection(ANNOTATED)
+        assert projection.names == ("name", "salary")
+        assert projection(Row(["Laura", 6, NULL, NULL])).values == ("Laura", 6)
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SchemaError):
+            Projection(SCHEMA, ["bonus"])
+
+    def test_rejects_hidden(self):
+        with pytest.raises(SchemaError):
+            Projection(ANNOTATED, ["$PREVADDR$"])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError):
+            Projection(SCHEMA, ["name", "name"])

@@ -1,0 +1,132 @@
+"""Cascaded snapshots: "snapshots can serve as base tables for other
+snapshots"."""
+
+import pytest
+
+from repro.core.manager import SnapshotManager
+from repro.database import Database
+
+
+@pytest.fixture
+def chain():
+    """HQ -> regional snapshot -> leaf snapshot (all differential)."""
+    hq = Database("hq")
+    regional = Database("regional")
+    leaf = Database("leaf")
+    emp = hq.create_table("emp", [("name", "string"), ("salary", "int")])
+    emp.bulk_load([[f"e{i}", i % 30] for i in range(120)])
+    hq_manager = SnapshotManager(hq)
+    mid = hq_manager.create_snapshot(
+        "mid", "emp", where="salary < 20", method="differential",
+        target_db=regional,
+    )
+    regional_manager = SnapshotManager(regional)
+    low = regional_manager.create_snapshot(
+        "low", "mid", where="salary < 10", method="differential",
+        target_db=leaf,
+    )
+    return hq, emp, mid, low
+
+
+def truth_values(table_like_rows, cutoff):
+    return sorted(v for v in table_like_rows if v[1] < cutoff)
+
+
+class TestCascade:
+    def test_initial_population_through_the_chain(self, chain):
+        hq, emp, mid, low = chain
+        assert len(mid.table) == 80
+        assert len(low.table) == 40
+        mid_rows = [row.values for row in mid.rows()]
+        assert sorted(v for v in low.as_map().values()) == truth_values(
+            mid_rows, 10
+        )
+
+    def test_changes_propagate_hop_by_hop(self, chain):
+        hq, emp, mid, low = chain
+        rids = [rid for rid, _ in emp.scan()]
+        emp.update(rids[0], {"salary": 5})
+        emp.update(rids[1], {"salary": 25})
+        emp.delete(rids[2])
+        emp.insert(["n1", 3])
+        mid_result = mid.refresh()
+        low_result = low.refresh()
+        assert mid_result.entries_sent < 10
+        assert low_result.entries_sent < 10
+        base_truth = {
+            rid: row.values for rid, row in emp.scan() if row.values[1] < 20
+        }
+        assert mid.as_map() == base_truth
+        mid_rows = [row.values for row in mid.rows()]
+        assert sorted(v for v in low.as_map().values()) == truth_values(
+            mid_rows, 10
+        )
+
+    def test_leaf_stale_until_parent_refreshes(self, chain):
+        hq, emp, mid, low = chain
+        before = low.as_map()
+        victim = next(
+            rid for rid, row in emp.scan() if row.values[1] < 10
+        )
+        emp.delete(victim)
+        # Refreshing only the leaf changes nothing: its base (the mid
+        # snapshot) has not been refreshed yet.
+        low.refresh()
+        assert low.as_map() == before
+        mid.refresh()
+        low.refresh()
+        assert len(low.as_map()) == len(before) - 1
+
+    def test_repeated_rounds_converge(self, chain):
+        import random
+
+        hq, emp, mid, low = chain
+        rng = random.Random(31)
+        for _ in range(4):
+            live = [rid for rid, _ in emp.scan()]
+            for _ in range(15):
+                roll = rng.random()
+                if roll < 0.3 and len(live) > 10:
+                    emp.delete(live.pop(rng.randrange(len(live))))
+                elif roll < 0.7:
+                    target = live[rng.randrange(len(live))]
+                    new_rid = emp.update(target, {"salary": rng.randrange(30)})
+                    if new_rid != target:
+                        live[live.index(target)] = new_rid
+                else:
+                    live.append(emp.insert(["x", rng.randrange(30)]))
+            mid.refresh()
+            low.refresh()
+            mid_rows = [row.values for row in mid.rows()]
+            assert sorted(v for v in low.as_map().values()) == truth_values(
+                mid_rows, 10
+            )
+
+    def test_three_level_chain(self):
+        hq = Database("hq")
+        emp = hq.create_table("emp", [("v", "int")])
+        emp.bulk_load([[i] for i in range(100)])
+        sites = [Database(f"s{i}") for i in range(3)]
+        managers = [SnapshotManager(hq)]
+        snaps = []
+        parent_name = "emp"
+        for level, site in enumerate(sites):
+            snap = managers[-1].create_snapshot(
+                f"level{level}", parent_name,
+                where=f"v < {80 - 20 * level}",
+                method="differential", target_db=site,
+            )
+            snaps.append(snap)
+            managers.append(SnapshotManager(site))
+            parent_name = f"level{level}"
+        assert [len(s.table) for s in snaps] == [80, 60, 40]
+        rids = [rid for rid, _ in emp.scan()]
+        emp.update(rids[0], {"v": 1})
+        for snap in snaps:
+            snap.refresh()
+        assert [len(s.table) for s in snaps] == [80, 60, 40]
+
+    def test_snapshot_storage_visible_in_site_catalog(self, chain):
+        hq, emp, mid, low = chain
+        regional_db = mid.table.db
+        assert regional_db.catalog.has_table("$SNAP$mid")

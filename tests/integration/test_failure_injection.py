@@ -1,0 +1,147 @@
+"""Failure injection: aborts, link outages, log truncation, crash clock."""
+
+import pytest
+
+from repro.core.asap import AsapPropagator
+from repro.core.manager import SnapshotManager
+from repro.database import Database
+from repro.errors import LinkDownError
+from repro.expr.predicate import Projection, Restriction
+from repro.net.channel import Link
+from repro.txn.clock import RecoverableCounter
+
+
+class TestAbortedTransactionsAndRefresh:
+    def test_aborted_changes_never_reach_snapshot(self):
+        hq = Database("hq")
+        emp = hq.create_table("emp", [("name", "string"), ("salary", "int")])
+        emp.bulk_load([[f"e{i}", i] for i in range(20)])
+        manager = SnapshotManager(hq)
+        snap = manager.create_snapshot(
+            "low", "emp", where="salary < 10", method="differential"
+        )
+        baseline = snap.as_map()
+        txn = hq.txns.begin()
+        emp.insert(["phantom", 1], txn=txn)
+        rids = [rid for rid, _ in emp.scan()]
+        emp.update(rids[0], {"salary": 2}, txn=txn)
+        txn.abort()
+        result = snap.refresh()
+        assert snap.as_map() == baseline
+
+    def test_abort_after_annotation_touch_still_converges(self):
+        # An aborted update leaves the row's timestamp NULL (the undo
+        # restores the image, which had a NULL timestamp mid-flight is
+        # restored to the *before* image) — refresh must stay exact.
+        hq = Database("hq")
+        emp = hq.create_table("emp", [("v", "int")], annotations="lazy")
+        rids = [emp.insert([i]) for i in range(10)]
+        manager = SnapshotManager(hq)
+        snap = manager.create_snapshot(
+            "s", "emp", where="v < 5", method="differential"
+        )
+        txn = hq.txns.begin()
+        emp.update(rids[0], {"v": 100}, txn=txn)
+        txn.abort()
+        snap.refresh()
+        truth = {
+            rid: row.values
+            for rid, row in emp.scan(visible=True)
+            if row.values[0] < 5
+        }
+        assert snap.as_map() == truth
+
+
+class TestLinkOutage:
+    def test_asap_buffers_then_drains(self):
+        hq = Database("hq")
+        emp = hq.create_table("emp", [("v", "int")])
+        rids = [emp.insert([i]) for i in range(10)]
+        restriction = Restriction.parse("v < 100", emp.schema)
+        projection = Projection(emp.schema)
+        link = Link()
+        from repro.core.snapshot import SnapshotTable
+
+        snapshot = SnapshotTable(Database("remote"), "s", projection.schema)
+        for rid, row in emp.scan():
+            snapshot._upsert(rid, row.values)
+        link.attach(snapshot.receiver())
+        propagator = AsapPropagator(emp, restriction, projection, link)
+        link.go_down()
+        for i, rid in enumerate(rids[:5]):
+            emp.update(rid, {"v": 50 + i})
+        assert propagator.buffered == 5
+        assert len(snapshot) == 10  # stale but consistent
+        link.come_up()
+        propagator.try_flush()
+        assert propagator.buffered == 0
+        assert snapshot.as_map() == {
+            rid: row.values for rid, row in emp.scan(visible=True)
+        }
+
+    def test_periodic_refresh_survives_outage_trivially(self):
+        # The contrast with ASAP: a pull refresh simply runs later.
+        hq = Database("hq")
+        emp = hq.create_table("emp", [("v", "int")])
+        rids = [emp.insert([i]) for i in range(10)]
+        manager = SnapshotManager(hq)
+        link = Link()
+        snap = manager.create_snapshot(
+            "s", "emp", method="differential", channel=link
+        )
+        link.go_down()
+        emp.update(rids[0], {"v": 99})
+        with pytest.raises(LinkDownError):
+            snap.refresh()
+        link.come_up()
+        snap.refresh()
+        assert snap.as_map() == {
+            rid: row.values for rid, row in emp.scan(visible=True)
+        }
+
+
+class TestLogTruncation:
+    def test_log_snapshot_degrades_to_full(self):
+        hq = Database("hq", wal_capacity_bytes=2000)
+        emp = hq.create_table("emp", [("v", "int")])
+        for i in range(10):
+            emp.insert([i])
+        manager = SnapshotManager(hq)
+        snap = manager.create_snapshot(
+            "logged", "emp", where="v < 100", method="log"
+        )
+        # Blow the log capacity so the snapshot's LSN falls off the end.
+        for i in range(200):
+            emp.insert([i + 1000])
+        result = snap.refresh()
+        assert result.fell_back_full
+        assert snap.as_map() == {
+            rid: row.values
+            for rid, row in emp.scan(visible=True)
+            if row.values[0] < 100
+        }
+
+
+class TestCrashRecovery:
+    def test_recoverable_clock_keeps_snapshots_safe(self, tmp_path):
+        """After a simulated crash the clock never reissues a time, so a
+        refresh after recovery cannot miss changes stamped before it."""
+        path = str(tmp_path / "clock")
+        clock = RecoverableCounter(path, lease=5)
+        hq = Database("hq", clock=clock)
+        emp = hq.create_table("emp", [("v", "int")], annotations="lazy")
+        rids = [emp.insert([i]) for i in range(10)]
+        manager = SnapshotManager(hq)
+        snap = manager.create_snapshot("s", "emp", method="differential")
+        snap_time = snap.snap_time
+
+        # Crash: a new clock instance resumes beyond everything issued.
+        recovered_clock = RecoverableCounter(path, lease=5)
+        assert recovered_clock.read() >= snap_time
+        hq.clock = recovered_clock
+        emp.update(rids[0], {"v": 100})
+        result = snap.refresh()
+        assert result.new_snap_time > snap_time
+        assert snap.as_map() == {
+            rid: row.values for rid, row in emp.scan(visible=True)
+        }

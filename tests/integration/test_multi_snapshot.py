@@ -1,0 +1,128 @@
+"""Multiple snapshots sharing one base table's annotations.
+
+The paper: "multiple snapshots on a single base table do not require
+additional annotations and much of the extra work is amortized over the
+set of snapshots depending upon the base table."
+"""
+
+import pytest
+
+from repro.core.manager import SnapshotManager
+from repro.database import Database
+
+
+@pytest.fixture
+def world():
+    hq = Database("hq")
+    emp = hq.create_table("emp", [("name", "string"), ("salary", "int")])
+    emp.bulk_load([[f"e{i}", i % 50] for i in range(150)])
+    return hq, emp, SnapshotManager(hq)
+
+
+def truth(emp, cutoff):
+    return {
+        rid: row.values
+        for rid, row in emp.scan(visible=True)
+        if row.values[1] < cutoff
+    }
+
+
+class TestSharedAnnotations:
+    def test_many_snapshots_one_annotation_set(self, world):
+        hq, emp, manager = world
+        snaps = [
+            manager.create_snapshot(
+                f"s{i}", "emp", where=f"salary < {10 * (i + 1)}",
+                method="differential",
+            )
+            for i in range(4)
+        ]
+        assert emp.schema.hidden_names() == ("$PREVADDR$", "$TIMESTAMP$")
+        for index, snap in enumerate(snaps):
+            assert snap.as_map() == truth(emp, 10 * (index + 1))
+
+    def test_staggered_refresh_each_sees_all_changes(self, world):
+        hq, emp, manager = world
+        early = manager.create_snapshot(
+            "early", "emp", where="salary < 25", method="differential"
+        )
+        late = manager.create_snapshot(
+            "late", "emp", where="salary < 25", method="differential"
+        )
+        rids = [rid for rid, _ in emp.scan()]
+        # Batch 1 — only `early` refreshes.
+        emp.update(rids[0], {"salary": 1})
+        emp.delete(rids[1])
+        early.refresh()
+        assert early.as_map() == truth(emp, 25)
+        # Batch 2 — now `late` refreshes and must see batches 1 AND 2.
+        emp.update(rids[2], {"salary": 2})
+        late.refresh()
+        assert late.as_map() == truth(emp, 25)
+        # And `early` still catches batch 2.
+        early.refresh()
+        assert early.as_map() == truth(emp, 25)
+
+    def test_fixup_amortization(self, world):
+        hq, emp, manager = world
+        first = manager.create_snapshot(
+            "first", "emp", method="differential"
+        )
+        second = manager.create_snapshot(
+            "second", "emp", method="differential"
+        )
+        third = manager.create_snapshot(
+            "third", "emp", method="differential"
+        )
+        rids = [rid for rid, _ in emp.scan()]
+        for rid in rids[:20]:
+            emp.update(rid, {"salary": 3})
+        results = [snap.refresh() for snap in (first, second, third)]
+        assert results[0].fixup_writes == 20
+        assert results[1].fixup_writes == 0
+        assert results[2].fixup_writes == 0
+        # All three transmitted the same (complete) change set.
+        assert {r.entries_sent for r in results} == {20}
+
+    def test_deletion_stamp_visible_to_stale_snapshot(self, world):
+        # A refresh's fix-up stamps a deletion's successor with the
+        # fix-up time; a snapshot that last refreshed *before* that time
+        # must still detect the deletion later.
+        hq, emp, manager = world
+        fresh = manager.create_snapshot(
+            "fresh", "emp", where="salary < 25", method="differential"
+        )
+        stale = manager.create_snapshot(
+            "stale", "emp", where="salary < 25", method="differential"
+        )
+        victim = next(
+            rid for rid, row in emp.scan(visible=True) if row.values[1] < 25
+        )
+        emp.delete(victim)
+        fresh.refresh()  # performs the fix-up
+        assert fresh.as_map() == truth(emp, 25)
+        stale.refresh()  # must also drop the victim
+        assert stale.as_map() == truth(emp, 25)
+
+    def test_mixed_methods_coexist(self, world):
+        hq, emp, manager = world
+        differential = manager.create_snapshot(
+            "d", "emp", where="salary < 25", method="differential"
+        )
+        full = manager.create_snapshot(
+            "f", "emp", where="salary < 25", method="full"
+        )
+        rids = [rid for rid, _ in emp.scan()]
+        emp.update(rids[0], {"salary": 0})
+        differential.refresh()
+        full.refresh()
+        assert differential.as_map() == full.as_map() == truth(emp, 25)
+
+    def test_drop_one_leaves_others_working(self, world):
+        hq, emp, manager = world
+        keep = manager.create_snapshot("keep", "emp", method="differential")
+        drop = manager.create_snapshot("drop", "emp", method="differential")
+        manager.drop_snapshot("drop")
+        emp.insert(["after", 7])
+        keep.refresh()
+        assert keep.as_map() == truth(emp, 10**9)

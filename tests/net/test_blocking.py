@@ -1,0 +1,79 @@
+"""R*-style blocking: frame batching and byte accounting."""
+
+import pytest
+
+from repro.errors import ChannelError
+from repro.net.blocking import FRAME_OVERHEAD, BlockingChannel, Frame
+from repro.net.channel import Channel
+
+
+class Msg:
+    def __init__(self, size=10):
+        self._size = size
+
+    def wire_size(self):
+        return self._size
+
+
+class TestFrame:
+    def test_wire_size_includes_overhead(self):
+        frame = Frame([Msg(10), Msg(20)])
+        assert frame.wire_size() == FRAME_OVERHEAD + 30
+        assert len(frame) == 2
+
+
+class TestBlockingChannel:
+    def test_batches_into_frames(self):
+        inner = Channel()
+        blocking = BlockingChannel(inner, block_size=3)
+        frames = []
+        inner.attach(frames.append)
+        for _ in range(7):
+            blocking.send(Msg())
+        assert len(frames) == 2  # two full frames of 3
+        assert blocking.pending == 1
+        blocking.flush()
+        assert len(frames) == 3
+        assert len(frames[2]) == 1
+
+    def test_flush_empty_is_noop(self):
+        inner = Channel()
+        blocking = BlockingChannel(inner, block_size=4)
+        blocking.flush()
+        assert inner.stats.messages == 0
+
+    def test_logical_vs_physical_stats(self):
+        inner = Channel()
+        inner.attach(lambda f: None)
+        blocking = BlockingChannel(inner, block_size=2)
+        for _ in range(4):
+            blocking.send(Msg(10))
+        assert blocking.logical.messages == 4
+        assert blocking.stats.messages == 2  # physical frames
+        assert blocking.stats.bytes == 2 * (FRAME_OVERHEAD + 20)
+
+    def test_attach_unwraps_frames(self):
+        inner = Channel()
+        blocking = BlockingChannel(inner, block_size=2)
+        received = []
+        blocking.attach(received.append)
+        first, second = Msg(), Msg()
+        blocking.send(first)
+        blocking.send(second)
+        assert received == [first, second]
+
+    def test_blocking_reduces_physical_messages(self):
+        # The R* claim: blocking cuts per-message overhead.
+        unblocked = Channel()
+        for _ in range(100):
+            unblocked.send(Msg(10))
+        blocked_inner = Channel()
+        blocking = BlockingChannel(blocked_inner, block_size=25)
+        for _ in range(100):
+            blocking.send(Msg(10))
+        blocking.flush()
+        assert blocked_inner.stats.messages == 4 < unblocked.stats.messages
+
+    def test_bad_block_size(self):
+        with pytest.raises(ChannelError):
+            BlockingChannel(Channel(), block_size=0)

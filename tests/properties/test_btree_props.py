@@ -1,0 +1,102 @@
+"""B+tree checked against a dict model under arbitrary operation scripts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.btree import BPlusTree
+
+keys = st.integers(min_value=0, max_value=200)
+scripts = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]), keys), max_size=300
+)
+
+
+class TestAgainstModel:
+    @settings(max_examples=80, deadline=None)
+    @given(script=scripts, order=st.sampled_from([4, 5, 8, 32]))
+    def test_matches_dict(self, script, order):
+        tree = BPlusTree(order=order)
+        model = {}
+        for op, key in script:
+            if op == "insert":
+                tree.insert(key, key * 3)
+                model[key] = key * 3
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        tree.check_invariants()
+        assert dict(tree.items()) == model
+        assert len(tree) == len(model)
+        if model:
+            assert tree.min_key() == min(model)
+            assert tree.max_key() == max(model)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        script=scripts,
+        lo=keys,
+        hi=keys,
+        include_lo=st.booleans(),
+        include_hi=st.booleans(),
+    )
+    def test_range_matches_model(self, script, lo, hi, include_lo, include_hi):
+        tree = BPlusTree(order=5)
+        model = {}
+        for op, key in script:
+            if op == "insert":
+                tree.insert(key, key)
+                model[key] = key
+            else:
+                tree.delete(key)
+                model.pop(key, None)
+
+        def in_bounds(key):
+            if include_lo:
+                if key < lo:
+                    return False
+            elif key <= lo:
+                return False
+            if include_hi:
+                if key > hi:
+                    return False
+            elif key >= hi:
+                return False
+            return True
+
+        got = [k for k, _ in tree.range(lo, hi, include_lo, include_hi)]
+        assert got == sorted(k for k in model if in_bounds(k))
+
+    @settings(max_examples=60, deadline=None)
+    @given(script=scripts, probe=keys)
+    def test_floor_matches_model(self, script, probe):
+        tree = BPlusTree(order=4)
+        model = set()
+        for op, key in script:
+            if op == "insert":
+                tree.insert(key, key)
+                model.add(key)
+            else:
+                tree.delete(key)
+                model.discard(key)
+        below = [k for k in model if k < probe]
+        expected = (max(below), max(below)) if below else None
+        assert tree.floor_item(probe) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(script=scripts, lo=keys, hi=keys)
+    def test_delete_range_matches_model(self, script, lo, hi):
+        tree = BPlusTree(order=4)
+        model = {}
+        for op, key in script:
+            if op == "insert":
+                tree.insert(key, key)
+                model[key] = key
+            else:
+                tree.delete(key)
+                model.pop(key, None)
+        removed = tree.delete_range(lo, hi, include_lo=False, include_hi=False)
+        tree.check_invariants()
+        expected_removed = sorted(k for k in model if lo < k < hi)
+        assert [k for k, _ in removed] == expected_removed
+        survivors = {k: v for k, v in model.items() if not (lo < k < hi)}
+        assert dict(tree.items()) == survivors

@@ -1,0 +1,90 @@
+"""Predicate-language properties: round trips and NULL-logic laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr.parser import parse_expression
+from repro.expr.predicate import Restriction
+from repro.relation.schema import Schema
+from repro.relation.types import NULL
+
+SCHEMA = Schema.of(("a", "int", True), ("b", "int", True), ("s", "string", True))
+
+values = st.one_of(st.just(NULL), st.integers(min_value=-100, max_value=100))
+strings = st.one_of(st.just(NULL), st.text(alphabet="abcxyz", max_size=5))
+
+
+@st.composite
+def simple_predicates(draw):
+    """Small random predicates over columns a, b, s."""
+    depth = draw(st.integers(min_value=0, max_value=2))
+
+    def atom():
+        kind = draw(st.sampled_from(["cmp", "null", "between", "in"]))
+        column = draw(st.sampled_from(["a", "b"]))
+        if kind == "cmp":
+            op = draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
+            return f"{column} {op} {draw(st.integers(-50, 50))}"
+        if kind == "null":
+            negated = draw(st.booleans())
+            return f"{column} IS {'NOT ' if negated else ''}NULL"
+        if kind == "between":
+            lo = draw(st.integers(-50, 0))
+            hi = draw(st.integers(0, 50))
+            return f"{column} BETWEEN {lo} AND {hi}"
+        items = ", ".join(
+            str(draw(st.integers(-5, 5))) for _ in range(draw(st.integers(1, 3)))
+        )
+        return f"{column} IN ({items})"
+
+    def build(level):
+        if level == 0:
+            return atom()
+        connective = draw(st.sampled_from(["AND", "OR"]))
+        left = build(level - 1)
+        right = build(level - 1)
+        text = f"({left}) {connective} ({right})"
+        if draw(st.booleans()):
+            text = f"NOT ({text})"
+        return text
+
+    return build(depth)
+
+
+class TestRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(text=simple_predicates(), a=values, b=values, s=strings)
+    def test_sql_rendering_preserves_semantics(self, text, a, b, s):
+        original = parse_expression(text)
+        reparsed = parse_expression(original.sql())
+        row = (a, b, s)
+        assert original.compile(SCHEMA)(row) == reparsed.compile(SCHEMA)(row)
+
+
+class TestNullLogicLaws:
+    @settings(max_examples=120, deadline=None)
+    @given(text=simple_predicates(), a=values, b=values, s=strings)
+    def test_restriction_is_boolean(self, text, a, b, s):
+        """UNKNOWN never leaks out of a Restriction."""
+        restriction = Restriction(parse_expression(text), SCHEMA)
+        assert restriction((a, b, s)) in (True, False)
+
+    @settings(max_examples=120, deadline=None)
+    @given(text=simple_predicates(), a=values, b=values, s=strings)
+    def test_excluded_middle_fails_only_on_null(self, text, a, b, s):
+        """p OR NOT p is TRUE whenever no NULL is involved."""
+        predicate = parse_expression(f"({text}) OR NOT ({text})")
+        result = predicate.compile(SCHEMA)((a, b, s))
+        if a is not NULL and b is not NULL and s is not NULL:
+            assert result is True
+        else:
+            assert result in (True, None)
+
+    @settings(max_examples=120, deadline=None)
+    @given(text=simple_predicates(), a=values, b=values, s=strings)
+    def test_double_negation(self, text, a, b, s):
+        inner = parse_expression(text).compile(SCHEMA)((a, b, s))
+        double = parse_expression(f"NOT (NOT ({text}))").compile(SCHEMA)(
+            (a, b, s)
+        )
+        assert double == inner

@@ -1,0 +1,75 @@
+"""Fix-up pass properties: idempotence, chain restoration, write bounds."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fixup import base_fixup
+from repro.database import Database
+from repro.relation.types import NULL
+from repro.storage.rid import Rid
+
+scripts = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete"]),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=99),
+    ),
+    max_size=50,
+)
+
+
+def build_table(script):
+    db = Database("prop-fixup")
+    table = db.create_table("t", [("v", "int")], annotations="lazy")
+    live = [table.insert([v]) for v in range(8)]
+    base_fixup(table)  # settle the initial population
+    for op, index, value in script:
+        if op == "insert":
+            live.append(table.insert([value]))
+        elif op == "update" and live:
+            table.update(live[index % len(live)], {"v": value})
+        elif op == "delete" and live:
+            table.delete(live.pop(index % len(live)))
+    return db, table
+
+
+class TestFixupProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(script=scripts)
+    def test_restores_chain_invariant(self, script):
+        """After fix-up, PrevAddr chains exactly mirror live order."""
+        db, table = build_table(script)
+        base_fixup(table)
+        previous = Rid.BEGIN
+        for rid, _ in table.scan():
+            prev, ts = table.annotations(rid)
+            assert prev == previous
+            assert ts is not NULL
+            previous = rid
+
+    @settings(max_examples=60, deadline=None)
+    @given(script=scripts)
+    def test_idempotent(self, script):
+        db, table = build_table(script)
+        base_fixup(table)
+        second = base_fixup(table)
+        assert second.writes == 0
+        assert second.inserted == 0
+        assert second.updated == 0
+        assert second.deletions_detected == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(script=scripts)
+    def test_write_count_bounded_by_row_count(self, script):
+        """One pass writes each entry at most once."""
+        db, table = build_table(script)
+        result = base_fixup(table)
+        assert result.writes <= result.scanned
+
+    @settings(max_examples=40, deadline=None)
+    @given(script=scripts)
+    def test_classification_counts_are_consistent(self, script):
+        db, table = build_table(script)
+        result = base_fixup(table)
+        assert result.inserted + result.updated <= result.scanned + result.writes
+        assert result.deletions_detected <= result.scanned

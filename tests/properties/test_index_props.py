@@ -1,0 +1,73 @@
+"""Secondary-index consistency under arbitrary operation scripts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database import Database
+from repro.query.indexes import SecondaryIndex
+from repro.relation.types import NULL
+
+scripts = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete", "null_update", "abort_batch"]),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=50),
+    ),
+    max_size=40,
+)
+
+
+class TestIndexConsistency:
+    @settings(max_examples=50, deadline=None)
+    @given(script=scripts)
+    def test_index_matches_scan_always(self, script):
+        db = Database("prop-index")
+        table = db.create_table(
+            "t", [("v", "int", True)], annotations="lazy"
+        )
+        live = table.bulk_load([[i] for i in range(10)])
+        index = SecondaryIndex(table, "v")
+        for op, pick, value in script:
+            if op == "insert":
+                live.append(table.insert([value]))
+            elif op == "update" and live:
+                target = live[pick % len(live)]
+                new_rid = table.update(target, {"v": value})
+                if new_rid != target:
+                    live[live.index(target)] = new_rid
+            elif op == "null_update" and live:
+                table.update(live[pick % len(live)], {"v": NULL})
+            elif op == "delete" and live:
+                table.delete(live.pop(pick % len(live)))
+            elif op == "abort_batch" and live:
+                txn = db.txns.begin()
+                table.update(live[pick % len(live)], {"v": value}, txn=txn)
+                rid = table.insert([value], txn=txn)
+                txn.abort()
+            index.check_consistency()
+
+    @settings(max_examples=30, deadline=None)
+    @given(script=scripts, lo=st.integers(0, 50), hi=st.integers(0, 50))
+    def test_range_lookup_matches_scan(self, script, lo, hi):
+        db = Database("prop-index")
+        table = db.create_table("t", [("v", "int", True)], annotations="lazy")
+        live = table.bulk_load([[i] for i in range(10)])
+        index = SecondaryIndex(table, "v")
+        for op, pick, value in script:
+            if op == "insert":
+                live.append(table.insert([value]))
+            elif op in ("update", "null_update") and live:
+                new_value = NULL if op == "null_update" else value
+                target = live[pick % len(live)]
+                new_rid = table.update(target, {"v": new_value})
+                if new_rid != target:
+                    live[live.index(target)] = new_rid
+            elif op == "delete" and live:
+                table.delete(live.pop(pick % len(live)))
+        got = sorted(rid.key() for rid in index.lookup_range(lo, hi))
+        expected = sorted(
+            rid.key()
+            for rid, row in table.scan()
+            if row.values[0] is not NULL and lo <= row.values[0] < hi
+        )
+        assert got == expected

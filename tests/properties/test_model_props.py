@@ -1,0 +1,52 @@
+"""Analytical-model properties over the whole parameter space."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.model import (
+    differential_fraction,
+    distinct_touched_fraction,
+    full_fraction,
+    ideal_fraction,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+activity = st.floats(min_value=0.0, max_value=8.0, allow_nan=False)
+
+
+class TestModelLaws:
+    @settings(max_examples=200, deadline=None)
+    @given(q=unit, d=unit)
+    def test_sandwich(self, q, d):
+        ideal = ideal_fraction(q, d)
+        diff = differential_fraction(q, d)
+        full = full_fraction(q)
+        assert 0.0 <= ideal <= diff + 1e-12
+        assert diff <= full + 1e-12
+        assert full <= 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(q=unit, d1=unit, d2=unit)
+    def test_monotone_in_change(self, q, d1, d2):
+        lo, hi = sorted((d1, d2))
+        assert differential_fraction(q, lo) <= differential_fraction(q, hi) + 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(q1=unit, q2=unit, d=unit)
+    def test_monotone_in_selectivity(self, q1, q2, d):
+        lo, hi = sorted((q1, q2))
+        assert differential_fraction(lo, d) <= differential_fraction(hi, d) + 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(u1=activity, u2=activity, n=st.sampled_from([0, 100, 10_000]))
+    def test_distinct_fraction_monotone(self, u1, u2, n):
+        lo, hi = sorted((u1, u2))
+        assert distinct_touched_fraction(lo, n) <= (
+            distinct_touched_fraction(hi, n) + 1e-12
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(u=activity, n=st.sampled_from([10, 100, 10_000]))
+    def test_distinct_fraction_in_unit_interval(self, u, n):
+        d = distinct_touched_fraction(u, n)
+        assert 0.0 <= d < 1.0 or (u == 0.0 and d == 0.0)

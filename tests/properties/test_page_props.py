@@ -1,0 +1,72 @@
+"""Slotted page checked against a dict model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PageFullError
+from repro.storage.page import SlottedPage
+
+bodies = st.binary(min_size=0, max_size=80)
+scripts = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "update"]),
+        st.integers(min_value=0, max_value=40),
+        bodies,
+    ),
+    max_size=120,
+)
+
+
+class TestAgainstModel:
+    @settings(max_examples=80, deadline=None)
+    @given(script=scripts)
+    def test_matches_dict(self, script):
+        page = SlottedPage.empty(1024)
+        model = {}
+        for op, pick, body in script:
+            live = sorted(model)
+            if op == "insert":
+                try:
+                    slot = page.insert(body)
+                except PageFullError:
+                    continue
+                # First-fit slot reuse: the model must agree on which
+                # slot was chosen.
+                free_slots = [
+                    s for s in range(page.slot_count) if s not in model and s != slot
+                ]
+                assert all(slot <= s for s in free_slots if s < page.slot_count)
+                model[slot] = body
+            elif op == "delete" and live:
+                slot = live[pick % len(live)]
+                page.delete(slot)
+                del model[slot]
+            elif op == "update" and live:
+                slot = live[pick % len(live)]
+                try:
+                    page.update(slot, body)
+                except PageFullError:
+                    continue
+                model[slot] = body
+        assert dict(page.records()) == model
+        assert page.live_count == len(model)
+
+    @settings(max_examples=40, deadline=None)
+    @given(script=scripts)
+    def test_compaction_preserves_contents(self, script):
+        page = SlottedPage.empty(1024)
+        model = {}
+        for op, pick, body in script:
+            live = sorted(model)
+            if op == "insert":
+                try:
+                    model[page.insert(body)] = body
+                except PageFullError:
+                    pass
+            elif op == "delete" and live:
+                slot = live[pick % len(live)]
+                page.delete(slot)
+                del model[slot]
+        page.compact()
+        assert dict(page.records()) == model
+        assert page.reclaimable() == 0

@@ -1,0 +1,68 @@
+"""Empty-region table: partition invariant and refresh correctness."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.empty_regions import EmptyRegionTable, RegionSnapshot
+from repro.relation.schema import Schema
+
+SCHEMA = Schema.of(("v", "int"),)
+
+scripts = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete", "refresh"]),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=99),
+    ),
+    max_size=80,
+)
+
+
+class TestRegionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(script=scripts)
+    def test_partition_invariant(self, script):
+        table = EmptyRegionTable(30, SCHEMA)
+        for op, pick, value in script:
+            occupied = sorted(table.occupied())
+            if op == "insert" and len(occupied) < 30:
+                table.insert((value,))
+            elif op == "update" and occupied:
+                table.update(occupied[pick % len(occupied)], (value,))
+            elif op == "delete" and occupied:
+                table.delete(occupied[pick % len(occupied)])
+        table.check_invariants()
+
+    @settings(max_examples=50, deadline=None)
+    @given(script=scripts)
+    def test_refresh_invariant(self, script):
+        table = EmptyRegionTable(30, SCHEMA)
+        snapshot = RegionSnapshot()
+        restriction = lambda v: v[0] < 50  # noqa: E731
+        snap_time = 0
+
+        def refresh():
+            nonlocal snap_time
+
+            def deliver(message):
+                snapshot.apply(message)
+
+            snap_time = table.refresh(snap_time, restriction, deliver)
+
+        for op, pick, value in script:
+            occupied = sorted(table.occupied())
+            if op == "insert" and len(occupied) < 30:
+                table.insert((value,))
+            elif op == "update" and occupied:
+                table.update(occupied[pick % len(occupied)], (value,))
+            elif op == "delete" and occupied:
+                table.delete(occupied[pick % len(occupied)])
+            elif op == "refresh":
+                refresh()
+        refresh()
+        truth = {
+            addr: values
+            for addr, values in table.occupied().items()
+            if restriction(values)
+        }
+        assert snapshot.as_map() == truth

@@ -1,0 +1,150 @@
+"""SELECT execution semantics."""
+
+import pytest
+
+from repro.errors import CatalogError, EvaluationError
+from repro.relation.types import NULL
+
+
+@pytest.fixture
+def db_with_emp(db):
+    emp = db.create_table(
+        "emp", [("name", "string"), ("salary", "int"), ("dept", "string", True)]
+    )
+    emp.bulk_load(
+        [
+            ["Bruce", 15, "db"],
+            ["Laura", 6, "db"],
+            ["Hamid", 9, "os"],
+            ["Mohan", 9, "db"],
+            ["Paul", 8, NULL],
+            ["Bob", 7, "os"],
+        ]
+    )
+    return db
+
+
+class TestProjection:
+    def test_star_returns_visible(self, db_with_emp):
+        result = db_with_emp.query("SELECT * FROM emp")
+        assert result.columns == ["name", "salary", "dept"]
+        assert len(result) == 6
+
+    def test_star_excludes_annotations(self, db_with_emp):
+        db_with_emp.table("emp").enable_annotations("lazy")
+        result = db_with_emp.query("SELECT * FROM emp LIMIT 1")
+        assert result.columns == ["name", "salary", "dept"]
+
+    def test_expressions(self, db_with_emp):
+        result = db_with_emp.query(
+            "SELECT name, salary + 1 AS next FROM emp WHERE name = 'Laura'"
+        )
+        assert result.to_dicts() == [{"name": "Laura", "next": 7}]
+
+    def test_where_unknown_excluded(self, db_with_emp):
+        result = db_with_emp.query("SELECT name FROM emp WHERE dept = 'db'")
+        assert set(result.column("name")) == {"Bruce", "Laura", "Mohan"}
+        # Paul (NULL dept) is not in the complement either:
+        complement = db_with_emp.query(
+            "SELECT name FROM emp WHERE NOT dept = 'db'"
+        )
+        assert "Paul" not in complement.column("name")
+
+
+class TestOrderAndLimit:
+    def test_order_asc(self, db_with_emp):
+        result = db_with_emp.query("SELECT name FROM emp ORDER BY salary")
+        assert result.column("name")[0] == "Laura"
+
+    def test_order_desc_with_ties_stable(self, db_with_emp):
+        result = db_with_emp.query(
+            "SELECT name, salary FROM emp ORDER BY salary DESC, name"
+        )
+        names = result.column("name")
+        assert names[0] == "Bruce"
+        assert names.index("Hamid") < names.index("Mohan")  # tie broken by name
+
+    def test_nulls_last(self, db_with_emp):
+        result = db_with_emp.query("SELECT dept FROM emp ORDER BY dept")
+        assert result.column("dept")[-1] is NULL
+
+    def test_limit(self, db_with_emp):
+        assert len(db_with_emp.query("SELECT * FROM emp LIMIT 2")) == 2
+        assert len(db_with_emp.query("SELECT * FROM emp LIMIT 0")) == 0
+
+
+class TestAggregates:
+    def test_count_star_vs_column(self, db_with_emp):
+        assert db_with_emp.query("SELECT COUNT(*) FROM emp").scalar() == 6
+        assert db_with_emp.query("SELECT COUNT(dept) FROM emp").scalar() == 5
+
+    def test_sum_avg_min_max(self, db_with_emp):
+        result = db_with_emp.query(
+            "SELECT SUM(salary), AVG(salary), MIN(salary), MAX(salary) FROM emp"
+        )
+        total, average, low, high = result.rows[0].values
+        assert total == 54
+        assert average == 9.0
+        assert (low, high) == (6, 15)
+
+    def test_aggregates_over_empty_input(self, db_with_emp):
+        result = db_with_emp.query(
+            "SELECT COUNT(*), SUM(salary) FROM emp WHERE salary > 100"
+        )
+        count, total = result.rows[0].values
+        assert count == 0
+        assert total is NULL
+
+    def test_group_by(self, db_with_emp):
+        result = db_with_emp.query(
+            "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept ORDER BY n DESC"
+        )
+        dicts = result.to_dicts()
+        assert dicts[0] == {"dept": "db", "n": 3}
+        assert {d["n"] for d in dicts} == {3, 2, 1}
+
+    def test_group_by_includes_null_group(self, db_with_emp):
+        result = db_with_emp.query("SELECT dept, COUNT(*) FROM emp GROUP BY dept")
+        assert any(d["dept"] is NULL for d in result.to_dicts())
+
+    def test_aggregate_of_expression(self, db_with_emp):
+        assert db_with_emp.query("SELECT SUM(salary * 2) FROM emp").scalar() == 108
+
+
+class TestResultHelpers:
+    def test_scalar_requires_1x1(self, db_with_emp):
+        with pytest.raises(EvaluationError):
+            db_with_emp.query("SELECT name, salary FROM emp").scalar()
+
+    def test_first_on_empty(self, db_with_emp):
+        assert db_with_emp.query(
+            "SELECT * FROM emp WHERE salary > 99"
+        ).first() is None
+
+    def test_unknown_table(self, db_with_emp):
+        with pytest.raises(CatalogError):
+            db_with_emp.query("SELECT * FROM ghost")
+
+
+class TestSnapshotQuerying:
+    def test_query_over_snapshot(self, db_with_emp):
+        from repro.core.manager import SnapshotManager
+        from repro.database import Database
+
+        branch = Database("branch")
+        manager = SnapshotManager(db_with_emp)
+        manager.create_snapshot(
+            "low", "emp", where="salary < 10", method="differential",
+            target_db=branch,
+        )
+        result = branch.query("SELECT name FROM low ORDER BY name")
+        assert result.column("name") == ["Bob", "Hamid", "Laura", "Mohan", "Paul"]
+
+    def test_aggregate_over_snapshot(self, db_with_emp):
+        from repro.core.manager import SnapshotManager
+
+        manager = SnapshotManager(db_with_emp)
+        manager.create_snapshot(
+            "low", "emp", where="salary < 10", method="differential"
+        )
+        assert db_with_emp.query("SELECT COUNT(*) FROM low").scalar() == 5

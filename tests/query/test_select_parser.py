@@ -1,0 +1,117 @@
+"""SELECT statement parsing."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.parser import parse_select
+
+
+class TestBasics:
+    def test_star(self):
+        statement = parse_select("SELECT * FROM emp")
+        assert statement.is_star
+        assert statement.table == "emp"
+        assert statement.where is None
+
+    def test_columns(self):
+        statement = parse_select("SELECT name, salary FROM emp")
+        assert [i.expr.sql() for i in statement.items] == ["name", "salary"]
+
+    def test_expression_items_with_alias(self):
+        statement = parse_select("SELECT salary * 2 AS double FROM emp")
+        assert statement.items[0].alias == "double"
+        assert statement.items[0].output_name(0) == "double"
+
+    def test_case_insensitive_keywords(self):
+        statement = parse_select("select name from emp where salary < 10")
+        assert statement.table == "emp"
+        assert statement.where is not None
+
+    def test_where(self):
+        statement = parse_select(
+            "SELECT * FROM emp WHERE salary < 10 AND name LIKE 'L%'"
+        )
+        assert "AND" in statement.where.sql()
+
+
+class TestAggregates:
+    def test_count_star(self):
+        statement = parse_select("SELECT COUNT(*) FROM emp")
+        item = statement.items[0]
+        assert item.aggregate == "COUNT"
+        assert item.argument is None
+
+    def test_agg_with_expression(self):
+        statement = parse_select("SELECT SUM(salary + 1) FROM emp")
+        assert statement.items[0].aggregate == "SUM"
+        assert statement.items[0].argument is not None
+
+    def test_group_by(self):
+        statement = parse_select(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept"
+        )
+        assert statement.group_by == ["dept"]
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT SUM(*) FROM emp")
+
+    def test_plain_column_without_group_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT dept, COUNT(*) FROM emp")
+
+    def test_non_grouped_column_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT name, COUNT(*) FROM emp GROUP BY dept")
+
+    def test_star_with_group_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT * FROM emp GROUP BY dept")
+
+
+class TestOrderLimit:
+    def test_order_by_defaults_ascending(self):
+        statement = parse_select("SELECT * FROM emp ORDER BY salary")
+        assert statement.order_by[0].column == "salary"
+        assert not statement.order_by[0].descending
+
+    def test_order_by_desc_and_multiple(self):
+        statement = parse_select(
+            "SELECT * FROM emp ORDER BY salary DESC, name ASC"
+        )
+        assert [(o.column, o.descending) for o in statement.order_by] == [
+            ("salary", True),
+            ("name", False),
+        ]
+
+    def test_limit(self):
+        assert parse_select("SELECT * FROM emp LIMIT 5").limit == 5
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT * FROM emp LIMIT -1")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "UPDATE emp SET x = 1",
+            "SELECT FROM emp",
+            "SELECT * FROM",
+            "SELECT * FROM a, b",
+            "SELECT * FROM emp WHERE",
+            "SELECT * FROM emp GROUP dept",
+            "SELECT * FROM emp ORDER salary",
+            "SELECT * FROM emp LIMIT five",
+            "SELECT * FROM emp WHERE x = 1 WHERE y = 2",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ParseError):
+            parse_select(bad)
+
+    def test_in_list_commas_not_split(self):
+        # Commas inside parens must not split select items.
+        statement = parse_select("SELECT salary IN (1, 2) AS flag FROM emp")
+        assert len(statement.items) == 1

@@ -1,0 +1,141 @@
+"""Heap files: placement policy, ordered scans, address reuse."""
+
+import pytest
+
+from repro.errors import PageFullError, RecordNotFoundError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile
+from repro.storage.pager import InMemoryPager
+
+
+@pytest.fixture
+def heap():
+    pool = BufferPool(InMemoryPager(page_size=256), capacity=8)
+    return HeapFile(pool, name="t")
+
+
+class TestInsertRead:
+    def test_roundtrip(self, heap):
+        rid = heap.insert(b"record")
+        assert heap.read(rid) == b"record"
+        assert heap.exists(rid)
+        assert heap.record_count == 1
+
+    def test_grows_pages(self, heap):
+        for i in range(50):
+            heap.insert(bytes([i]) * 40)
+        assert heap.page_count > 1
+        assert heap.record_count == 50
+
+    def test_read_missing_raises(self, heap):
+        rid = heap.insert(b"x")
+        heap.delete(rid)
+        with pytest.raises(RecordNotFoundError):
+            heap.read(rid)
+
+    def test_unknown_policy_rejected(self, heap):
+        with pytest.raises(StorageError):
+            HeapFile(heap._pool, insert_policy="random")
+
+
+class TestPlacement:
+    def test_first_fit_reuses_lowest_address(self, heap):
+        rids = [heap.insert(bytes([i]) * 30) for i in range(20)]
+        heap.delete(rids[2])
+        heap.delete(rids[10])
+        reused = heap.insert(b"z" * 30)
+        assert reused == rids[2]  # lowest freed address wins
+
+    def test_append_policy_goes_to_end(self):
+        pool = BufferPool(InMemoryPager(page_size=256), capacity=8)
+        heap = HeapFile(pool, insert_policy="append")
+        rids = [heap.insert(bytes([i]) * 30) for i in range(10)]
+        heap.delete(rids[0])
+        appended = heap.insert(b"z" * 30)
+        assert appended > rids[-1] or appended.page_no >= rids[-1].page_no
+
+    def test_insert_at_restores_address(self, heap):
+        rid = heap.insert(b"victim")
+        heap.delete(rid)
+        heap.insert_at(rid, b"restored")
+        assert heap.read(rid) == b"restored"
+
+    def test_insert_at_occupied_raises(self, heap):
+        rid = heap.insert(b"x")
+        with pytest.raises(PageFullError):
+            heap.insert_at(rid, b"y")
+
+
+class TestScan:
+    def test_scan_in_address_order(self, heap):
+        import random
+
+        rng = random.Random(0)
+        rids = [heap.insert(bytes([i % 250]) * 20) for i in range(60)]
+        for rid in rng.sample(rids, 20):
+            heap.delete(rid)
+        scanned = [rid for rid, _ in heap.scan()]
+        assert scanned == sorted(scanned, key=lambda r: r.key())
+        assert len(scanned) == 40
+
+    def test_scan_yields_bodies(self, heap):
+        heap.insert(b"a")
+        heap.insert(b"b")
+        assert [body for _, body in heap.scan()] == [b"a", b"b"]
+
+    def test_scan_allows_updates_to_yielded_records(self, heap):
+        rids = [heap.insert(bytes([i]) * 10) for i in range(30)]
+        seen = []
+        for rid, body in heap.scan():
+            heap.update(rid, b"U" * 10)  # same size, in place
+            seen.append(rid)
+        assert seen == rids
+        assert all(heap.read(rid) == b"U" * 10 for rid in rids)
+
+    def test_last_rid(self, heap):
+        assert heap.last_rid() is None
+        rids = [heap.insert(bytes([i]) * 10) for i in range(10)]
+        assert heap.last_rid() == rids[-1]
+        heap.delete(rids[-1])
+        assert heap.last_rid() == rids[-2]
+
+    def test_scan_rids(self, heap):
+        rids = [heap.insert(b"x") for _ in range(3)]
+        assert list(heap.scan_rids()) == rids
+
+
+class TestUpdate:
+    def test_update_in_place(self, heap):
+        rid = heap.insert(b"aaaa")
+        heap.update(rid, b"bbbb")
+        assert heap.read(rid) == b"bbbb"
+
+    def test_update_overflow_raises(self, heap):
+        rid = heap.insert(b"a")
+        with pytest.raises(PageFullError):
+            heap.update(rid, b"x" * 500)
+        assert heap.read(rid) == b"a"
+
+
+class TestWriteCounters:
+    def test_counts_by_kind(self, heap):
+        rid = heap.insert(b"a")
+        heap.update(rid, b"b")
+        heap.delete(rid)
+        heap.insert_at(rid, b"c")
+        assert heap.writes.inserts == 2
+        assert heap.writes.updates == 1
+        assert heap.writes.deletes == 1
+        assert heap.writes.total == 4
+
+    def test_failed_update_not_counted(self, heap):
+        rid = heap.insert(b"a")
+        heap.writes.reset()
+        with pytest.raises(PageFullError):
+            heap.update(rid, b"x" * 500)
+        assert heap.writes.updates == 0
+
+    def test_reset(self, heap):
+        heap.insert(b"a")
+        heap.writes.reset()
+        assert heap.writes.total == 0

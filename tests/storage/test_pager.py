@@ -1,0 +1,66 @@
+"""Page stores: allocation, IO, bounds, file persistence."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.pager import FilePager, InMemoryPager
+
+
+class TestInMemoryPager:
+    def test_allocate_sequential(self):
+        pager = InMemoryPager(page_size=256)
+        assert pager.allocate() == 0
+        assert pager.allocate() == 1
+        assert pager.page_count == 2
+
+    def test_new_pages_are_zeroed(self):
+        pager = InMemoryPager(page_size=256)
+        page_no = pager.allocate()
+        assert pager.read_page(page_no) == bytearray(256)
+
+    def test_write_read_roundtrip(self):
+        pager = InMemoryPager(page_size=256)
+        page_no = pager.allocate()
+        image = bytes(range(256))
+        pager.write_page(page_no, image)
+        assert bytes(pager.read_page(page_no)) == image
+
+    def test_read_returns_copy(self):
+        pager = InMemoryPager(page_size=16)
+        page_no = pager.allocate()
+        copy = pager.read_page(page_no)
+        copy[0] = 0xFF
+        assert pager.read_page(page_no)[0] == 0
+
+    def test_out_of_range_read(self):
+        pager = InMemoryPager()
+        with pytest.raises(StorageError):
+            pager.read_page(0)
+
+    def test_wrong_size_write(self):
+        pager = InMemoryPager(page_size=256)
+        page_no = pager.allocate()
+        with pytest.raises(StorageError):
+            pager.write_page(page_no, b"short")
+
+
+class TestFilePager:
+    def test_persistence_across_reopen(self, tmp_path):
+        path = str(tmp_path / "data.pages")
+        with FilePager(path, page_size=128) as pager:
+            page_no = pager.allocate()
+            pager.write_page(page_no, b"z" * 128)
+        with FilePager(path, page_size=128) as reopened:
+            assert reopened.page_count == 1
+            assert bytes(reopened.read_page(0)) == b"z" * 128
+
+    def test_rejects_ragged_file(self, tmp_path):
+        path = tmp_path / "ragged.pages"
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(StorageError):
+            FilePager(str(path), page_size=128)
+
+    def test_out_of_range(self, tmp_path):
+        with FilePager(str(tmp_path / "p.pages"), page_size=64) as pager:
+            with pytest.raises(StorageError):
+                pager.read_page(0)

@@ -1,0 +1,47 @@
+"""RIDs: ordering, sentinels, encoding."""
+
+from repro.storage.rid import Rid, rid_or_begin
+
+
+class TestOrdering:
+    def test_lexicographic(self):
+        assert Rid(0, 5) < Rid(1, 0)
+        assert Rid(1, 0) < Rid(1, 1)
+        assert Rid(2, 0) > Rid(1, 9)
+        assert Rid(1, 1) >= Rid(1, 1)
+        assert Rid(1, 1) <= Rid(1, 1)
+
+    def test_begin_precedes_everything(self):
+        assert Rid.BEGIN < Rid(0, 0)
+        assert Rid.BEGIN < Rid(1000, 0)
+
+    def test_equality_and_hash(self):
+        assert Rid(1, 2) == Rid(1, 2)
+        assert Rid(1, 2) != Rid(1, 3)
+        assert hash(Rid(1, 2)) == hash(Rid(1, 2))
+        assert len({Rid(1, 2), Rid(1, 2), Rid(1, 3)}) == 2
+
+    def test_key_is_sortable_tuple(self):
+        rids = [Rid(1, 0), Rid(0, 3), Rid(0, 1)]
+        assert sorted(rids, key=Rid.key) == [Rid(0, 1), Rid(0, 3), Rid(1, 0)]
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        rid, offset = Rid.decode(Rid(7, 42).encode())
+        assert rid == Rid(7, 42)
+        assert offset == Rid.WIRE_SIZE
+
+    def test_begin_roundtrip(self):
+        rid, _ = Rid.decode(Rid.BEGIN.encode())
+        assert rid == Rid.BEGIN
+
+    def test_repr(self):
+        assert repr(Rid.BEGIN) == "Rid.BEGIN"
+        assert repr(Rid(1, 2)) == "Rid(1, 2)"
+
+
+class TestHelpers:
+    def test_rid_or_begin(self):
+        assert rid_or_begin(None) == Rid.BEGIN
+        assert rid_or_begin(Rid(1, 1)) == Rid(1, 1)

@@ -1,0 +1,55 @@
+"""Database facade."""
+
+import pytest
+
+from repro.database import Database
+from repro.errors import CatalogError
+from repro.relation.schema import Schema
+
+
+class TestTables:
+    def test_create_and_lookup(self, db):
+        table = db.create_table("emp", [("name", "string")])
+        assert db.table("emp") is table
+        assert db.has_table("emp")
+
+    def test_schema_object_accepted(self, db):
+        schema = Schema.of(("a", "int"),)
+        table = db.create_table("t", schema)
+        assert table.visible_schema == schema
+
+    def test_duplicate_name_rejected(self, db):
+        db.create_table("emp", [("a", "int")])
+        with pytest.raises(CatalogError):
+            db.create_table("emp", [("a", "int")])
+
+    def test_drop(self, db):
+        db.create_table("emp", [("a", "int")])
+        db.drop_table("emp")
+        assert not db.has_table("emp")
+
+    def test_annotations_at_create(self, db):
+        table = db.create_table("t", [("a", "int")], annotations="lazy")
+        assert table.annotation_mode == "lazy"
+
+    def test_tables_share_buffer_pool(self, db):
+        t1 = db.create_table("t1", [("a", "int")])
+        t2 = db.create_table("t2", [("a", "int")])
+        r1 = t1.insert([1])
+        r2 = t2.insert([2])
+        # Same page numbering domain per heap, distinct physical pages.
+        assert t1.read(r1).values == (1,)
+        assert t2.read(r2).values == (2,)
+
+    def test_insert_policy_passthrough(self, db):
+        table = db.create_table("t", [("a", "int")], insert_policy="append")
+        assert table.heap.insert_policy == "append"
+
+
+class TestSites:
+    def test_independent_databases(self):
+        a = Database("a")
+        b = Database("b")
+        a.create_table("t", [("x", "int")])
+        assert not b.has_table("t")
+        assert a.clock is not b.clock

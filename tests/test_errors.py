@@ -1,0 +1,68 @@
+"""The exception hierarchy: one catchable base, specific subclasses."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_storage_family(self):
+        for cls in (
+            errors.PageFullError,
+            errors.PageFormatError,
+            errors.RecordNotFoundError,
+            errors.BufferPoolError,
+        ):
+            assert issubclass(cls, errors.StorageError)
+
+    def test_expression_family(self):
+        for cls in (errors.LexError, errors.ParseError, errors.EvaluationError):
+            assert issubclass(cls, errors.ExpressionError)
+
+    def test_log_truncated_is_wal_error(self):
+        assert issubclass(errors.LogTruncatedError, errors.WalError)
+        assert issubclass(errors.WalError, errors.TransactionError)
+
+    def test_refresh_method_is_snapshot_error(self):
+        assert issubclass(errors.RefreshMethodError, errors.SnapshotError)
+
+    def test_one_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.LinkDownError("down")
+
+
+class TestCompilerErrors:
+    def test_join_without_right_table(self, db):
+        from repro.catalog.compiler import (
+            JoinSpec,
+            SnapshotDefinition,
+            compile_snapshot,
+        )
+
+        emp = db.create_table("emp", [("d", "int")])
+        definition = SnapshotDefinition(
+            "s", "emp", join=JoinSpec("dept", "d", "d")
+        )
+        with pytest.raises(errors.RefreshMethodError):
+            compile_snapshot(definition, emp, right_table=None)
+
+    def test_join_on_unknown_column(self, db):
+        from repro.catalog.compiler import (
+            JoinSpec,
+            SnapshotDefinition,
+            compile_snapshot,
+        )
+
+        emp = db.create_table("emp", [("d", "int")])
+        dept = db.create_table("dept", [("d", "int")])
+        definition = SnapshotDefinition(
+            "s", "emp", join=JoinSpec("dept", "ghost", "d")
+        )
+        with pytest.raises(errors.SchemaError):
+            compile_snapshot(definition, emp, right_table=dept)

@@ -1,0 +1,23 @@
+"""Every example script must run to completion (deliverable safety net)."""
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+SCRIPTS = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_examples_exist():
+    assert len(SCRIPTS) >= 3  # the deliverable floor; we ship more
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script, capsys):
+    runpy.run_path(os.path.join(EXAMPLES_DIR, script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example narrates what it did

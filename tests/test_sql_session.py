@@ -1,0 +1,176 @@
+"""The SQL statement layer (Session.execute)."""
+
+import pytest
+
+from repro.catalog.compiler import RefreshMethod
+from repro.database import Database
+from repro.errors import ParseError
+from repro.relation.types import NULL
+from repro.sql import Session
+
+
+@pytest.fixture
+def session():
+    s = Session(Database("hq"))
+    s.execute(
+        "CREATE TABLE emp (name string NOT NULL, salary int, dept string NULL)"
+    )
+    s.execute(
+        "INSERT INTO emp VALUES "
+        "('Bruce', 15, 'db'), ('Laura', 6, 'db'), ('Hamid', 9, 'os'), "
+        "('Paul', 8, NULL)"
+    )
+    return s
+
+
+class TestDDL:
+    def test_create_table(self, session):
+        table = session.db.table("emp")
+        assert table.visible_schema.names == ("name", "salary", "dept")
+        assert table.schema.column("dept").nullable
+        assert not table.schema.column("name").nullable
+
+    def test_create_index(self, session):
+        index = session.execute("CREATE INDEX ON emp (salary)")
+        assert index.column == "salary"
+        assert session.db.table("emp").index_on("salary") is index
+
+    def test_drop_table(self, session):
+        session.execute("CREATE TABLE temp (x int)")
+        session.execute("DROP TABLE temp")
+        assert not session.db.has_table("temp")
+
+    def test_malformed_create(self, session):
+        with pytest.raises(ParseError):
+            session.execute("CREATE VIEW v AS SELECT 1")
+
+
+class TestDML:
+    def test_insert_count(self, session):
+        assert session.execute("INSERT INTO emp VALUES ('Dale', 5, 'db')") == 1
+        assert session.execute("SELECT COUNT(*) FROM emp").scalar() == 5
+
+    def test_insert_null(self, session):
+        session.execute("INSERT INTO emp VALUES ('X', 1, NULL)")
+        row = session.execute("SELECT dept FROM emp WHERE name = 'X'")
+        assert row.rows[0][0] is NULL
+
+    def test_insert_negative_number(self, session):
+        session.execute("CREATE TABLE nums (v int)")
+        session.execute("INSERT INTO nums VALUES (-5)")
+        assert session.execute("SELECT v FROM nums").scalar() == -5
+
+    def test_update_with_where(self, session):
+        affected = session.execute(
+            "UPDATE emp SET salary = salary + 1 WHERE dept = 'db'"
+        )
+        assert affected == 2
+        assert session.execute(
+            "SELECT salary FROM emp WHERE name = 'Laura'"
+        ).scalar() == 7
+
+    def test_update_all_rows(self, session):
+        assert session.execute("UPDATE emp SET salary = 0") == 4
+
+    def test_update_multiple_assignments(self, session):
+        session.execute(
+            "UPDATE emp SET salary = 1, dept = 'x' WHERE name = 'Paul'"
+        )
+        result = session.execute(
+            "SELECT salary, dept FROM emp WHERE name = 'Paul'"
+        )
+        assert result.rows[0].values == (1, "x")
+
+    def test_delete_with_where(self, session):
+        assert session.execute("DELETE FROM emp WHERE salary < 9") == 2
+        assert session.execute("SELECT COUNT(*) FROM emp").scalar() == 2
+
+    def test_delete_everything(self, session):
+        assert session.execute("DELETE FROM emp") == 4
+
+    def test_where_unknown_rows_untouched(self, session):
+        # Paul's dept is NULL: dept='db' is UNKNOWN, so he is not updated.
+        session.execute("UPDATE emp SET salary = 99 WHERE dept = 'db'")
+        assert session.execute(
+            "SELECT salary FROM emp WHERE name = 'Paul'"
+        ).scalar() == 8
+
+
+class TestSnapshotStatements:
+    def test_create_refresh_drop(self, session):
+        snapshot = session.execute(
+            "CREATE SNAPSHOT lowpaid AS SELECT name, salary FROM emp "
+            "WHERE salary < 10 REFRESH DIFFERENTIAL"
+        )
+        assert snapshot.method is RefreshMethod.DIFFERENTIAL
+        assert len(snapshot.table) == 3
+        session.execute("INSERT INTO emp VALUES ('Dale', 5, 'db')")
+        result = session.execute("REFRESH SNAPSHOT lowpaid")
+        assert result.entries_sent == 1
+        assert session.execute(
+            "SELECT COUNT(*) FROM lowpaid"
+        ).scalar() == 4
+        session.execute("DROP SNAPSHOT lowpaid")
+        assert not session.db.catalog.has_snapshot("lowpaid")
+
+    def test_create_snapshot_star(self, session):
+        snapshot = session.execute(
+            "CREATE SNAPSHOT all_emp AS SELECT * FROM emp REFRESH FULL"
+        )
+        assert len(snapshot.table) == 4
+        assert snapshot.method is RefreshMethod.FULL
+
+    def test_create_snapshot_at_site(self, session):
+        branch = Database("branch")
+        session.attach_site("branch", branch)
+        snapshot = session.execute(
+            "CREATE SNAPSHOT remote_copy AS SELECT * FROM emp "
+            "REFRESH DIFFERENTIAL AT branch"
+        )
+        assert snapshot.table.db is branch
+        assert branch.query("SELECT COUNT(*) FROM remote_copy").scalar() == 4
+
+    def test_unknown_site_rejected(self, session):
+        with pytest.raises(ParseError):
+            session.execute(
+                "CREATE SNAPSHOT s AS SELECT * FROM emp AT nowhere"
+            )
+
+    def test_aggregate_definition_rejected(self, session):
+        with pytest.raises(ParseError):
+            session.execute(
+                "CREATE SNAPSHOT s AS SELECT COUNT(*) FROM emp"
+            )
+
+    def test_expression_select_list_rejected(self, session):
+        with pytest.raises(ParseError):
+            session.execute(
+                "CREATE SNAPSHOT s AS SELECT salary * 2 FROM emp"
+            )
+
+    def test_unknown_method_rejected(self, session):
+        with pytest.raises(ParseError):
+            session.execute(
+                "CREATE SNAPSHOT s AS SELECT * FROM emp REFRESH WEEKLY"
+            )
+
+    def test_definition_sql_roundtrip(self, session):
+        snapshot = session.execute(
+            "CREATE SNAPSHOT low AS SELECT name FROM emp "
+            "WHERE salary < 10 REFRESH DIFFERENTIAL"
+        )
+        text = snapshot.info.plan.definition.sql()
+        assert "CREATE SNAPSHOT low" in text
+        assert "WHERE" in text
+
+
+class TestSelectPassthrough:
+    def test_select(self, session):
+        result = session.execute(
+            "SELECT name FROM emp WHERE salary < 10 ORDER BY salary"
+        )
+        assert result.column("name") == ["Laura", "Paul", "Hamid"]
+
+    def test_unknown_statement(self, session):
+        with pytest.raises(ParseError):
+            session.execute("GRANT ALL TO someone")

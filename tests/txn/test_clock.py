@@ -1,0 +1,83 @@
+"""Clocks: monotonicity and crash recovery."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.txn.clock import LogicalClock, ManualClock, RecoverableCounter, WallClock
+
+
+class TestLogicalClock:
+    def test_tick_advances(self):
+        clock = LogicalClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+
+    def test_read_does_not_advance(self):
+        clock = LogicalClock(start=5)
+        assert clock.read() == 5
+        assert clock.read() == 5
+
+    def test_ticks_are_distinct(self):
+        clock = LogicalClock()
+        values = [clock.tick() for _ in range(100)]
+        assert len(set(values)) == 100
+        assert values == sorted(values)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ReproError):
+            LogicalClock(start=-1)
+
+
+class TestManualClock:
+    def test_set_forward(self):
+        clock = ManualClock()
+        clock.set(429)
+        assert clock.tick() == 430
+
+    def test_set_backward_rejected(self):
+        clock = ManualClock(start=10)
+        with pytest.raises(ReproError):
+            clock.set(5)
+
+    def test_advance(self):
+        clock = ManualClock()
+        assert clock.advance(10) == 10
+        with pytest.raises(ReproError):
+            clock.advance(-1)
+
+
+class TestWallClock:
+    def test_tick_strictly_monotone(self):
+        clock = WallClock()
+        values = [clock.tick() for _ in range(1000)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_read_never_regresses(self):
+        clock = WallClock()
+        first = clock.tick()
+        assert clock.read() >= first
+
+
+class TestRecoverableCounter:
+    def test_ticks_monotone(self, tmp_path):
+        counter = RecoverableCounter(str(tmp_path / "ctr"), lease=10)
+        values = [counter.tick() for _ in range(25)]
+        assert values == sorted(values)
+        assert len(set(values)) == 25
+
+    def test_never_reissues_after_crash(self, tmp_path):
+        path = str(tmp_path / "ctr")
+        counter = RecoverableCounter(path, lease=10)
+        issued = [counter.tick() for _ in range(7)]
+        # Simulate a crash: a new instance reads only the persisted mark.
+        recovered = RecoverableCounter(path, lease=10)
+        assert recovered.tick() > max(issued)
+
+    def test_read(self, tmp_path):
+        counter = RecoverableCounter(str(tmp_path / "ctr"))
+        counter.tick()
+        assert counter.read() == 1
+
+    def test_rejects_bad_lease(self, tmp_path):
+        with pytest.raises(ReproError):
+            RecoverableCounter(str(tmp_path / "ctr"), lease=0)

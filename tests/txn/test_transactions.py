@@ -1,0 +1,126 @@
+"""Transactions: commit, abort/undo, listeners, autocommit."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.txn.transactions import TxnStatus
+
+
+@pytest.fixture
+def table(db):
+    t = db.create_table("t", [("v", "int")])
+    t.bulk_load([[i] for i in range(5)])
+    return t
+
+
+class TestCommit:
+    def test_explicit_commit(self, db, table):
+        txn = db.txns.begin()
+        rid = table.insert([99], txn=txn)
+        txn.commit()
+        assert txn.status is TxnStatus.COMMITTED
+        assert table.read(rid).values == (99,)
+
+    def test_double_commit_rejected(self, db):
+        txn = db.txns.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_operations_after_commit_rejected(self, db, table):
+        txn = db.txns.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            table.insert([1], txn=txn)
+
+    def test_locks_released_on_commit(self, db, table):
+        txn = db.txns.begin()
+        table.insert([1], txn=txn)
+        assert db.locks.locked_resources()
+        txn.commit()
+        assert not db.locks.locked_resources()
+
+
+class TestAbort:
+    def test_abort_insert(self, db, table):
+        txn = db.txns.begin()
+        rid = table.insert([99], txn=txn)
+        txn.abort()
+        assert not table.exists(rid)
+
+    def test_abort_update_restores_value(self, db, table):
+        rids = [r for r, _ in table.scan()]
+        txn = db.txns.begin()
+        table.update(rids[0], {"v": 1000}, txn=txn)
+        txn.abort()
+        assert table.read(rids[0]).values == (0,)
+
+    def test_abort_delete_restores_at_same_address(self, db, table):
+        rids = [r for r, _ in table.scan()]
+        txn = db.txns.begin()
+        table.delete(rids[2], txn=txn)
+        txn.abort()
+        assert table.exists(rids[2])
+        assert table.read(rids[2]).values == (2,)
+
+    def test_abort_multi_op_reverse_order(self, db, table):
+        rids = [r for r, _ in table.scan()]
+        before = {r: row.values for r, row in table.scan()}
+        txn = db.txns.begin()
+        table.update(rids[0], {"v": -1}, txn=txn)
+        table.delete(rids[1], txn=txn)
+        new = table.insert([77], txn=txn)
+        table.update(new, {"v": 78}, txn=txn)
+        txn.abort()
+        assert {r: row.values for r, row in table.scan()} == before
+
+    def test_abort_releases_locks(self, db, table):
+        txn = db.txns.begin()
+        table.insert([1], txn=txn)
+        txn.abort()
+        assert not db.locks.locked_resources()
+
+
+class TestAutocommit:
+    def test_success_commits(self, db):
+        with db.txns.autocommit() as txn:
+            pass
+        assert txn.status is TxnStatus.COMMITTED
+
+    def test_error_aborts(self, db, table):
+        rid = None
+        with pytest.raises(RuntimeError):
+            with db.txns.autocommit() as txn:
+                rid = table.insert([1], txn=txn)
+                raise RuntimeError("boom")
+        assert not table.exists(rid)
+
+    def test_table_ops_default_to_autocommit(self, db, table):
+        rid = table.insert([42])
+        assert table.read(rid).values == (42,)
+        assert not db.txns.active
+
+
+class TestListeners:
+    def test_commit_listener_sees_data_records(self, db, table):
+        seen = []
+        db.txns.on_commit(lambda txn: seen.extend(txn.data_records))
+        table.insert([5])
+        assert len(seen) == 1
+        assert seen[0].table == "t"
+
+    def test_listener_not_fired_on_abort(self, db, table):
+        fired = []
+        db.txns.on_commit(lambda txn: fired.append(txn))
+        txn = db.txns.begin()
+        table.insert([5], txn=txn)
+        txn.abort()
+        assert fired == []
+
+    def test_remove_listener(self, db, table):
+        fired = []
+        listener = lambda txn: fired.append(txn)  # noqa: E731
+        db.txns.on_commit(listener)
+        db.txns.remove_commit_listener(listener)
+        table.insert([5])
+        assert fired == []

@@ -1,0 +1,64 @@
+"""The pinned paper-figure states."""
+
+from repro.relation.types import NULL
+from repro.storage.rid import Rid
+from repro.workload.employees import (
+    EMPLOYEES,
+    SNAP_TIME,
+    figure1_simple_table,
+    figure2_snapshot_before,
+    figure5_base_table,
+    figure5_snapshot_contents,
+)
+
+
+class TestFigure1State:
+    def test_occupancy(self):
+        table = figure1_simple_table()
+        occupied = table.occupied()
+        assert set(occupied) == {1, 2, 3, 5, 6}
+        assert occupied[2] == ("Laura", 6)
+        assert occupied[3] == ("Hamid", 15)
+
+    def test_snapshot_before(self):
+        before = figure2_snapshot_before()
+        assert before[7] == ("Bob", 7)
+        assert len(before) == 5
+
+
+class TestFigure5State:
+    def test_live_rows(self):
+        db, table, addrs = figure5_base_table()
+        live = {rid: row.values for rid, row in table.scan()}
+        assert live == {
+            addrs[1]: ("Bruce", 15),
+            addrs[2]: ("Laura", 6),
+            addrs[3]: ("Hamid", 15),
+            addrs[5]: ("Mohan", 9),
+            addrs[6]: ("Paul", 8),
+        }
+
+    def test_annotation_before_state(self):
+        db, table, addrs = figure5_base_table()
+        assert table.annotations(addrs[1]) == (Rid.BEGIN, 300)
+        prev, ts = table.annotations(addrs[2])
+        assert prev is NULL and ts is NULL
+        prev, ts = table.annotations(addrs[3])
+        assert prev == addrs[1] and ts is NULL
+        assert table.annotations(addrs[5]) == (addrs[4], 230)
+        assert table.annotations(addrs[6]) == (addrs[5], 200)
+
+    def test_addresses_are_page_zero_slots(self):
+        db, table, addrs = figure5_base_table()
+        assert addrs[1] == Rid(0, 0)
+        assert addrs[7] == Rid(0, 6)
+
+    def test_snapshot_contents_keyed_by_rid(self):
+        db, table, addrs = figure5_base_table()
+        contents = figure5_snapshot_contents(addrs)
+        assert contents[addrs[4]] == ("Jack", 6)
+
+    def test_cast(self):
+        assert EMPLOYEES[0] == ("Bruce", 15)
+        assert len(EMPLOYEES) == 7
+        assert SNAP_TIME == 330

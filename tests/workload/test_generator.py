@@ -1,0 +1,130 @@
+"""The randomized workload generator."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workload.generator import VALUE_SPACE, MixedWorkload, WorkloadMix
+
+
+class TestWorkloadMix:
+    def test_must_sum_to_one(self):
+        with pytest.raises(ReproError):
+            WorkloadMix(update=0.5, insert=0.2, delete=0.2)
+
+    def test_non_negative(self):
+        with pytest.raises(ReproError):
+            WorkloadMix(update=1.2, insert=-0.2, delete=0.0)
+
+    def test_presets(self):
+        assert WorkloadMix.updates_only().update == 1.0
+        churn = WorkloadMix.churn()
+        assert churn.insert + churn.delete > churn.update
+
+
+class TestBuild:
+    def test_row_count(self):
+        workload = MixedWorkload(200, 0.25, seed=1)
+        assert workload.live_count == 200
+        assert workload.table.row_count == 200
+
+    def test_selectivity_approximate(self):
+        workload = MixedWorkload(2000, 0.25, seed=1)
+        qualified = len(workload.qualified_map())
+        assert 0.20 < qualified / 2000 < 0.30
+
+    def test_restriction_text_matches_cutoff(self):
+        workload = MixedWorkload(10, 0.5, seed=1)
+        assert workload.restriction_text == f"value < {VALUE_SPACE // 2}"
+
+    def test_table_is_lazily_annotated(self):
+        workload = MixedWorkload(10, 0.5, seed=1)
+        assert workload.table.annotation_mode == "lazy"
+
+    def test_deterministic_under_seed(self):
+        a = MixedWorkload(100, 0.3, seed=42)
+        b = MixedWorkload(100, 0.3, seed=42)
+        a.apply_activity(0.5)
+        b.apply_activity(0.5)
+        assert a.qualified_map() == b.qualified_map()
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            MixedWorkload(0, 0.5)
+        with pytest.raises(ReproError):
+            MixedWorkload(10, 1.5)
+
+
+class TestModificationStream:
+    def test_operation_counts(self):
+        workload = MixedWorkload(500, 0.25, seed=2)
+        performed = workload.apply_activity(0.4)
+        assert sum(performed.values()) == 200
+
+    def test_mix_roughly_respected(self):
+        workload = MixedWorkload(1000, 0.25, seed=3)
+        performed = workload.apply_operations(1000)
+        assert performed["update"] > performed["insert"]
+        assert 100 < performed["insert"] < 300
+        assert 100 < performed["delete"] < 300
+
+    def test_live_tracking_consistent(self):
+        workload = MixedWorkload(300, 0.25, seed=4)
+        workload.apply_operations(600)
+        scanned = {rid for rid, _ in workload.table.scan()}
+        assert scanned == set(workload._positions)
+        assert len(scanned) == workload.live_count
+
+    def test_updates_only_preserves_population(self):
+        workload = MixedWorkload(100, 0.25, seed=5, mix=WorkloadMix.updates_only())
+        workload.apply_operations(500)
+        assert workload.live_count == 100
+
+    def test_preserve_qualification(self):
+        workload = MixedWorkload(
+            500, 0.3, seed=6, mix=WorkloadMix.updates_only(),
+            preserve_qualification=True,
+        )
+        before = set(workload.qualified_map())
+        workload.apply_operations(1000)
+        assert set(workload.qualified_map()) == before
+
+    def test_hotspot_concentrates_updates(self):
+        uniform = MixedWorkload(
+            500, 1.0, seed=7, mix=WorkloadMix.updates_only()
+        )
+        skewed = MixedWorkload(
+            500, 1.0, seed=7, mix=WorkloadMix.updates_only(),
+            hotspot=(0.95, 0.05),
+        )
+        from repro.core.fixup import base_fixup
+
+        for workload in (uniform, skewed):
+            base_fixup(workload.table)  # settle the NULLs from bulk load
+            workload.apply_operations(400)
+
+        def distinct_touched(workload):
+            # Lazy annotations: updated rows have a NULL timestamp.
+            from repro.relation.types import NULL
+            from repro.table import TIMESTAMP
+
+            position = workload.table.schema.position(TIMESTAMP)
+            return sum(
+                1
+                for _, row in workload.table.scan(visible=False)
+                if row[position] is NULL
+            )
+
+        assert distinct_touched(skewed) < distinct_touched(uniform) / 2
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ReproError):
+            MixedWorkload(10, 0.5, hotspot=(1.5, 0.1))
+
+    def test_flipping_qualification_changes_membership(self):
+        workload = MixedWorkload(
+            500, 0.3, seed=6, mix=WorkloadMix.updates_only(),
+            preserve_qualification=False,
+        )
+        before = set(workload.qualified_map())
+        workload.apply_operations(1000)
+        assert set(workload.qualified_map()) != before
