@@ -9,12 +9,14 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Any, Sequence
 
 from repro.bench.reporting import ascii_table
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def emit(slug: str, title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
@@ -28,6 +30,30 @@ def emit(slug: str, title: str, headers: Sequence[str], rows: Sequence[Sequence[
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
     return text
+
+
+def emit_json(
+    section: str, payload: Any, filename: str = "BENCH_refresh.json"
+) -> str:
+    """Merge ``payload`` under ``section`` into a JSON file at the repo root.
+
+    The machine-readable perf trajectory: each benchmark owns one
+    section, so successive runs (and future PRs) update their own slice
+    without clobbering the others.
+    """
+    path = os.path.join(REPO_ROOT, filename)
+    data: "dict[str, Any]" = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            data = {}
+    data[section] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def emit_lines(slug: str, title: str, lines: Sequence[str]) -> str:

@@ -15,7 +15,7 @@ from repro.core.differential import DifferentialRefresher
 from repro.database import Database
 from repro.expr.predicate import Projection, Restriction
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 
 SIZES = (1_000, 2_000, 4_000, 8_000)
 
@@ -33,6 +33,7 @@ def _build(n):
 
 def _scaling_series():
     rows = []
+    samples = []
     for n in SIZES:
         db, table, restriction, projection, refresher, snap_time = _build(n)
         start = time.perf_counter()
@@ -49,18 +50,31 @@ def _scaling_series():
                 f"{100 * db.pool.stats.hit_rate:.0f}%",
             ]
         )
-    return rows
+        samples.append(
+            {
+                "rows": n,
+                "seconds": elapsed,
+                "rows_per_sec": n / elapsed,
+                "bytes_sent": result.bytes_sent,
+                "pages_scanned": result.pages_scanned,
+                "pages_skipped": result.pages_skipped,
+                "rows_decoded": result.rows_decoded,
+                "buffer_hit_rate": result.buffer_hit_rate,
+            }
+        )
+    return rows, samples
 
 
 @pytest.mark.benchmark(group="throughput")
 def test_quiescent_refresh_scan_throughput(benchmark):
-    rows = benchmark.pedantic(_scaling_series, rounds=1, iterations=1)
+    rows, samples = benchmark.pedantic(_scaling_series, rounds=1, iterations=1)
     emit(
         "throughput",
         "A5: quiescent differential refresh scan cost vs table size",
         ["rows", "ms/refresh", "krows/s", "fixup writes", "buffer hit rate"],
         rows,
     )
+    emit_json("throughput", samples)
     assert all(row[3] == 0 for row in rows)  # quiescent: no writes
     # Roughly linear: 8x the rows should not cost more than ~24x the time.
     smallest = float(rows[0][1])

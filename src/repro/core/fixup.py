@@ -32,6 +32,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import RefreshMethodError
+from repro.relation.row import decode_fields
 from repro.relation.types import NULL
 from repro.storage.rid import Rid
 from repro.table import PREVADDR, TIMESTAMP, Table
@@ -87,10 +88,12 @@ def base_fixup(table: Table, fixup_time: Optional[int] = None) -> FixupResult:
 
     expect_prev = Rid.BEGIN  # last non-newly-inserted entry seen
     last_addr = Rid.BEGIN  # last entry seen, of any kind
-    for rid, row in table.scan_full():
+    positions = (prev_pos, ts_pos)
+    for rid, body in table.heap.scan():
         result.scanned += 1
-        prev = row[prev_pos]
-        ts = row[ts_pos]
+        # Only the two trailing annotation fields are needed; skip the
+        # rest of the row.
+        prev, ts = decode_fields(table.schema, body, positions)
         if prev is NULL:
             # Inserted since the last fix-up.
             table.set_annotations(rid, prev=last_addr, ts=fixup_time)

@@ -84,6 +84,9 @@ class FullRefresher:
         table = self.table
         value_schema = projection.schema
         result = RefreshResult()
+        pool_stats = table.heap.pool.stats
+        hits_before = pool_stats.hits
+        misses_before = pool_stats.misses
 
         def transmit(message) -> None:
             result.messages_sent += 1
@@ -94,11 +97,21 @@ class FullRefresher:
 
         transmit(ClearMessage())
         qualified = []
+        pages_touched: "set[int]" = set()
         for rid, row in self._candidates(restriction):
             result.scanned += 1
+            result.rows_decoded += 1
+            pages_touched.add(rid.page_no)
             if restriction(row):
                 result.qualified += 1
                 qualified.append((rid, row))
+        # A sequential scan reads every page; an index path only the
+        # pages its matches live on.  Never any skips — full refresh has
+        # no change information to skip with.
+        if self.last_access_path is None:
+            result.pages_scanned = table.heap.page_count
+        else:
+            result.pages_scanned = len(pages_touched)
         # Ship in address order regardless of access path (an index
         # range yields value order; the receiver does not care, but
         # deterministic output order keeps tests and diffs stable).
@@ -110,4 +123,6 @@ class FullRefresher:
         new_time = table.db.clock.tick()
         transmit(SnapTimeMessage(new_time))
         result.new_snap_time = new_time
+        result.buffer_hits = pool_stats.hits - hits_before
+        result.buffer_misses = pool_stats.misses - misses_before
         return result

@@ -53,6 +53,9 @@ class Snapshot:
         self.info = info
         self.refresher = refresher
         self.channel = channel
+        #: Per-snapshot page-qualification cache (page_no -> PageQualInfo);
+        #: lets the differential refresher fast-forward over clean pages.
+        self.page_cache: "dict[int, Any]" = {}
 
     @property
     def name(self) -> str:
@@ -91,9 +94,18 @@ class Snapshot:
 class SnapshotManager:
     """Snapshot DDL and refresh execution for one base database."""
 
-    def __init__(self, db: Database, cost_model: Optional[CostModel] = None):
+    def __init__(
+        self,
+        db: Database,
+        cost_model: Optional[CostModel] = None,
+        use_page_summaries: bool = True,
+    ):
         self.db = db
         self.cost_model = cost_model if cost_model is not None else CostModel()
+        #: Default for differential refreshers created here; the paper's
+        #: full-scan baseline is reproduced by passing False (or by
+        #: constructing a DifferentialRefresher directly).
+        self.use_page_summaries = use_page_summaries
         self._handles: "dict[str, Snapshot]" = {}
 
     # -- CREATE SNAPSHOT ------------------------------------------------------
@@ -168,6 +180,7 @@ class SnapshotManager:
                 table,
                 optimize_deletes=optimize_deletes,
                 suppress_pure_inserts=suppress_pure_inserts,
+                use_page_summaries=self.use_page_summaries,
             )
         elif plan.method is RefreshMethod.FULL:
             refresher = FullRefresher(table)
@@ -229,6 +242,14 @@ class SnapshotManager:
                     plan.projection,
                     handle.channel.send,
                     from_lsn=info.last_refresh_lsn,
+                )
+            elif isinstance(refresher, DifferentialRefresher):
+                result = refresher.refresh(
+                    info.snap_time,
+                    plan.restriction,
+                    plan.projection,
+                    handle.channel.send,
+                    cache=handle.page_cache,
                 )
             else:
                 result = refresher.refresh(

@@ -115,3 +115,66 @@ def decode_row(schema: Schema, data: bytes) -> Row:
 def encoded_size(schema: Schema, row: Row) -> int:
     """Size in bytes of the encoding of ``row`` (used for traffic accounting)."""
     return len(encode_row(schema, row))
+
+
+def decode_fields(
+    schema: Schema, data: bytes, positions: Sequence[int]
+) -> "tuple[Any, ...]":
+    """Decode only the columns at ``positions``, in the order given.
+
+    The refresh scan needs the trailing ``$PREVADDR$``/``$TIMESTAMP$``
+    annotations (and the restriction's columns) of every entry but the
+    full row only for entries it actually transmits; decoding just those
+    fields is what makes the scan cheap on unchanged data.
+
+    Columns in the record's *fixed-width suffix* (every column at or
+    after them is fixed-size) are decoded backward from the end of the
+    record without touching anything else — the annotation columns, which
+    are always appended last, hit this path in O(1).  Remaining columns
+    are found with a forward walk that skips over unneeded values (via
+    their length prefixes) instead of materializing them.
+    """
+    columns = schema.columns
+    count = len(columns)
+    bitmap_size = _bitmap_size(count)
+    if len(data) < bitmap_size:
+        raise SchemaError("row image shorter than its NULL bitmap")
+    wanted = set(positions)
+    found: "dict[int, Any]" = {}
+
+    # Backward pass over the fixed-width suffix.
+    end = len(data)
+    for position in range(count - 1, -1, -1):
+        if not wanted:
+            break
+        column = columns[position]
+        ctype = column.ctype
+        if not ctype.inline_null and data[position // 8] & (1 << (position % 8)):
+            if position in wanted:
+                found[position] = NULL
+                wanted.discard(position)
+            continue  # bitmap NULL occupies no body bytes
+        size = ctype.fixed_size
+        if size is None:
+            break  # variable-width: cannot locate anything before it from the end
+        end -= size
+        if position in wanted:
+            found[position], _ = ctype.decode(data, end)
+            wanted.discard(position)
+
+    # Forward walk for whatever the suffix pass could not reach.
+    if wanted:
+        limit = max(wanted)
+        offset = bitmap_size
+        for position in range(limit + 1):
+            column = columns[position]
+            ctype = column.ctype
+            if not ctype.inline_null and data[position // 8] & (1 << (position % 8)):
+                if position in wanted:
+                    found[position] = NULL
+                continue
+            if position in wanted:
+                found[position], offset = ctype.decode(data, offset)
+            else:
+                offset = ctype.skip(data, offset)
+    return tuple(found[position] for position in positions)

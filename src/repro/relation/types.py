@@ -66,6 +66,12 @@ class ColumnType:
     name: str = "abstract"
     tag: int = 0
     inline_null: bool = False
+    #: Encoded size in bytes when every value of the type occupies the
+    #: same space, else ``None``.  Fixed-size columns can be located in a
+    #: record image without decoding their neighbours, which is what lets
+    #: :func:`repro.relation.row.decode_fields` read the trailing
+    #: annotation fields of a record in O(1).
+    fixed_size: "int | None" = None
 
     def validate(self, value: Any) -> None:
         """Raise :class:`TypeMismatchError` unless ``value`` fits this type."""
@@ -82,6 +88,16 @@ class ColumnType:
         """
         raise NotImplementedError
 
+    def skip(self, data: bytes, offset: int) -> int:
+        """Return the offset just past the value starting at ``offset``.
+
+        Cheaper than :meth:`decode` for variable-width types that can
+        read their length prefix without materializing the value.
+        """
+        if self.fixed_size is not None:
+            return offset + self.fixed_size
+        return self.decode(data, offset)[1]
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -97,6 +113,7 @@ class IntType(ColumnType):
 
     name = "int"
     tag = 1
+    fixed_size = 8
     _packer = struct.Struct("<q")
 
     def validate(self, value: Any) -> None:
@@ -118,6 +135,7 @@ class FloatType(ColumnType):
 
     name = "float"
     tag = 2
+    fixed_size = 8
     _packer = struct.Struct("<d")
 
     def validate(self, value: Any) -> None:
@@ -156,6 +174,10 @@ class StringType(ColumnType):
         end = start + length
         return data[start:end].decode("utf-8"), end
 
+    def skip(self, data: bytes, offset: int) -> int:
+        (length,) = self._length.unpack_from(data, offset)
+        return offset + self._length.size + length
+
 
 class RidType(ColumnType):
     """A record address (:class:`~repro.storage.rid.Rid`) column.
@@ -167,6 +189,7 @@ class RidType(ColumnType):
     name = "rid"
     tag = 4
     inline_null = True
+    fixed_size = 8
     _packer = struct.Struct("<iI")
     _NULL_PAGE = -(2**31)
 
@@ -201,6 +224,7 @@ class TimestampType(ColumnType):
     name = "timestamp"
     tag = 5
     inline_null = True
+    fixed_size = 8
     _packer = struct.Struct("<q")
     _NULL_SENTINEL = -(2**63)
 

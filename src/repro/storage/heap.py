@@ -79,6 +79,15 @@ class HeapFile:
         #: Physical operation counters (benchmarks read these to compare
         #: the maintenance cost of the annotation schemes).
         self.writes = HeapWriteCounts()
+        #: Optional :class:`~repro.storage.summary.PageSummaryMap` fed by
+        #: every record write (attached by the table layer once the
+        #: annotation columns exist, since summaries decode them).
+        self.summaries = None
+
+    def attach_summaries(self, summaries) -> None:
+        """Attach a summary map and build it from current contents."""
+        self.summaries = summaries
+        summaries.rebuild(self)
 
     # -- page plumbing -----------------------------------------------------
 
@@ -111,6 +120,10 @@ class HeapFile:
         return len(self._pages)
 
     @property
+    def pool(self) -> BufferPool:
+        return self._pool
+
+    @property
     def record_count(self) -> int:
         return self._record_count
 
@@ -134,20 +147,26 @@ class HeapFile:
                 self._free_hint[heap_page] = (
                     page.contiguous_free() + page.reclaimable()
                 )
+                rid = Rid(heap_page, slot_no)
+                if self.summaries is not None:
+                    self.summaries.note_insert(rid, record)
                 self._unpin(heap_page, dirty=True)
                 self._record_count += 1
                 self.writes.inserts += 1
-                return Rid(heap_page, slot_no)
+                return rid
             self._free_hint[heap_page] = page.contiguous_free() + page.reclaimable()
             self._unpin(heap_page, dirty=False)
         heap_page = self._grow()
         page = self._pin(heap_page)
         slot_no = page.insert(record)
         self._free_hint[heap_page] = page.contiguous_free() + page.reclaimable()
+        rid = Rid(heap_page, slot_no)
+        if self.summaries is not None:
+            self.summaries.note_insert(rid, record)
         self._unpin(heap_page, dirty=True)
         self._record_count += 1
         self.writes.inserts += 1
-        return Rid(heap_page, slot_no)
+        return rid
 
     def insert_at(self, rid: Rid, record: bytes) -> None:
         """Re-insert a record at a specific (currently free) address.
@@ -162,6 +181,11 @@ class HeapFile:
             self._free_hint[rid.page_no] = (
                 page.contiguous_free() + page.reclaimable()
             )
+            if self.summaries is not None:
+                # Undo restores carry whatever (possibly stale) annotations
+                # the record had; treat the re-appearance as structural so
+                # the next refresh re-examines the page.
+                self.summaries.note_insert(rid, record, structural=True)
         finally:
             self._unpin(rid.page_no, dirty=True)
         self._record_count += 1
@@ -196,6 +220,8 @@ class HeapFile:
             self._free_hint[rid.page_no] = (
                 page.contiguous_free() + page.reclaimable()
             )
+            if self.summaries is not None:
+                self.summaries.note_update(rid, record)
         finally:
             self._unpin(rid.page_no, dirty=True)
         self.writes.updates += 1
@@ -208,6 +234,8 @@ class HeapFile:
             self._free_hint[rid.page_no] = (
                 page.contiguous_free() + page.reclaimable()
             )
+            if self.summaries is not None:
+                self.summaries.note_delete(rid, page)
         finally:
             self._unpin(rid.page_no, dirty=True)
         self._record_count -= 1
@@ -230,6 +258,14 @@ class HeapFile:
                 self._unpin(heap_page, dirty=False)
             for slot_no, body in entries:
                 yield Rid(heap_page, slot_no), body
+
+    def page_entries(self, heap_page: int) -> "list[tuple[int, bytes]]":
+        """Materialize one page's ``(slot_no, body)`` entries in slot order."""
+        page = self._pin(heap_page)
+        try:
+            return list(page.records())
+        finally:
+            self._unpin(heap_page, dirty=False)
 
     def scan_rids(self) -> "Iterator[Rid]":
         """Yield live addresses in increasing order (no record bodies)."""

@@ -256,3 +256,21 @@ class SlottedPage:
             offset, length = self._slot(slot_no)
             if offset != 0:
                 yield slot_no, bytes(self._buf[offset : offset + length])
+
+    def live_bounds(self) -> "Optional[tuple[int, int]]":
+        """``(first_live_slot, last_live_slot)``, or ``None`` if the page is empty.
+
+        Directory-only walk — record bodies are not read.  Page summaries
+        use this to keep their live-address bounds exact across deletes.
+        """
+        first: Optional[int] = None
+        last: Optional[int] = None
+        for slot_no in range(self.slot_count):
+            offset, _ = self._slot(slot_no)
+            if offset != 0:
+                if first is None:
+                    first = slot_no
+                last = slot_no
+        if first is None:
+            return None
+        return first, last

@@ -40,6 +40,7 @@ from repro.relation.types import NULL, RidType, TimestampType
 from repro.storage.btree import BPlusTree
 from repro.storage.heap import HeapFile
 from repro.storage.rid import Rid
+from repro.storage.summary import PageSummaryMap
 from repro.txn.locks import LockMode
 from repro.txn.transactions import Transaction, UndoInterface
 from repro.txn.wal import LogRecordType
@@ -99,6 +100,7 @@ class Table(UndoInterface):
         self._live: Optional[BPlusTree] = None
         self._prev_pos: Optional[int] = None
         self._ts_pos: Optional[int] = None
+        self._ann_trailing = False
         # Secondary indexes (repro.query.indexes); notified on mutation.
         self._indexes: "list[Any]" = []
 
@@ -186,7 +188,20 @@ class Table(UndoInterface):
         self.schema = new_schema
         self._prev_pos = new_schema.position(PREVADDR)
         self._ts_pos = new_schema.position(TIMESTAMP)
+        # Annotations are appended, so they are the record's trailing two
+        # fixed 8-byte fields; set_annotations patches them in place.
+        self._ann_trailing = (
+            self._prev_pos == len(new_schema) - 2
+            and self._ts_pos == len(new_schema) - 1
+        )
         self.annotation_mode = mode
+        # Page summaries decode the annotation fields, so they can only
+        # exist from this point on; rebuild covers pre-existing rows.
+        self.heap.attach_summaries(
+            PageSummaryMap(
+                new_schema, self._prev_pos, self._ts_pos, self.db.clock.read
+            )
+        )
         if mode == "eager":
             self._live = BPlusTree(order=64)
             self._chain_all()
@@ -239,7 +254,21 @@ class Table(UndoInterface):
         unknown = set(fields) - {"prev", "ts"}
         if unknown:
             raise SchemaError(f"unknown annotation fields: {sorted(unknown)}")
-        row = decode_row(self.schema, self.heap.read(rid))
+        body = self.heap.read(rid)
+        if self._ann_trailing:
+            # Both annotation fields use fixed-width inline-NULL encodings
+            # at the end of the record, so fix-up can patch the bytes
+            # without decoding (or re-encoding) the rest of the row.
+            patched = bytearray(body)
+            if "prev" in fields:
+                prev_type = self.schema.columns[self._prev_pos].ctype
+                patched[-16:-8] = prev_type.encode(fields["prev"])
+            if "ts" in fields:
+                ts_type = self.schema.columns[self._ts_pos].ctype
+                patched[-8:] = ts_type.encode(fields["ts"])
+            self.heap.update(rid, bytes(patched))
+            return
+        row = decode_row(self.schema, body)
         updates: "dict[str, Any]" = {}
         if "prev" in fields:
             updates[PREVADDR] = fields["prev"]
@@ -604,10 +633,24 @@ class Table(UndoInterface):
         return self.scan(visible=False)
 
     def estimate_selectivity(self, predicate, sample: int = 256) -> float:
-        """Fraction of (up to ``sample``) rows satisfying ``predicate``."""
+        """Fraction of (up to ``sample``) sampled rows satisfying ``predicate``.
+
+        Samples every ``ceil(total/sample)``-th row across the *whole*
+        live address range rather than the first ``sample`` rows: tables
+        are often clustered in address order (loads, monotone keys), and
+        a prefix sample then wildly over- or under-estimates.  Skipped
+        rows are never decoded.
+        """
+        total = self.row_count
+        if total == 0:
+            return 0.0
+        stride = max(1, -(-total // sample))
         seen = 0
         hits = 0
-        for _, row in self.scan(visible=True):
+        for index, (_, body) in enumerate(self.heap.scan()):
+            if index % stride:
+                continue
+            row = self._visible(self._decode(body))
             seen += 1
             if predicate(row):
                 hits += 1

@@ -1,0 +1,202 @@
+"""Page-summary skipping in the differential refresher.
+
+The dangerous part of skipping a page is the receiver contract: every
+EntryMessage's ``(prev_qual, addr)`` range deletes snapshot rows, so a
+wrong skip silently wipes out good data, and a missed ``PrevAddr``
+anomaly silently keeps deleted data.  These tests drive exactly those
+boundaries.
+"""
+
+import pytest
+
+from repro.core.differential import DifferentialRefresher
+from repro.core.snapshot import SnapshotTable
+from repro.database import Database
+from repro.expr.predicate import Projection, Restriction
+
+
+def build(db, rows=12, pad=900):
+    """A lazy table spanning several pages (~4 rows per 4 KiB page)."""
+    table = db.create_table(
+        "t", [("v", "int"), ("pad", "string")], annotations="lazy"
+    )
+    rids = table.bulk_load([[i, "x" * pad] for i in range(rows)])
+    assert table.heap.page_count >= 3
+    return table, rids
+
+
+def refresh_into(refresher, snapshot, snap_time, restriction, projection):
+    messages = []
+
+    def deliver(message):
+        messages.append(repr(message))
+        snapshot.apply(message)
+
+    result = refresher.refresh(snap_time, restriction, projection, deliver)
+    return result, messages
+
+
+def truth_map(table, cutoff):
+    return {
+        rid: row.values
+        for rid, row in table.scan(visible=True)
+        if row.values[0] < cutoff
+    }
+
+
+@pytest.fixture
+def setup(db):
+    table, rids = build(db)
+    restriction = Restriction.parse("v < 100", table.schema)
+    projection = Projection(table.schema)
+    snapshot = SnapshotTable(Database("remote"), "s", projection.schema)
+    refresher = DifferentialRefresher(table, use_page_summaries=True)
+    result, _ = refresh_into(refresher, snapshot, 0, restriction, projection)
+    return table, rids, restriction, projection, snapshot, refresher, result
+
+
+class TestQuiescentSkip:
+    def test_second_refresh_skips_every_page(self, setup):
+        table, _, restriction, projection, snapshot, refresher, first = setup
+        assert first.pages_scanned == table.heap.page_count
+        second, _ = refresh_into(
+            refresher, snapshot, first.new_snap_time, restriction, projection
+        )
+        assert second.pages_skipped == table.heap.page_count
+        assert second.pages_scanned == 0
+        assert second.scanned == 0
+        assert second.rows_decoded == 0
+        assert second.entries_sent == 0
+        assert snapshot.as_map() == truth_map(table, 100)
+
+    def test_skipped_pages_are_never_pinned(self, setup):
+        table, _, restriction, projection, snapshot, refresher, first = setup
+        stats = table.heap.pool.stats
+        pins_before = stats.hits + stats.misses
+        second, _ = refresh_into(
+            refresher, snapshot, first.new_snap_time, restriction, projection
+        )
+        assert second.pages_skipped == table.heap.page_count
+        # No buffer traffic at all: clean pages are decided on summaries
+        # alone, without touching the pool.
+        assert stats.hits + stats.misses == pins_before
+        assert second.buffer_hits == 0 and second.buffer_misses == 0
+
+    def test_repr_surfaces_pages_and_hit_rate(self, setup):
+        *_, first = setup
+        text = repr(first)
+        assert "hit_rate=" in text
+        assert "skip" in text
+
+
+class TestDirtyPageGranularity:
+    def test_single_update_scans_one_page(self, setup):
+        table, rids, restriction, projection, snapshot, refresher, first = setup
+        table.update(rids[0], {"v": 50})
+        second, _ = refresh_into(
+            refresher, snapshot, first.new_snap_time, restriction, projection
+        )
+        assert second.pages_scanned == 1
+        assert second.pages_skipped == table.heap.page_count - 1
+        assert second.entries_sent >= 1
+        assert snapshot.as_map() == truth_map(table, 100)
+
+    def test_cross_page_delete_detected(self, setup):
+        """Deleting page 0's last entry leaves the anomaly on page 1.
+
+        Page 1's bytes are untouched (its version still matches the
+        cache), so only the first_prev boundary check can catch that its
+        first entry's PrevAddr now dangles at a dead address.
+        """
+        table, rids, restriction, projection, snapshot, refresher, first = setup
+        by_page = {}
+        for rid in rids:
+            by_page.setdefault(rid.page_no, []).append(rid)
+        victim = by_page[0][-1]
+        table.delete(victim)
+        second, _ = refresh_into(
+            refresher, snapshot, first.new_snap_time, restriction, projection
+        )
+        assert second.deletions_detected == 1
+        # Page 0 (structural) and page 1 (anomaly) scanned; the rest skip.
+        assert second.pages_scanned == 2
+        assert second.pages_skipped == table.heap.page_count - 2
+        assert snapshot.as_map() == truth_map(table, 100)
+        assert victim not in snapshot.as_map()
+
+    def test_pending_deletion_flag_forces_next_page_scan(self, setup):
+        """An unqualified change at a page's end taints the next page.
+
+        The entry that must carry the deletion range lives on page 1,
+        which is byte-identical to its cache entry — skipping it would
+        lose the range and leave the now-unqualified row in the snapshot
+        forever.
+        """
+        table, rids, restriction, projection, snapshot, refresher, first = setup
+        by_page = {}
+        for rid in rids:
+            by_page.setdefault(rid.page_no, []).append(rid)
+        victim = by_page[0][-1]
+        table.update(victim, {"v": 1000})  # was qualified, now is not
+        second, _ = refresh_into(
+            refresher, snapshot, first.new_snap_time, restriction, projection
+        )
+        assert second.pages_scanned == 2
+        assert second.pages_skipped == table.heap.page_count - 2
+        assert second.entries_sent >= 1
+        assert victim not in snapshot.as_map()
+        assert snapshot.as_map() == truth_map(table, 100)
+
+
+class TestBaselineEquivalence:
+    def script(self, table, rids):
+        table.update(rids[1], {"v": 60})
+        table.delete(rids[5])
+        table.insert([7, "y" * 900])
+        table.update(rids[9], {"v": 500})
+
+    def run_mode(self, use_summaries, refreshes=3):
+        db = Database("equiv", buffer_capacity=16)
+        table, rids = build(db)
+        restriction = Restriction.parse("v < 100", table.schema)
+        projection = Projection(table.schema)
+        snapshot = SnapshotTable(Database("remote"), "s", projection.schema)
+        refresher = DifferentialRefresher(
+            table, use_page_summaries=use_summaries
+        )
+        snap_time = 0
+        streams = []
+        result, messages = refresh_into(
+            refresher, snapshot, snap_time, restriction, projection
+        )
+        streams.append(messages)
+        snap_time = result.new_snap_time
+        self.script(table, rids)
+        for _ in range(refreshes):
+            result, messages = refresh_into(
+                refresher, snapshot, snap_time, restriction, projection
+            )
+            streams.append(messages)
+            snap_time = result.new_snap_time
+        return streams, snapshot.as_map(), truth_map(table, 100)
+
+    def test_streams_identical_with_and_without_summaries(self):
+        streams_on, map_on, truth_on = self.run_mode(True)
+        streams_off, map_off, truth_off = self.run_mode(False)
+        assert streams_on == streams_off
+        assert map_on == map_off == truth_on == truth_off
+
+
+class TestCacheInvalidation:
+    def test_restriction_change_clears_default_cache(self, setup):
+        table, _, _, projection, _, refresher, first = setup
+        other = Restriction.parse("v < 5", table.schema)
+        snapshot = SnapshotTable(Database("remote2"), "s2", projection.schema)
+        result, _ = refresh_into(
+            refresher, snapshot, 0, other, projection
+        )
+        # New restriction: the qualified-address cache from the previous
+        # restriction must not be reused (it would fast-forward LastQual
+        # to addresses that do not qualify under this predicate).
+        assert result.pages_scanned == table.heap.page_count
+        assert snapshot.as_map() == truth_map(table, 5)

@@ -202,3 +202,26 @@ class TestRelocatingUpdate:
         rid = table.insert([1])
         with pytest.raises(SchemaError):
             table.set_annotations(rid, bogus=1)
+
+
+class TestEstimateSelectivity:
+    def test_clustered_values_not_skewed(self, db):
+        """Stride sampling must see past a clustered prefix.
+
+        1000 rows where only the first 100 match: a first-`sample`-rows
+        estimate (the old behaviour) would report ~0.39 with sample=256;
+        sampling across the whole address range reports ~0.1.
+        """
+        table = db.create_table("clustered", [("v", "int")])
+        table.bulk_load([[1 if i < 100 else 0] for i in range(1000)])
+        estimate = table.estimate_selectivity(lambda row: row[0] == 1)
+        assert abs(estimate - 0.1) < 0.05
+
+    def test_small_table_exact(self, db):
+        table = db.create_table("small", [("v", "int")])
+        table.bulk_load([[i] for i in range(10)])
+        assert table.estimate_selectivity(lambda row: row[0] < 5) == 0.5
+
+    def test_empty_table(self, db):
+        table = db.create_table("empty", [("v", "int")])
+        assert table.estimate_selectivity(lambda row: True) == 0.0
