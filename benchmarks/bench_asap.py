@@ -10,6 +10,7 @@ Quantifies the paper's ASAP drawbacks on one workload:
 from __future__ import annotations
 
 import random
+import time
 
 import pytest
 
@@ -106,3 +107,52 @@ def test_asap_vs_differential(benchmark):
     assert propagator.propagated == OPERATIONS
     assert diff_result.entries_sent <= int(N * HOT_FRACTION)
     assert propagator.buffered_high_water > 0
+
+
+def _time_drain(backlog: int) -> float:
+    """Seconds to drain a post-outage backlog of ``backlog`` messages."""
+    db = Database("drain")
+    table = db.create_table("t", [("v", "int")])
+    rid = table.insert([0])
+    restriction = Restriction.parse("v < 1000000000", table.schema)
+    projection = Projection(table.schema)
+    link = Link()
+    snapshot = SnapshotTable(Database("r"), "s", projection.schema)
+    link.attach(snapshot.receiver())
+    propagator = AsapPropagator(table, restriction, projection, link)
+    link.go_down()
+    for i in range(backlog):
+        table.update(rid, {"v": i})
+    assert propagator.buffered == backlog
+    link.come_up()
+    start = time.perf_counter()
+    flushed = propagator.try_flush()
+    elapsed = time.perf_counter() - start
+    assert flushed == backlog
+    propagator.detach()
+    return elapsed
+
+
+@pytest.mark.benchmark(group="asap")
+def test_outage_drain_scales_linearly(benchmark):
+    # Regression: try_flush used to pop(0) off a list, so recovery from
+    # a long outage was quadratic in the backlog — exactly the moment a
+    # site can least afford it.  With the deque drain, per-message cost
+    # must stay flat as the backlog grows 4x.
+    small, big = 1_000, 4_000
+    per_small = min(_time_drain(small) for _ in range(3)) / small
+    samples = [benchmark.pedantic(_time_drain, args=(big,), rounds=1, iterations=1)]
+    samples += [_time_drain(big) for _ in range(2)]
+    per_big = min(samples) / big
+    ratio = per_big / per_small
+    emit(
+        "asap_drain",
+        "A3b: outage-backlog drain scaling (per-message cost)",
+        ["backlog", "per-message drain (us)"],
+        [
+            [small, f"{per_small * 1e6:.2f}"],
+            [big, f"{per_big * 1e6:.2f}"],
+            ["ratio (linear ~1x, quadratic ~4x)", f"{ratio:.2f}x"],
+        ],
+    )
+    assert ratio < 3.0, f"drain is superlinear: {ratio:.2f}x per-message cost"

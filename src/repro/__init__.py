@@ -58,6 +58,8 @@ from repro.errors import ReproError
 from repro.expr.predicate import Projection, Restriction
 from repro.net.blocking import BlockingChannel
 from repro.net.channel import Channel, Link
+from repro.net.faults import FaultyLink
+from repro.net.retry import RetryPolicy
 from repro.query import run_select
 from repro.query.indexes import SecondaryIndex
 from repro.relation.row import Row
@@ -80,6 +82,7 @@ __all__ = [
     "Database",
     "DifferentialRefresher",
     "EmptyRegionTable",
+    "FaultyLink",
     "FixupResult",
     "FullRefresher",
     "IdealRefresher",
@@ -94,6 +97,7 @@ __all__ = [
     "RefreshPlan",
     "RefreshResult",
     "RefreshScheduler",
+    "RetryPolicy",
     "ScheduleEntry",
     "ReproError",
     "Restriction",

@@ -100,6 +100,8 @@ class RefreshResult:
         "rows_decoded",
         "buffer_hits",
         "buffer_misses",
+        "attempts",
+        "retry_wait",
     )
 
     def __init__(self) -> None:
@@ -116,6 +118,10 @@ class RefreshResult:
         self.rows_decoded = 0
         self.buffer_hits = 0
         self.buffer_misses = 0
+        #: Set by the manager's retry driver: refresh attempts this
+        #: result took (1 = no retries) and total backoff waited.
+        self.attempts = 1
+        self.retry_wait = 0.0
 
     @property
     def buffer_hit_rate(self) -> float:

@@ -30,13 +30,24 @@ from repro.core.differential import DifferentialRefresher, RefreshResult
 from repro.core.full import FullRefresher
 from repro.core.ideal import IdealRefresher
 from repro.core.logbased import LogRefresher
+from repro.core.messages import RefreshBeginMessage, RefreshCommitMessage
 from repro.core.snapshot import SnapshotTable
 from repro.database import Database
-from repro.errors import SnapshotError
+from repro.errors import (
+    EpochError,
+    LinkDownError,
+    RetryExhaustedError,
+    SnapshotError,
+)
 from repro.net.blocking import BlockingChannel
 from repro.net.channel import Channel
+from repro.net.retry import RetryPolicy
 from repro.relation.row import Row
 from repro.txn.locks import LockMode
+
+#: Failures a retried refresh can recover from: the link died mid-stream,
+#: or the receiver detected a torn/lossy epoch and rolled it back.
+RETRYABLE_ERRORS = (LinkDownError, EpochError)
 
 
 class Snapshot:
@@ -55,7 +66,11 @@ class Snapshot:
         self.channel = channel
         #: Per-snapshot page-qualification cache (page_no -> PageQualInfo);
         #: lets the differential refresher fast-forward over clean pages.
+        #: Survives failed refresh attempts, so a retry resumes past the
+        #: pages the first attempt already proved clean.
         self.page_cache: "dict[int, Any]" = {}
+        #: Failed attempts that were retried (across all refreshes).
+        self.retries = 0
 
     @property
     def name(self) -> str:
@@ -99,6 +114,7 @@ class SnapshotManager:
         db: Database,
         cost_model: Optional[CostModel] = None,
         use_page_summaries: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.db = db
         self.cost_model = cost_model if cost_model is not None else CostModel()
@@ -106,6 +122,9 @@ class SnapshotManager:
         #: full-scan baseline is reproduced by passing False (or by
         #: constructing a DifferentialRefresher directly).
         self.use_page_summaries = use_page_summaries
+        #: When set, every refresh retries link/epoch failures under this
+        #: policy instead of raising them (overridable per call).
+        self.retry_policy = retry_policy
         self._handles: "dict[str, Snapshot]" = {}
 
     # -- CREATE SNAPSHOT ------------------------------------------------------
@@ -192,7 +211,11 @@ class SnapshotManager:
             raise SnapshotError(f"unresolvable method {plan.method!r}")
 
         site = target_db if target_db is not None else self.db
-        snapshot_table = SnapshotTable(site, name, plan.value_schema)
+        # Managed snapshots always refresh inside epochs, so a stream
+        # whose RefreshBegin was lost must fail loudly, not tear.
+        snapshot_table = SnapshotTable(
+            site, name, plan.value_schema, require_epochs=True
+        )
         if channel is None:
             channel = Channel(name=f"{base_table}->{name}")
         send_channel: Any = channel
@@ -224,10 +247,48 @@ class SnapshotManager:
         except KeyError:
             raise SnapshotError(f"no such snapshot: {name!r}") from None
 
-    def refresh(self, name: str) -> RefreshResult:
-        """Execute the stored refresh plan under a base-table lock."""
+    def refresh(
+        self, name: str, retry: Optional[RetryPolicy] = None
+    ) -> RefreshResult:
+        """Execute the stored refresh plan under a base-table lock.
+
+        With a retry policy (per call, or the manager default), link and
+        epoch failures abort the attempt — the receiver rolls its epoch
+        back, so the snapshot stays at the old ``SnapTime`` — then the
+        scan restarts after a backoff from that same unchanged
+        ``SnapTime``.  The per-snapshot page-summary cache survives the
+        failed attempt, so the retry fast-forwards over every page the
+        first pass already proved clean.  Exhausting the policy raises
+        :class:`~repro.errors.RetryExhaustedError`.
+        """
         handle = self.snapshot(name)
-        return self._execute(handle, handle.refresher)
+        policy = retry if retry is not None else self.retry_policy
+        if policy is None:
+            return self._execute(handle, handle.refresher)
+        attempts = 0
+        waited = 0.0
+        while True:
+            attempts += 1
+            try:
+                result = self._execute(handle, handle.refresher)
+            except RETRYABLE_ERRORS as error:
+                if attempts >= policy.max_attempts:
+                    raise RetryExhaustedError(
+                        f"refresh of {name!r} failed after {attempts} "
+                        f"attempts: {error}"
+                    ) from error
+                delay = policy.delay(attempts, self.db.clock.read())
+                if policy.budget is not None and waited + delay > policy.budget:
+                    raise RetryExhaustedError(
+                        f"refresh of {name!r} exceeded its retry budget "
+                        f"({policy.budget}) after {attempts} attempts"
+                    ) from error
+                waited += policy.pause(delay)
+                handle.retries += 1
+                continue
+            result.attempts = attempts
+            result.retry_wait = waited
+            return result
 
     def _execute(self, handle: Snapshot, refresher: Any) -> RefreshResult:
         info = handle.info
@@ -235,35 +296,71 @@ class SnapshotManager:
         owner = ("refresh", info.name)
         resource = ("table", info.base_table)
         with self.db.locks.locking(owner, resource, LockMode.X):
-            if isinstance(refresher, LogRefresher):
-                result = refresher.refresh(
-                    info.snap_time,
-                    plan.restriction,
-                    plan.projection,
-                    handle.channel.send,
-                    from_lsn=info.last_refresh_lsn,
+            epoch = self.db.clock.tick()
+            sent = 0
+
+            def send(message: Any) -> None:
+                nonlocal sent
+                handle.channel.send(message)
+                sent += 1
+
+            try:
+                handle.channel.send(RefreshBeginMessage(epoch))
+                if isinstance(refresher, LogRefresher):
+                    result = refresher.refresh(
+                        info.snap_time,
+                        plan.restriction,
+                        plan.projection,
+                        send,
+                        from_lsn=info.last_refresh_lsn,
+                    )
+                elif isinstance(refresher, DifferentialRefresher):
+                    result = refresher.refresh(
+                        info.snap_time,
+                        plan.restriction,
+                        plan.projection,
+                        send,
+                        cache=handle.page_cache,
+                    )
+                else:
+                    result = refresher.refresh(
+                        info.snap_time,
+                        plan.restriction,
+                        plan.projection,
+                        send,
+                    )
+                handle.channel.send(RefreshCommitMessage(epoch, sent))
+                if isinstance(handle.channel, BlockingChannel):
+                    handle.channel.flush()
+            except Exception:
+                self._abort_attempt(handle)
+                raise
+            if info.snapshot_table.last_committed_epoch != epoch:
+                # The stream "arrived" without error but the commit never
+                # applied — a lossy link swallowed it.  Abort and report.
+                self._abort_attempt(handle)
+                raise EpochError(
+                    f"snapshot {info.name!r}: epoch {epoch} was never "
+                    f"committed at the receiver (stream lost in transit)"
                 )
-            elif isinstance(refresher, DifferentialRefresher):
-                result = refresher.refresh(
-                    info.snap_time,
-                    plan.restriction,
-                    plan.projection,
-                    handle.channel.send,
-                    cache=handle.page_cache,
-                )
-            else:
-                result = refresher.refresh(
-                    info.snap_time,
-                    plan.restriction,
-                    plan.projection,
-                    handle.channel.send,
-                )
-            if isinstance(handle.channel, BlockingChannel):
-                handle.channel.flush()
             info.last_refresh_lsn = self.db.wal.next_lsn
         info.snap_time = result.new_snap_time
         info.refresh_count += 1
         return result
+
+    def _abort_attempt(self, handle: Snapshot) -> None:
+        """Roll back a failed refresh attempt on both sides of the link.
+
+        Sender side: a :class:`BlockingChannel` may hold a partial frame
+        of the torn stream — shipping that tail at the start of the next
+        refresh would violate the receiver's ordering, so drop it.
+        Receiver side: discard the staged epoch (the site-local analog
+        of the receiver noticing the connection died; a retried
+        refresh's own RefreshBegin would do the same).
+        """
+        if isinstance(handle.channel, BlockingChannel):
+            handle.channel.abort()
+        handle.info.snapshot_table.abort_epoch()
 
     def refresh_all(self, base_table: Optional[str] = None) -> "dict[str, RefreshResult]":
         """Refresh every snapshot (optionally: of one base table)."""

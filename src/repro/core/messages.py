@@ -96,6 +96,55 @@ class SnapTimeMessage(RefreshMessage):
         return f"SnapTimeMessage({self.time})"
 
 
+class RefreshBeginMessage(RefreshMessage):
+    """Opens a refresh epoch at the receiver.
+
+    Every message that follows — up to the matching
+    :class:`RefreshCommitMessage` — is *staged* rather than applied, so
+    a stream torn by a link failure can never leave the snapshot between
+    states: the stale stage is discarded when the retried refresh opens
+    its own epoch.  ``epoch`` is any site-unique monotone id (the sender
+    ticks its logical clock).
+    """
+
+    counts_as_entry = False
+
+    __slots__ = ("epoch",)
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+
+    def wire_size(self) -> int:
+        return _TYPE_BYTE + _TIME_BYTES
+
+    def __repr__(self) -> str:
+        return f"RefreshBeginMessage({self.epoch})"
+
+
+class RefreshCommitMessage(RefreshMessage):
+    """Atomically applies the epoch's staged messages.
+
+    Carries the number of messages the sender transmitted inside the
+    epoch; a mismatch with what the receiver staged means the link
+    dropped part of the stream, and the receiver rolls the epoch back
+    instead of committing a hole.
+    """
+
+    counts_as_entry = False
+
+    __slots__ = ("epoch", "count")
+
+    def __init__(self, epoch: int, count: int) -> None:
+        self.epoch = epoch
+        self.count = count
+
+    def wire_size(self) -> int:
+        return _TYPE_BYTE + _TIME_BYTES + 4  # epoch + message count
+
+    def __repr__(self) -> str:
+        return f"RefreshCommitMessage({self.epoch}, count={self.count})"
+
+
 class DeleteRangeMessage(RefreshMessage):
     """Delete all snapshot entries with BaseAddr strictly inside (lo, hi).
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.core.manager import Snapshot, SnapshotManager
-from repro.errors import SnapshotError
+from repro.errors import ChannelError, RetryExhaustedError, SnapshotError
 from repro.txn.transactions import Transaction
 
 
@@ -37,6 +37,8 @@ class ScheduleEntry:
         "staleness_area",
         "refreshes",
         "entries_shipped",
+        "failed_refreshes",
+        "last_failure",
     )
 
     def __init__(self, snapshot: Snapshot, every_ops: int) -> None:
@@ -50,6 +52,11 @@ class ScheduleEntry:
         self.staleness_area = 0
         self.refreshes = 0
         self.entries_shipped = 0
+        #: Scheduled refreshes that failed (link down, retries exhausted)
+        #: and were skipped; ``pending`` is kept so the next period — or
+        #: :meth:`RefreshScheduler.flush` — retries.
+        self.failed_refreshes = 0
+        self.last_failure: "Exception | None" = None
 
     @property
     def average_staleness(self) -> float:
@@ -71,6 +78,8 @@ class RefreshScheduler:
     def __init__(self, manager: SnapshotManager) -> None:
         self.manager = manager
         self._entries: "Dict[str, ScheduleEntry]" = {}
+        #: Scheduled refreshes skipped because the refresh failed.
+        self.failed_refreshes = 0
         self._listener = self._on_commit
         manager.db.txns.on_commit(self._listener)
 
@@ -106,14 +115,28 @@ class RefreshScheduler:
             )
             if relevant == 0:
                 continue
-            entry.pending += relevant
+            # Staleness is the area under the pending-changes curve over
+            # the *operation* stream, so accumulate it per operation: a
+            # K-op transaction contributes pending+1, pending+2, ...,
+            # pending+K — not one sample of the final value.
+            for _ in range(relevant):
+                entry.pending += 1
+                entry.staleness_area += entry.pending
             entry.ops_observed += relevant
-            entry.staleness_area += entry.pending
             if entry.pending >= entry.every_ops:
                 self._refresh(entry)
 
     def _refresh(self, entry: ScheduleEntry) -> None:
-        result = self.manager.refresh(entry.snapshot.name)
+        try:
+            result = self.manager.refresh(entry.snapshot.name)
+        except (ChannelError, RetryExhaustedError) as error:
+            # A down link must not propagate out of the commit hook and
+            # fail the writer's transaction.  Record the failure, keep
+            # `pending` so the next period (or flush()) retries.
+            entry.failed_refreshes += 1
+            entry.last_failure = error
+            self.failed_refreshes += 1
+            return
         entry.refreshes += 1
         entry.entries_shipped += result.entries_sent
         entry.pending = 0

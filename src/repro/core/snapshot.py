@@ -17,6 +17,23 @@ The receiver implements the paper's apply rules:
 - ``SnapTimeMessage(t)`` — adopt ``t`` as the snapshot's new SnapTime;
 - plus the baseline message kinds (clear/full-row/upsert/delete/range).
 
+**Refresh epochs.**  A ``RefreshBeginMessage`` opens an *epoch*: every
+subsequent message is staged instead of applied, and the matching
+``RefreshCommitMessage`` applies the whole stage atomically (its message
+count must match what was staged — a lossy link is detected, not
+committed).  A new Begin, or an explicit :meth:`SnapshotTable.abort_epoch`,
+discards a torn stage, so a refresh interrupted mid-stream leaves the
+snapshot exactly at its previous consistent state and can simply be
+retried.  Duplicate deliveries within an epoch (same message object
+redelivered by a faulty link) are ignored, which makes the receiver
+idempotent per epoch — including for ``SnapTimeMessage``, whose
+monotonicity check only runs at commit.  Messages *outside* any epoch
+apply immediately (the pre-epoch behavior, still used by ASAP push
+propagation and standalone receivers); constructing the table with
+``require_epochs=True`` — as the :class:`~repro.core.manager.SnapshotManager`
+does — makes out-of-epoch refresh data a hard :class:`~repro.errors.EpochError`
+instead, so a dropped Begin cannot silently tear the snapshot.
+
 Storage is a real :class:`~repro.table.Table` (named ``$SNAP$<name>`` in
 the site's catalog) with **lazy annotations**, so the paper's "snapshots
 can serve as base tables for other snapshots" works: a cascaded
@@ -31,7 +48,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional, Tuple
 
 from repro.core import messages as msg
-from repro.errors import SnapshotError
+from repro.errors import EpochError, SnapshotError
 from repro.relation.row import Row
 from repro.relation.schema import Column, Schema
 from repro.relation.types import RidType
@@ -45,10 +62,29 @@ BASEADDR = "$BASEADDR$"
 STORAGE_PREFIX = "$SNAP$"
 
 
+class _Epoch:
+    """One open refresh epoch: its id and the staged message stream."""
+
+    __slots__ = ("epoch", "staged", "seen")
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.staged: "list[Any]" = []
+        # Identities of staged (live) objects: duplicate deliveries of
+        # the same message within the epoch are ignored.
+        self.seen: "set[int]" = set()
+
+
 class SnapshotTable:
     """Materialized snapshot contents at (typically) a remote site."""
 
-    def __init__(self, db: Any, name: str, value_schema: Schema) -> None:
+    def __init__(
+        self,
+        db: Any,
+        name: str,
+        value_schema: Schema,
+        require_epochs: bool = False,
+    ) -> None:
         if BASEADDR in value_schema:
             raise SnapshotError(
                 "snapshot value schema may not use the reserved BaseAddr name"
@@ -73,6 +109,14 @@ class SnapshotTable:
         #: Apply-effort counters (updates the receiver performed).
         self.applied_upserts = 0
         self.applied_deletes = 0
+        #: When True, refresh data arriving outside an epoch is an error.
+        self.require_epochs = require_epochs
+        self._epoch: "Optional[_Epoch]" = None
+        #: Epoch id of the last committed refresh (0 = none yet).
+        self.last_committed_epoch = 0
+        self.committed_epochs = 0
+        #: Epochs discarded without committing (torn or lossy streams).
+        self.aborted_epochs = 0
 
     def __len__(self) -> int:
         return len(self._index)
@@ -126,7 +170,90 @@ class SnapshotTable:
     # -- receiver --------------------------------------------------------------
 
     def apply(self, message: Any) -> None:
-        """Apply one refresh message (Figure 4 semantics)."""
+        """Receive one refresh message (Figure 4 semantics, epoch-guarded).
+
+        Inside an open epoch, data messages stage; ``RefreshBegin`` and
+        ``RefreshCommit`` drive the epoch state machine.  Outside any
+        epoch, data applies immediately unless ``require_epochs``.
+        """
+        if isinstance(message, msg.RefreshBeginMessage):
+            if self._epoch is not None:
+                if self._epoch.epoch == message.epoch:
+                    return  # duplicate delivery of the Begin itself
+                # A new refresh attempt supersedes a torn stream.
+                self.abort_epoch()
+            self._epoch = _Epoch(message.epoch)
+            return
+        if isinstance(message, msg.RefreshCommitMessage):
+            self._commit_epoch(message)
+            return
+        if self._epoch is not None:
+            if id(message) in self._epoch.seen:
+                return  # duplicate delivery within the epoch
+            self._epoch.seen.add(id(message))
+            self._epoch.staged.append(message)
+            return
+        if self.require_epochs:
+            raise EpochError(
+                f"snapshot {self.name!r}: refresh message outside an epoch "
+                f"({message!r}); the RefreshBegin was lost"
+            )
+        self._apply_now(message)
+
+    def _commit_epoch(self, message: "msg.RefreshCommitMessage") -> None:
+        if self._epoch is None:
+            if message.epoch == self.last_committed_epoch:
+                return  # duplicate delivery of an already-applied commit
+            raise EpochError(
+                f"snapshot {self.name!r}: commit for epoch {message.epoch} "
+                f"but none is open"
+            )
+        if message.epoch != self._epoch.epoch:
+            self.abort_epoch()
+            raise EpochError(
+                f"snapshot {self.name!r}: commit for epoch {message.epoch} "
+                f"does not match the open epoch"
+            )
+        staged = self._epoch.staged
+        if message.count != len(staged):
+            self.abort_epoch()
+            raise EpochError(
+                f"snapshot {self.name!r}: epoch {message.epoch} committed "
+                f"{message.count} messages but {len(staged)} arrived; "
+                f"stream was lossy — rolled back"
+            )
+        self._epoch = None
+        for staged_message in staged:
+            self._apply_now(staged_message)
+        self.last_committed_epoch = message.epoch
+        self.committed_epochs += 1
+
+    def abort_epoch(self) -> bool:
+        """Discard the open epoch's staged messages, if any.
+
+        The snapshot is untouched — staging means nothing was applied.
+        Returns whether an epoch was actually open.  Called by the
+        sender's failure path (the site-local analog of a receiver
+        noticing the connection died); a retried refresh's own
+        ``RefreshBegin`` has the same effect.
+        """
+        if self._epoch is None:
+            return False
+        self._epoch = None
+        self.aborted_epochs += 1
+        return True
+
+    @property
+    def epoch_open(self) -> bool:
+        return self._epoch is not None
+
+    @property
+    def staged_messages(self) -> int:
+        """Messages staged in the open epoch (0 when none is open)."""
+        return len(self._epoch.staged) if self._epoch is not None else 0
+
+    def _apply_now(self, message: Any) -> None:
+        """Apply one refresh message to storage (Figure 4 semantics)."""
         if isinstance(message, msg.EntryMessage):
             self._delete_open_interval(message.prev_qual, message.addr)
             self._upsert(message.addr, message.values)

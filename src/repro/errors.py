@@ -91,3 +91,19 @@ class ChannelError(ReproError):
 
 class LinkDownError(ChannelError):
     """A send was attempted while the simulated link is interrupted."""
+
+
+class EpochError(ChannelError):
+    """A refresh epoch was torn, lost, or inconsistent at the receiver.
+
+    Raised when a stream arrives outside an open epoch on a receiver
+    that requires one, when a commit names the wrong epoch, or when the
+    commit's message count does not match what was staged (a lossy link
+    dropped part of the stream).  The staged epoch is rolled back before
+    raising, so the snapshot stays at its last consistent state and the
+    refresh can simply be retried.
+    """
+
+
+class RetryExhaustedError(SnapshotError):
+    """A refresh kept failing after every retry the policy allowed."""

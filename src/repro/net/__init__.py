@@ -4,7 +4,10 @@ The paper's evaluation metric is *message traffic*: how many entries are
 transmitted during refresh, as a percentage of the base table.  The
 :class:`~repro.net.channel.Channel` counts every message and its wire
 bytes; :class:`~repro.net.channel.Link` injects outages (to demonstrate
-the ASAP drawbacks); :class:`~repro.net.blocking.BlockingChannel` models
+the ASAP drawbacks); :class:`~repro.net.faults.FaultyLink` scripts
+deterministic outage windows, message drops, and duplicate deliveries
+for fault-injection; :class:`~repro.net.retry.RetryPolicy` bounds how a
+refresh fights back; :class:`~repro.net.blocking.BlockingChannel` models
 R*'s blocking of entries into frames ("the execution of both the full and
 differential refresh methods take advantage of the blocking to reduce
 the cost of the refresh operation").
@@ -12,5 +15,15 @@ the cost of the refresh operation").
 
 from repro.net.blocking import BlockingChannel, Frame
 from repro.net.channel import Channel, Link, TrafficStats
+from repro.net.faults import FaultyLink
+from repro.net.retry import RetryPolicy
 
-__all__ = ["BlockingChannel", "Channel", "Frame", "Link", "TrafficStats"]
+__all__ = [
+    "BlockingChannel",
+    "Channel",
+    "FaultyLink",
+    "Frame",
+    "Link",
+    "RetryPolicy",
+    "TrafficStats",
+]

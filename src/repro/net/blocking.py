@@ -82,10 +82,28 @@ class BlockingChannel:
             self.flush()
 
     def flush(self) -> None:
-        """Ship the pending partial frame, if any."""
+        """Ship the pending partial frame, if any.
+
+        The pending buffer is cleared *before* the physical send: if the
+        link dies mid-flush the frame is lost, never half-kept — a stale
+        tail shipped at the start of the next refresh's stream would
+        violate the receiver's ordering.  The refresh layer retries the
+        whole stream, so losing the frame is safe.
+        """
         if self._pending:
-            self.inner.send(Frame(self._pending))
+            frame = Frame(self._pending)
             self._pending = []
+            self.inner.send(frame)
+
+    def abort(self) -> int:
+        """Discard the pending partial frame (a failed refresh's tail).
+
+        Returns how many logical messages were dropped.  Part of the
+        refresh epoch abort path: the retried stream must start clean.
+        """
+        dropped = len(self._pending)
+        self._pending = []
+        return dropped
 
     @property
     def pending(self) -> int:

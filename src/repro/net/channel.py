@@ -58,6 +58,12 @@ class Channel:
     With a receiver attached, ``send`` delivers synchronously; without
     one, messages queue until :meth:`drain` or until a receiver is
     attached (queued messages flush immediately on attach).
+
+    ``stats`` counts *delivered* traffic only — the paper's headline
+    metric is what actually crossed the link.  A queued message is
+    counted when it flushes to a receiver; messages discarded by
+    :meth:`drain` never count as traffic and are reported separately
+    (``drained_messages`` / ``drained_bytes``).
     """
 
     def __init__(self, name: str = "channel") -> None:
@@ -65,6 +71,9 @@ class Channel:
         self.stats = TrafficStats()
         self._receiver: Optional[Receiver] = None
         self._queue: "Deque[Any]" = deque()
+        #: Queued messages discarded by drain() — never delivered.
+        self.drained_messages = 0
+        self.drained_bytes = 0
 
     def attach(self, receiver: Receiver) -> None:
         if self._receiver is not None:
@@ -76,21 +85,25 @@ class Channel:
         self._receiver = None
 
     def send(self, message: Any) -> None:
-        """Count and deliver (or queue) one message."""
-        self.stats.record(message)
+        """Deliver (counting) or queue (not yet traffic) one message."""
         if self._receiver is not None:
+            self.stats.record(message)
             self._receiver(message)
         else:
             self._queue.append(message)
 
     def _flush(self) -> None:
         while self._queue and self._receiver is not None:
-            self._receiver(self._queue.popleft())
+            message = self._queue.popleft()
+            self.stats.record(message)
+            self._receiver(message)
 
     def drain(self) -> "list[Any]":
-        """Return and clear queued (undelivered) messages."""
+        """Return and discard queued (undelivered, uncounted) messages."""
         drained = list(self._queue)
         self._queue.clear()
+        self.drained_messages += len(drained)
+        self.drained_bytes += sum(m.wire_size() for m in drained)
         return drained
 
     @property

@@ -1,0 +1,127 @@
+"""Scriptable link faults for refresh fault-injection.
+
+A :class:`FaultyLink` is a :class:`~repro.net.channel.Link` whose
+delivery path is decorated with deterministic fault policies, so tests
+and benchmarks can replay exactly the failure the paper worries about
+("if communication ... is interrupted"):
+
+- **outage windows** — half-open ``(lo, hi)`` intervals over the send
+  counter during which every send raises
+  :class:`~repro.errors.LinkDownError` (use :meth:`fail_at` to script
+  "die k messages from now");
+- **periodic outages** — ``(down, cycle)``: the last ``down`` of every
+  ``cycle`` sends fail, modelling a link with a steady outage rate;
+- **drop-every-Nth** — every Nth send is silently swallowed (UDP-style
+  loss; the epoch commit count catches the hole at the receiver);
+- **duplicate-every-Nth** — every Nth send is delivered twice (the
+  receiver must be idempotent: upserts and range deletes are naturally,
+  and the epoch stage dedupes redelivered messages).
+
+All policies key off the *send-attempt counter*, not wall time, so a
+retried refresh makes progress through an outage window deterministically
+and a run replays identically.  Manual :meth:`~repro.net.channel.Link.go_down`
+/ ``come_up`` still work and take precedence over scripted delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.errors import LinkDownError, ReproError
+from repro.net.channel import Link
+
+
+class FaultyLink(Link):
+    """A link that fails, drops, and duplicates on a deterministic script."""
+
+    def __init__(
+        self,
+        name: str = "faulty-link",
+        outages: "Sequence[Tuple[int, int]]" = (),
+        periodic_outage: "Optional[Tuple[int, int]]" = None,
+        drop_every: Optional[int] = None,
+        duplicate_every: Optional[int] = None,
+    ) -> None:
+        super().__init__(name)
+        self._outages: "list[Tuple[int, int]]" = []
+        for lo, hi in outages:
+            self._add_window(int(lo), int(hi))
+        if periodic_outage is not None:
+            down, cycle = periodic_outage
+            if cycle < 1 or not 0 <= down < cycle:
+                raise ReproError(
+                    f"periodic outage needs 0 <= down < cycle, got "
+                    f"({down}, {cycle})"
+                )
+        self.periodic_outage = periodic_outage
+        if drop_every is not None and drop_every < 2:
+            # drop_every=1 would swallow every message; no retry converges.
+            raise ReproError("drop_every must be at least 2")
+        if duplicate_every is not None and duplicate_every < 1:
+            raise ReproError("duplicate_every must be at least 1")
+        self.drop_every = drop_every
+        self.duplicate_every = duplicate_every
+        #: Send attempts observed (the fault script's time axis).
+        self.attempts = 0
+        self.dropped = 0
+        self.duplicated = 0
+
+    def _add_window(self, lo: int, hi: int) -> None:
+        if lo >= hi or lo < 0:
+            raise ReproError(f"bad outage window ({lo}, {hi})")
+        self._outages.append((lo, hi))
+        self._outages.sort()
+
+    # -- scripting -----------------------------------------------------------
+
+    def fail_at(self, offset: int = 0, length: int = 1) -> None:
+        """Script an outage ``offset`` sends from now, ``length`` sends long."""
+        start = self.attempts + offset
+        self._add_window(start, start + length)
+
+    def clear_faults(self) -> None:
+        """Drop all scripted windows and periodic/drop/duplicate policies."""
+        self._outages.clear()
+        self.periodic_outage = None
+        self.drop_every = None
+        self.duplicate_every = None
+
+    def _scripted_down(self, attempt: int) -> bool:
+        for lo, hi in self._outages:
+            if lo > attempt:
+                break
+            if attempt < hi:
+                return True
+        if self.periodic_outage is not None:
+            down, cycle = self.periodic_outage
+            if attempt % cycle >= cycle - down:
+                return True
+        return False
+
+    # -- delivery ------------------------------------------------------------
+
+    def send(self, message: Any) -> None:
+        attempt = self.attempts
+        self.attempts += 1
+        if not self.is_up or self._scripted_down(attempt):
+            self.failed_sends += 1
+            raise LinkDownError(
+                f"{self.name} is down (send {attempt})"
+            )
+        if self.drop_every is not None and (attempt + 1) % self.drop_every == 0:
+            self.dropped += 1
+            return
+        super().send(message)
+        if (
+            self.duplicate_every is not None
+            and (attempt + 1) % self.duplicate_every == 0
+        ):
+            self.duplicated += 1
+            super().send(message)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultyLink({self.name}, attempts={self.attempts}, "
+            f"failed={self.failed_sends}, dropped={self.dropped}, "
+            f"duplicated={self.duplicated})"
+        )

@@ -1,0 +1,101 @@
+"""Retry policies for refresh over an unreliable link.
+
+The paper motivates periodic (pull) refresh over ASAP push partly
+because "if communication ... is interrupted, the base table changes
+must be buffered or rejected" — a pull refresh can simply run again.
+:class:`RetryPolicy` makes "run again" a first-class, bounded, *and
+deterministic* operation:
+
+- **max attempts** bound how long a refresh keeps fighting a dead link;
+- **exponential backoff** (``base_delay`` x ``multiplier**attempt``,
+  capped at ``max_delay``) spaces the attempts out;
+- **deterministic jitter** decorrelates concurrent retriers without a
+  random source: the jitter fraction is a multiplicative hash of the
+  site's *logical clock* reading and the attempt number, so a replayed
+  simulation backs off identically every run;
+- an optional **budget** caps the total backoff a single refresh may
+  accumulate across its attempts, independent of the attempt count.
+
+Delays are logical quantities by default — ``pause`` records them and
+invokes an optional ``sleeper`` hook (tests pass a stub, a wall-clock
+deployment would pass ``time.sleep``), so simulations never block.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ReproError
+
+#: Knuth's multiplicative hash constants, used to mix (clock, attempt)
+#: into a deterministic jitter fraction.
+_MIX_A = 2654435761
+_MIX_B = 0x9E3779B1
+_MIX_MOD = 2**32
+
+
+class RetryPolicy:
+    """Bounded exponential backoff with clock-derived deterministic jitter."""
+
+    def __init__(
+        self,
+        max_attempts: int = 5,
+        base_delay: float = 1.0,
+        multiplier: float = 2.0,
+        max_delay: float = 60.0,
+        jitter: float = 0.5,
+        budget: Optional[float] = None,
+        sleeper: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ReproError("retry policy needs at least one attempt")
+        if base_delay < 0 or max_delay < 0:
+            raise ReproError("retry delays cannot be negative")
+        if multiplier < 1.0:
+            raise ReproError("backoff multiplier must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ReproError("jitter must be a fraction in [0, 1]")
+        if budget is not None and budget < 0:
+            raise ReproError("retry budget cannot be negative")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.budget = budget
+        self.sleeper = sleeper
+        #: Total delay this policy has handed out (all refreshes).
+        self.total_waited = 0.0
+
+    def delay(self, attempt: int, now: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), jittered by ``now``.
+
+        Deterministic: the same (attempt, clock reading) always yields
+        the same delay.  Jitter only ever *shortens* the raw exponential
+        delay (full-jitter style, scaled by the ``jitter`` fraction), so
+        ``max_delay`` stays an upper bound.
+        """
+        if attempt < 1:
+            raise ReproError("attempt numbers are 1-based")
+        raw = min(
+            self.base_delay * self.multiplier ** (attempt - 1), self.max_delay
+        )
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        mixed = (now * _MIX_A + attempt * _MIX_B) % _MIX_MOD
+        fraction = mixed / (_MIX_MOD - 1)
+        return raw * (1.0 - self.jitter * fraction)
+
+    def pause(self, delay: float) -> float:
+        """Wait out one computed delay (via the sleeper hook) and log it."""
+        if self.sleeper is not None:
+            self.sleeper(delay)
+        self.total_waited += delay
+        return delay
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base={self.base_delay}, x{self.multiplier}, "
+            f"cap={self.max_delay}, jitter={self.jitter})"
+        )

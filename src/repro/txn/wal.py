@@ -12,6 +12,16 @@ This is the substrate for two things:
 
 Records live in memory as :class:`LogRecord` objects; ``encoded_size``
 charges a realistic byte cost so benchmarks can report log volume.
+
+**Capacity and truncation.**  Constructing the log with
+``capacity_bytes`` bounds its retained size: every :meth:`~WriteAheadLog.append`
+that pushes past the cap silently drops the *oldest* records (advancing
+``truncated_before``) until the log fits again.  Explicit
+:meth:`~WriteAheadLog.truncate_before` does the same on demand.  Either
+way, a later :meth:`~WriteAheadLog.scan` that needs an LSN below
+``truncated_before`` raises :class:`~repro.errors.LogTruncatedError` —
+which is how a log-based snapshot whose history fell off the end learns
+it must degrade to a full refresh.
 """
 
 from __future__ import annotations
@@ -150,7 +160,7 @@ class WriteAheadLog:
             yield record
 
     def truncate_before(self, lsn: int) -> int:
-        """Drop records with ``lsn < lsn``; return how many were dropped."""
+        """Drop records with LSN below ``lsn``; return how many dropped."""
         if lsn > self._next_lsn:
             raise WalError(f"cannot truncate past the log head ({lsn})")
         dropped = 0

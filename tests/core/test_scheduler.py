@@ -85,7 +85,88 @@ class TestScheduling:
         assert entry.refreshes == 0
 
 
+class TestFailedRefreshes:
+    def test_down_link_skips_not_crashes(self, db):
+        # The refresh runs inside the writer's commit hook; a dead link
+        # must not fail the writer's transaction.
+        from repro.net.channel import Link
+
+        table = db.create_table("t", [("v", "int")])
+        rids = table.bulk_load([[i] for i in range(10)])
+        manager = SnapshotManager(db)
+        link = Link()
+        manager.create_snapshot("s", "t", method="differential", channel=link)
+        scheduler = RefreshScheduler(manager)
+        entry = scheduler.schedule("s", every_ops=2)
+        link.go_down()
+        table.update(rids[0], {"v": 100})
+        table.update(rids[1], {"v": 101})  # period hit; commit must survive
+        assert entry.refreshes == 0
+        assert entry.failed_refreshes == 1
+        assert entry.pending == 2  # kept, so recovery retries them
+        assert scheduler.failed_refreshes == 1
+        link.come_up()
+        table.update(rids[2], {"v": 102})
+        assert entry.refreshes == 1
+        assert entry.pending == 0
+        snap = manager.snapshot("s")
+        assert snap.as_map() == {
+            rid: row.values for rid, row in table.scan(visible=True)
+        }
+
+    def test_retries_exhausted_also_skips(self, db):
+        from repro.net.faults import FaultyLink
+        from repro.net.retry import RetryPolicy
+
+        table = db.create_table("t", [("v", "int")])
+        rids = table.bulk_load([[i] for i in range(10)])
+        manager = SnapshotManager(
+            db, retry_policy=RetryPolicy(max_attempts=2, jitter=0.0)
+        )
+        link = FaultyLink(outages=[(0, 10**9)])
+        manager.create_snapshot(
+            "s", "t", method="differential", channel=link,
+            initial_refresh=False,
+        )
+        scheduler = RefreshScheduler(manager)
+        entry = scheduler.schedule("s", every_ops=1)
+        table.update(rids[0], {"v": 100})  # no raise
+        assert entry.failed_refreshes == 1
+        assert entry.last_failure is not None
+
+
 class TestStaleness:
+    def test_multi_op_transaction_staleness_counts_each_op(self, world):
+        # Regression: staleness used to be sampled once per *commit*, so
+        # a 3-op transaction contributed one sample of 3 instead of the
+        # per-operation ramp 1+2+3 — biasing A11's staleness axis low
+        # for batched workloads.
+        db, table, rids, manager, snapshot, scheduler = world
+        entry = scheduler.schedule("s", every_ops=100)
+        txn = db.txns.begin()
+        table.update(rids[0], {"v": 1}, txn=txn)
+        table.update(rids[1], {"v": 2}, txn=txn)
+        table.update(rids[2], {"v": 3}, txn=txn)
+        txn.commit()
+        assert entry.ops_observed == 3
+        assert entry.staleness_area == 1 + 2 + 3
+        assert entry.average_staleness == 2.0
+
+    def test_batched_and_singleton_commits_accumulate_identically(self, world):
+        db, table, rids, manager, snapshot, scheduler = world
+        entry = scheduler.schedule("s", every_ops=100)
+        txn = db.txns.begin()
+        for i in range(4):
+            table.update(rids[i], {"v": i}, txn=txn)
+        txn.commit()
+        batched_area = entry.staleness_area
+        # Same number of ops as singleton commits, starting from the
+        # same pending level, must add the same area shifted by it.
+        for i in range(4):
+            table.update(rids[10 + i], {"v": i})
+        singleton_area = entry.staleness_area - batched_area
+        assert batched_area == 1 + 2 + 3 + 4
+        assert singleton_area == 5 + 6 + 7 + 8
     def test_average_staleness_grows_with_period(self, db):
         table = db.create_table("t", [("v", "int")])
         rids = table.bulk_load([[i] for i in range(50)])

@@ -65,14 +65,50 @@ class TestBlockingChannel:
     def test_blocking_reduces_physical_messages(self):
         # The R* claim: blocking cuts per-message overhead.
         unblocked = Channel()
+        unblocked.attach(lambda m: None)
         for _ in range(100):
             unblocked.send(Msg(10))
         blocked_inner = Channel()
+        blocked_inner.attach(lambda f: None)
         blocking = BlockingChannel(blocked_inner, block_size=25)
         for _ in range(100):
             blocking.send(Msg(10))
         blocking.flush()
         assert blocked_inner.stats.messages == 4 < unblocked.stats.messages
+
+    def test_abort_discards_pending_tail(self):
+        inner = Channel()
+        frames = []
+        inner.attach(frames.append)
+        blocking = BlockingChannel(inner, block_size=10)
+        blocking.send(Msg())
+        blocking.send(Msg())
+        assert blocking.pending == 2
+        assert blocking.abort() == 2
+        assert blocking.pending == 0
+        blocking.flush()
+        assert frames == []  # nothing stale ships later
+
+    def test_flush_failure_never_keeps_the_frame(self):
+        # Regression: flush used to clear `_pending` only after a
+        # successful send, so a link failure mid-flush left the tail to
+        # be shipped at the start of the *next* refresh's stream.
+        from repro.errors import LinkDownError
+        from repro.net.channel import Link
+
+        link = Link()
+        delivered = []
+        link.attach(delivered.append)
+        blocking = BlockingChannel(link, block_size=10)
+        blocking.send(Msg())
+        link.go_down()
+        with pytest.raises(LinkDownError):
+            blocking.flush()
+        assert blocking.pending == 0  # lost, not half-kept
+        link.come_up()
+        blocking.send(Msg())
+        blocking.flush()
+        assert len(delivered) == 1 and len(delivered[0]) == 1
 
     def test_bad_block_size(self):
         with pytest.raises(ChannelError):

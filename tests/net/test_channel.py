@@ -63,6 +63,7 @@ class TestChannel:
 class TestStats:
     def test_counts_messages_and_bytes(self):
         channel = Channel()
+        channel.attach(lambda m: None)
         channel.send(Msg(7))
         channel.send(Msg(13))
         assert channel.stats.messages == 2
@@ -70,12 +71,14 @@ class TestStats:
 
     def test_by_type(self):
         channel = Channel()
+        channel.attach(lambda m: None)
         channel.send(Msg())
         assert channel.stats.by_type == {"Msg": 1}
         assert channel.stats.bytes_by_type == {"Msg": 10}
 
     def test_reset(self):
         channel = Channel()
+        channel.attach(lambda m: None)
         channel.send(Msg())
         channel.stats.reset()
         assert channel.stats.messages == 0
@@ -83,10 +86,36 @@ class TestStats:
 
     def test_snapshot_dict(self):
         channel = Channel()
+        channel.attach(lambda m: None)
         channel.send(Msg())
         summary = channel.stats.snapshot()
         assert summary["messages"] == 1
         assert summary["Msg"] == 1
+
+    def test_queued_messages_are_not_traffic(self):
+        # Regression: `send` used to count a message even when it was
+        # only queued, and drain() then discarded it — inflating the
+        # paper's headline traffic metric with bytes that never moved.
+        channel = Channel()
+        channel.send(Msg(10))
+        channel.send(Msg(10))
+        assert channel.stats.messages == 0
+        assert channel.stats.bytes == 0
+        drained = channel.drain()
+        assert len(drained) == 2
+        assert channel.stats.messages == 0  # still no traffic
+        assert channel.drained_messages == 2
+        assert channel.drained_bytes == 20
+
+    def test_queued_messages_count_when_flushed_on_attach(self):
+        channel = Channel()
+        channel.send(Msg(10))
+        received = []
+        channel.attach(received.append)
+        assert len(received) == 1
+        assert channel.stats.messages == 1
+        assert channel.stats.bytes == 10
+        assert channel.drained_messages == 0
 
 
 class TestLink:

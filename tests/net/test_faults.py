@@ -1,0 +1,128 @@
+"""FaultyLink: scripted outages, drops, duplicates — all deterministic."""
+
+import pytest
+
+from repro.errors import LinkDownError, ReproError
+from repro.net.faults import FaultyLink
+
+
+class Msg:
+    def __init__(self, size=10):
+        self._size = size
+
+    def wire_size(self):
+        return self._size
+
+
+class TestOutageWindows:
+    def test_window_fails_inside_and_recovers_after(self):
+        link = FaultyLink(outages=[(2, 4)])
+        received = []
+        link.attach(received.append)
+        link.send(Msg())  # send 0
+        link.send(Msg())  # send 1
+        with pytest.raises(LinkDownError):
+            link.send(Msg())  # send 2: in the window
+        with pytest.raises(LinkDownError):
+            link.send(Msg())  # send 3: still down
+        link.send(Msg())  # send 4: window passed
+        assert len(received) == 3
+        assert link.failed_sends == 2
+        assert link.attempts == 5
+
+    def test_fail_at_is_relative_to_now(self):
+        link = FaultyLink()
+        link.attach(lambda m: None)
+        link.send(Msg())
+        link.send(Msg())
+        link.fail_at(1)  # the send after next fails
+        link.send(Msg())
+        with pytest.raises(LinkDownError):
+            link.send(Msg())
+        link.send(Msg())
+
+    def test_periodic_outage_rate(self):
+        # Last 2 of every 5 sends fail: 0,1,2 ok / 3,4 down / 5,6,7 ok...
+        link = FaultyLink(periodic_outage=(2, 5))
+        link.attach(lambda m: None)
+        outcomes = []
+        for _ in range(10):
+            try:
+                link.send(Msg())
+                outcomes.append("ok")
+            except LinkDownError:
+                outcomes.append("down")
+        assert outcomes == ["ok"] * 3 + ["down"] * 2 + ["ok"] * 3 + ["down"] * 2
+
+    def test_manual_go_down_still_works(self):
+        link = FaultyLink()
+        link.attach(lambda m: None)
+        link.go_down()
+        with pytest.raises(LinkDownError):
+            link.send(Msg())
+        link.come_up()
+        link.send(Msg())
+
+    def test_bad_windows_rejected(self):
+        with pytest.raises(ReproError):
+            FaultyLink(outages=[(5, 5)])
+        with pytest.raises(ReproError):
+            FaultyLink(periodic_outage=(5, 5))
+        with pytest.raises(ReproError):
+            FaultyLink(drop_every=1)
+
+
+class TestDropAndDuplicate:
+    def test_drop_every_nth_is_silent(self):
+        link = FaultyLink(drop_every=3)
+        received = []
+        link.attach(received.append)
+        for _ in range(9):
+            link.send(Msg())  # sends 3, 6, 9 (1-based) are swallowed
+        assert len(received) == 6
+        assert link.dropped == 3
+        assert link.failed_sends == 0  # drops do not raise
+        assert link.stats.messages == 6  # dropped bytes never crossed
+
+    def test_duplicate_every_nth_delivers_twice(self):
+        link = FaultyLink(duplicate_every=2)
+        received = []
+        link.attach(received.append)
+        first, second = Msg(), Msg()
+        link.send(first)
+        link.send(second)
+        assert received == [first, second, second]
+        assert link.duplicated == 1
+        assert link.stats.messages == 3  # duplicate traffic is real traffic
+
+    def test_clear_faults(self):
+        link = FaultyLink(outages=[(0, 100)], drop_every=2)
+        link.attach(lambda m: None)
+        with pytest.raises(LinkDownError):
+            link.send(Msg())
+        link.clear_faults()
+        link.send(Msg())
+        assert link.stats.messages == 1
+        assert link.dropped == 0
+
+
+class TestComeUpFlushOrdering:
+    def test_queued_backlog_flushes_before_new_sends(self):
+        # Messages queued while no receiver was attached must deliver —
+        # in order, counted once each — before anything sent after
+        # come_up, or the receiver's SnapTime ordering breaks.
+        link = FaultyLink()
+        early, late = Msg(3), Msg(5)
+        link.send(early)  # no receiver: queued, not yet traffic
+        assert link.stats.messages == 0
+        received = []
+        link.attach(received.append)
+        assert received == [early]
+        link.go_down()
+        with pytest.raises(LinkDownError):
+            link.send(Msg())
+        link.come_up()
+        link.send(late)
+        assert received == [early, late]
+        assert link.stats.messages == 2
+        assert link.stats.bytes == 8

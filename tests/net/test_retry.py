@@ -1,0 +1,163 @@
+"""RetryPolicy backoff math and the manager's retry driver end to end."""
+
+import pytest
+
+from repro.core.manager import SnapshotManager
+from repro.database import Database
+from repro.errors import ReproError, RetryExhaustedError
+from repro.net.faults import FaultyLink
+from repro.net.retry import RetryPolicy
+
+
+class TestBackoffMath:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, jitter=0.0)
+        assert [policy.delay(n, now=0) for n in (1, 2, 3, 4)] == [1, 2, 4, 8]
+
+    def test_max_delay_caps_the_exponent(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=10.0, max_delay=50.0, jitter=0.0
+        )
+        assert policy.delay(5, now=0) == 50.0
+
+    def test_deterministic_for_same_clock_and_attempt(self):
+        policy = RetryPolicy(jitter=0.5)
+        assert policy.delay(3, now=41) == policy.delay(3, now=41)
+        # ...and varies when either input varies (decorrelation).
+        assert policy.delay(3, now=41) != policy.delay(3, now=42)
+        assert policy.delay(3, now=41) != policy.delay(2, now=41)
+
+    def test_jitter_only_shortens(self):
+        policy = RetryPolicy(base_delay=4.0, multiplier=2.0, jitter=0.5)
+        for attempt in range(1, 6):
+            for now in range(50):
+                raw = min(4.0 * 2.0 ** (attempt - 1), policy.max_delay)
+                d = policy.delay(attempt, now)
+                assert raw * 0.5 <= d <= raw
+
+    def test_pause_records_and_invokes_sleeper(self):
+        slept = []
+        policy = RetryPolicy(sleeper=slept.append)
+        assert policy.pause(2.5) == 2.5
+        policy.pause(1.5)
+        assert slept == [2.5, 1.5]
+        assert policy.total_waited == 4.0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ReproError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ReproError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ReproError):
+            RetryPolicy(budget=-1)
+        with pytest.raises(ReproError):
+            RetryPolicy().delay(0, now=0)
+
+
+def build_world(link, initial_refresh=True, **manager_kwargs):
+    hq = Database("hq")
+    emp = hq.create_table("emp", [("v", "int")])
+    rids = [emp.insert([i]) for i in range(12)]
+    manager = SnapshotManager(hq, **manager_kwargs)
+    snap = manager.create_snapshot(
+        "s", "emp", method="differential", channel=link,
+        initial_refresh=initial_refresh,
+    )
+    return hq, emp, rids, manager, snap
+
+
+def truth(emp):
+    return {rid: row.values for rid, row in emp.scan(visible=True)}
+
+
+class TestManagerRetry:
+    def test_mid_stream_failure_is_retried_to_convergence(self):
+        link = FaultyLink()
+        hq, emp, rids, manager, snap = build_world(
+            link, retry_policy=RetryPolicy(max_attempts=4, jitter=0.0)
+        )
+        emp.update(rids[0], {"v": 100})
+        emp.update(rids[7], {"v": 700})
+        link.fail_at(3)  # dies after Begin + a couple of entries
+        result = snap.refresh()
+        assert result.attempts == 2
+        assert result.retry_wait > 0
+        assert snap.as_map() == truth(emp)
+        assert snap.table.aborted_epochs == 1
+        assert snap.table.snap_time == result.new_snap_time
+        handle = manager.snapshot("s")
+        assert handle.retries == 1
+
+    def test_snap_time_unchanged_by_failed_attempts(self):
+        link = FaultyLink()
+        hq, emp, rids, manager, snap = build_world(
+            link, retry_policy=RetryPolicy(max_attempts=4, jitter=0.0)
+        )
+        before = snap.snap_time
+        emp.update(rids[0], {"v": 100})
+        link.fail_at(1)
+        snap.refresh()
+        assert snap.snap_time > before  # advanced exactly once, at success
+
+    def test_permanent_outage_exhausts_the_policy(self):
+        link = FaultyLink(outages=[(0, 10**9)])
+        hq, emp, rids, manager, snap = build_world(link, initial_refresh=False)
+        with pytest.raises(RetryExhaustedError):
+            manager.refresh("s", retry=RetryPolicy(max_attempts=3, jitter=0.0))
+        assert manager.snapshot("s").retries >= 2
+
+    def test_budget_exhaustion_stops_before_max_attempts(self):
+        link = FaultyLink(outages=[(0, 10**9)])
+        hq, emp, rids, manager, snap = build_world(link, initial_refresh=False)
+        policy = RetryPolicy(
+            max_attempts=50, base_delay=1.0, multiplier=2.0,
+            jitter=0.0, budget=5.0,
+        )
+        with pytest.raises(RetryExhaustedError, match="budget"):
+            manager.refresh("s", retry=policy)
+        # 1 + 2 fits in 5.0; the third delay (4) would blow it.
+        assert policy.total_waited == 3.0
+
+    def test_no_policy_means_failures_propagate(self):
+        from repro.errors import LinkDownError
+
+        link = FaultyLink()
+        hq, emp, rids, manager, snap = build_world(link)
+        emp.update(rids[0], {"v": 100})
+        link.fail_at(0)
+        with pytest.raises(LinkDownError):
+            snap.refresh()
+        snap.refresh()  # manual retry still converges
+        assert snap.as_map() == truth(emp)
+
+    def test_duplicate_delivery_converges_in_one_attempt(self):
+        link = FaultyLink(duplicate_every=3)
+        hq, emp, rids, manager, snap = build_world(
+            link, retry_policy=RetryPolicy(max_attempts=3, jitter=0.0)
+        )
+        emp.update(rids[2], {"v": 200})
+        emp.delete(rids[5])
+        result = snap.refresh()
+        assert result.attempts == 1  # dedup inside the epoch, no retry
+        assert snap.as_map() == truth(emp)
+
+    def test_dropped_commit_detected_and_retried(self):
+        # A silent drop-every-Nth link can swallow the RefreshCommit
+        # itself: nothing raises on the sender path, but the receiver
+        # never applied.  The manager's ack check must catch it.
+        link = FaultyLink()
+        hq, emp, rids, manager, snap = build_world(
+            link, retry_policy=RetryPolicy(max_attempts=4, jitter=0.0)
+        )
+        emp.update(rids[0], {"v": 100})
+        # Refresh stream: Begin, entry, Commit — drop exactly the Commit.
+        link.drop_every = link.attempts + 3
+        result = snap.refresh()
+        link.drop_every = None
+        assert result.attempts == 2
+        assert snap.as_map() == truth(emp)
+        assert snap.table.committed_epochs >= 1

@@ -1,0 +1,167 @@
+"""Fault-tolerance property: a refresh killed at ANY message survives.
+
+The epoch protocol's whole claim is that a link failure at an arbitrary
+point in the refresh stream — before the Begin, mid-entries, on the
+Commit itself — leaves the snapshot at its previous consistent state,
+and a retry from the unchanged SnapTime converges to exactly what
+re-evaluating the snapshot query would produce.  Hypothesis drives the
+kill point and the update script; the property must hold with the
+page-summary fast path both on and off (the retry's resume path skips
+pages the failed attempt already proved clean, which must never skip a
+page that still owes changes).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.manager import SnapshotManager
+from repro.database import Database
+from repro.errors import RetryExhaustedError
+from repro.net.faults import FaultyLink
+from repro.net.retry import RetryPolicy
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete"]),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=99),
+    ),
+    max_size=25,
+)
+
+kill_points = st.integers(min_value=0, max_value=30)
+
+
+def run_kill_at_k(script, k, use_page_summaries):
+    db = Database("prop")
+    table = db.create_table("t", [("v", "int")])
+    link = FaultyLink()
+    manager = SnapshotManager(
+        db,
+        use_page_summaries=use_page_summaries,
+        retry_policy=RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0),
+    )
+    live = [table.insert([v]) for v in (5, 25, 45, 65, 85)]
+    snap = manager.create_snapshot(
+        "s", "t", where="v < 50", method="differential", channel=link
+    )
+    for op, index, value in script:
+        if op == "insert":
+            live.append(table.insert([value]))
+        elif op == "update" and live:
+            table.update(live[index % len(live)], {"v": value})
+        elif op == "delete" and live:
+            table.delete(live.pop(index % len(live)))
+
+    link.fail_at(k)  # the k-th message of this refresh dies mid-flight
+    result = snap.refresh()
+    link.clear_faults()  # a long stream may not even reach message k
+
+    truth = {
+        rid: row.values
+        for rid, row in table.scan(visible=True)
+        if row.values[0] < 50
+    }
+    assert snap.as_map() == truth
+    assert snap.table.snap_time == result.new_snap_time
+    # The receiver never committed a torn epoch: every failed attempt
+    # was rolled back, every committed one was complete.
+    assert snap.table.epoch_open is False
+    assert snap.table.staged_messages == 0
+
+    # And the converged state is *stable*: a quiet follow-up refresh
+    # ships no entries (the failure did not fake any changes).
+    quiet = snap.refresh()
+    assert quiet.entries_sent == 0
+    assert snap.as_map() == truth
+
+
+class TestKillAtK:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(script=operations, k=kill_points)
+    def test_with_page_summaries(self, script, k):
+        run_kill_at_k(script, k, use_page_summaries=True)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(script=operations, k=kill_points)
+    def test_without_page_summaries(self, script, k):
+        run_kill_at_k(script, k, use_page_summaries=False)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(script=operations, k=st.integers(min_value=0, max_value=10))
+    def test_repeated_failures_within_one_refresh(self, script, k):
+        """Two consecutive attempts die; the third must still converge."""
+        db = Database("prop")
+        table = db.create_table("t", [("v", "int")])
+        link = FaultyLink()
+        manager = SnapshotManager(
+            db,
+            retry_policy=RetryPolicy(
+                max_attempts=5, base_delay=0.0, jitter=0.0
+            ),
+        )
+        live = [table.insert([v]) for v in (5, 25, 45, 65, 85)]
+        snap = manager.create_snapshot(
+            "s", "t", where="v < 50", method="differential", channel=link
+        )
+        for op, index, value in script:
+            if op == "insert":
+                live.append(table.insert([value]))
+            elif op == "update" and live:
+                table.update(live[index % len(live)], {"v": value})
+            elif op == "delete" and live:
+                table.delete(live.pop(index % len(live)))
+        link.fail_at(k)
+        link.fail_at(k + 3)
+        snap.refresh()
+        link.clear_faults()
+        truth = {
+            rid: row.values
+            for rid, row in table.scan(visible=True)
+            if row.values[0] < 50
+        }
+        assert snap.as_map() == truth
+
+    def test_exhaustion_leaves_old_consistent_state(self):
+        """Even a refresh that never succeeds must not tear the snapshot."""
+        db = Database("prop")
+        table = db.create_table("t", [("v", "int")])
+        link = FaultyLink()
+        manager = SnapshotManager(
+            db,
+            retry_policy=RetryPolicy(
+                max_attempts=3, base_delay=0.0, jitter=0.0
+            ),
+        )
+        rids = [table.insert([v]) for v in (5, 25, 45)]
+        snap = manager.create_snapshot(
+            "s", "t", where="v < 50", method="differential", channel=link
+        )
+        before_map = snap.as_map()
+        before_time = snap.snap_time
+        table.update(rids[0], {"v": 7})
+        link.fail_at(0, length=10**9)
+        with pytest.raises(RetryExhaustedError):
+            snap.refresh()
+        assert snap.as_map() == before_map  # old state, fully intact
+        assert snap.snap_time == before_time
+        link.clear_faults()
+        snap.refresh()  # recovery after the outage ends
+        assert snap.as_map() == {
+            rid: row.values
+            for rid, row in table.scan(visible=True)
+            if row.values[0] < 50
+        }
