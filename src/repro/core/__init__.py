@@ -11,6 +11,8 @@ Stage-by-stage, as the paper develops them:
 - :mod:`~repro.core.fixup` — ``BaseFixup`` (Figure 7) batch repair;
 - :mod:`~repro.core.differential` — the production algorithm: combined
   fix-up + refresh in one scan;
+- :mod:`~repro.core.group` — shared-scan group refresh: one pass serves
+  every pending snapshot of a base table;
 - :mod:`~repro.core.optimized` — the paper's invited improvements.
 
 Baselines and alternatives: :mod:`~repro.core.full`,
@@ -20,8 +22,13 @@ Baselines and alternatives: :mod:`~repro.core.full`,
 SNAPSHOT): :mod:`~repro.core.manager`.
 """
 
-from repro.core.differential import DifferentialRefresher, RefreshResult
+from repro.core.differential import (
+    DifferentialRefresher,
+    RefreshCursor,
+    RefreshResult,
+)
 from repro.core.full import FullRefresher
+from repro.core.group import GroupRefresher, GroupRefreshResult
 from repro.core.ideal import IdealRefresher
 from repro.core.manager import Snapshot, SnapshotManager
 from repro.core.messages import (
@@ -45,7 +52,10 @@ __all__ = [
     "EntryMessage",
     "FullRefresher",
     "FullRowMessage",
+    "GroupRefresher",
+    "GroupRefreshResult",
     "IdealRefresher",
+    "RefreshCursor",
     "RefreshResult",
     "Snapshot",
     "SnapshotManager",

@@ -63,7 +63,7 @@ ablation benchmark measures them):
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.core.messages import (
     DeleteRangeMessage,
@@ -72,7 +72,7 @@ from repro.core.messages import (
     RefreshMessage,
     SnapTimeMessage,
 )
-from repro.errors import RefreshMethodError
+from repro.errors import ChannelError, RefreshMethodError
 from repro.expr.predicate import Projection, Restriction
 from repro.relation.row import decode_fields, decode_row, encode_row
 from repro.relation.types import NULL
@@ -84,7 +84,18 @@ Send = Callable[[RefreshMessage], None]
 
 
 class RefreshResult:
-    """Counters from one refresh execution."""
+    """Counters from one refresh execution.
+
+    For a solo refresh every field describes that one scan.  For a
+    refresh served by a shared group pass (``group_cursors > 1``) the
+    per-snapshot fields — ``qualified``, ``entries_sent``,
+    ``messages_sent``, ``bytes_sent``, ``scanned``,
+    ``entries_evaluated``, ``pages_scanned``, ``pages_skipped`` /
+    ``pages_fast_forwarded`` — describe this snapshot's share, while the
+    pass-level scan costs (``rows_decoded``, ``fixup_writes``, buffer
+    traffic) live on the group's pass result: they were paid once for
+    the whole group, so attributing them to each cursor would overcount.
+    """
 
     __slots__ = (
         "new_snap_time",
@@ -102,6 +113,9 @@ class RefreshResult:
         "buffer_misses",
         "attempts",
         "retry_wait",
+        "group_cursors",
+        "entries_evaluated",
+        "pages_fast_forwarded",
     )
 
     def __init__(self) -> None:
@@ -122,6 +136,20 @@ class RefreshResult:
         #: result took (1 = no retries) and total backoff waited.
         self.attempts = 1
         self.retry_wait = 0.0
+        #: Cursors served by the pass that produced this result (1 for a
+        #: solo refresh; N for every result of an N-snapshot group pass).
+        self.group_cursors = 1
+        #: Restriction evaluations performed for this snapshot.  A group
+        #: pass decodes each entry once and evaluates it per cursor, so
+        #: the pass-level ``entries_evaluated / rows_decoded`` ratio is
+        #: the decode-once saving.
+        self.entries_evaluated = 0
+        #: Pages this snapshot's cursor fast-forwarded from its
+        #: :class:`~repro.storage.summary.PageQualInfo` cache instead of
+        #: evaluating — whether or not the shared scan still read the
+        #: page for other cursors.  Equals ``pages_skipped`` for a solo
+        #: refresh.
+        self.pages_fast_forwarded = 0
 
     @property
     def buffer_hit_rate(self) -> float:
@@ -138,6 +166,445 @@ class RefreshResult:
             f"decoded={self.rows_decoded}, "
             f"hit_rate={self.buffer_hit_rate:.2f})"
         )
+
+
+class _LazyEntry:
+    """One scanned heap entry, fully decoded at most once.
+
+    A group pass may transmit the same entry for several cursors; the
+    full-row decode is shared so fan-out never re-decodes.
+    """
+
+    __slots__ = ("_schema", "body", "_row")
+
+    def __init__(self, schema, body: bytes) -> None:
+        self._schema = schema
+        self.body = body
+        self._row = None
+
+    def row(self):
+        if self._row is None:
+            self._row = decode_row(self._schema, self.body)
+        return self._row
+
+
+class RefreshCursor:
+    """Per-snapshot refresh state riding an address-order scan.
+
+    The cursor owns everything Figure 3 keeps per snapshot — the
+    ``SnapTime`` it refreshes from, ``LastQual``, the pending
+    ``Deletion`` flag, the compiled restriction/projection, the output
+    channel — plus the per-snapshot :class:`PageQualInfo` cache that
+    lets it fast-forward over pages proven unchanged since *its*
+    ``SnapTime``.  The scan itself (fix-up, partial decode) is shared:
+    :func:`run_refresh_scan` drives any number of cursors over one pass
+    and each cursor's output stream is byte-identical to a solo
+    :class:`DifferentialRefresher` run from the same ``SnapTime``.
+    """
+
+    __slots__ = (
+        "snap_time",
+        "restriction",
+        "projection",
+        "send",
+        "cache",
+        "optimize_deletes",
+        "suppress_pure_inserts",
+        "name",
+        "value_schema",
+        "last_qual",
+        "deletion",
+        "result",
+        "failed",
+        "error",
+        "_page_first_qual",
+        "_page_last_qual",
+        "_page_qual_count",
+    )
+
+    def __init__(
+        self,
+        snap_time: int,
+        restriction: Restriction,
+        projection: Projection,
+        send: Send,
+        cache: "Optional[dict[int, PageQualInfo]]" = None,
+        optimize_deletes: bool = False,
+        suppress_pure_inserts: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        self.snap_time = snap_time
+        self.restriction = restriction
+        self.projection = projection
+        self.send = send
+        #: Per-snapshot page-qualification cache; ``None`` disables page
+        #: skipping for this cursor even when the scan has summaries.
+        self.cache = cache
+        self.optimize_deletes = optimize_deletes
+        self.suppress_pure_inserts = suppress_pure_inserts
+        self.name = name
+        self.value_schema = projection.schema
+        self.last_qual = Rid.BEGIN
+        self.deletion = False
+        self.result = RefreshResult()
+        #: Set when this cursor's channel failed mid-pass; the scan
+        #: continues for the other cursors.
+        self.failed = False
+        self.error: Optional[BaseException] = None
+        self._page_first_qual: "Optional[Rid]" = None
+        self._page_last_qual: "Optional[Rid]" = None
+        self._page_qual_count = 0
+
+    def transmit(self, message: RefreshMessage) -> None:
+        self.result.messages_sent += 1
+        self.result.bytes_sent += message.wire_size()
+        if message.counts_as_entry:
+            self.result.entries_sent += 1
+        self.send(message)
+
+    def fail(self, error: BaseException) -> None:
+        self.failed = True
+        self.error = error
+
+    # -- page lifecycle ------------------------------------------------------
+
+    def begin_page(self) -> None:
+        self.result.pages_scanned += 1
+        self._page_first_qual = None
+        self._page_last_qual = None
+        self._page_qual_count = 0
+
+    def record_page(
+        self,
+        page_no: int,
+        page_version: int,
+        first_prev: Optional[Rid],
+        last_live: Optional[Rid],
+    ) -> None:
+        """Cache this page's qualification layout for future skips."""
+        self.cache[page_no] = PageQualInfo(
+            page_version,
+            first_prev,
+            self._page_first_qual,
+            self._page_last_qual,
+            self._page_qual_count,
+            last_live,
+        )
+
+    def fast_forward(self, info: PageQualInfo) -> None:
+        """Advance across a page from its cached qualification info."""
+        self.result.pages_fast_forwarded += 1
+        self.result.pages_skipped += 1
+        if info.qual_count:
+            self.result.qualified += info.qual_count
+            self.last_qual = info.last_qual
+
+    # -- the Figure-3 transmit decision --------------------------------------
+
+    def observe(
+        self,
+        rid: Rid,
+        entry: _LazyEntry,
+        sparse: "list[object]",
+        orig_ts: object,
+        pure_insert: bool,
+        anomaly: bool,
+    ) -> None:
+        """Apply one scanned entry to this cursor's refresh state.
+
+        ``orig_ts`` is the entry's timestamp *before* any fix-up stamp
+        this pass wrote, so the decision matches a solo run exactly:
+        the faithful transmit condition is ``ts > SnapTime or Deletion``,
+        with fix-up folded in as "the value changed" (insert/update,
+        per-cursor) or "a deletion was detected just before this entry"
+        (anomaly stamp, a property of the scan shared by every cursor).
+        """
+        result = self.result
+        result.scanned += 1
+        result.entries_evaluated += 1
+        if pure_insert or orig_ts is NULL:
+            value_changed = True
+        else:
+            value_changed = orig_ts > self.snap_time
+        if self.restriction(sparse):
+            result.qualified += 1
+            self._page_qual_count += 1
+            if self._page_first_qual is None:
+                self._page_first_qual = rid
+            self._page_last_qual = rid
+            if value_changed or anomaly or self.deletion:
+                if self.optimize_deletes and not value_changed:
+                    # Entry itself unchanged; only the preceding region
+                    # needs clearing.
+                    self.transmit(DeleteRangeMessage(self.last_qual, rid))
+                else:
+                    projected = self.projection(entry.row())
+                    value_bytes = len(
+                        encode_row(self.value_schema, projected)
+                    )
+                    self.transmit(
+                        EntryMessage(
+                            rid, self.last_qual, projected.values, value_bytes
+                        )
+                    )
+            self.last_qual = rid
+            self.deletion = False
+        else:
+            if value_changed or anomaly:
+                if not (self.suppress_pure_inserts and pure_insert):
+                    # "Updated entry ==> may have qualified before".
+                    self.deletion = True
+
+    def finish(self, new_time: int) -> None:
+        """Deletions at the end of the base table, then the new SnapTime."""
+        self.transmit(EndOfScanMessage(self.last_qual))
+        self.transmit(SnapTimeMessage(new_time))
+        self.result.new_snap_time = new_time
+
+    def __repr__(self) -> str:
+        return (
+            f"RefreshCursor({self.name or '?'}, snap_time={self.snap_time}, "
+            f"restrict={self.restriction.text}, "
+            f"{'failed' if self.failed else 'live'})"
+        )
+
+
+def run_refresh_scan(
+    table: Table,
+    cursors: "Sequence[RefreshCursor]",
+    fixup: Optional[bool] = None,
+    use_page_summaries: bool = False,
+    isolate_failures: bool = False,
+) -> RefreshResult:
+    """One combined fix-up + refresh pass serving every cursor.
+
+    The returned :class:`RefreshResult` holds the *pass-level* counters:
+    pages and rows were read once no matter how many cursors rode along,
+    fix-up was applied to the base table exactly once, and each entry
+    was partial-decoded once over the union of all cursors' restriction
+    columns.  Per-cursor traffic lands on each cursor's own ``result``.
+
+    Page skipping is decided per cursor with exactly the solo scan's
+    conditions — including the shared fix-up state at the page boundary
+    — so a cursor fast-forwards precisely when its own solo run would
+    have skipped.  Only when *every* live cursor can skip is the page
+    not read at all; a page any cursor validly skips is provably clean
+    (no NULL annotations, no boundary anomaly), so scanning it for the
+    others performs no fix-up writes and cannot invalidate the skipper's
+    cached state.
+
+    With ``isolate_failures`` a :class:`~repro.errors.ChannelError` on
+    one cursor's output marks that cursor failed and the pass continues
+    for the rest; otherwise (the solo path) the error propagates.  The
+    caller is responsible for holding the table-level lock.
+    """
+    if fixup is None:
+        fixup = table.annotation_mode == "lazy"
+    schema = table.schema
+    prev_pos = schema.position(PREVADDR)
+    ts_pos = schema.position(TIMESTAMP)
+
+    heap = table.heap
+    summaries = heap.summaries if use_page_summaries else None
+
+    # One decode_fields probe per entry covers the annotations plus the
+    # union of every cursor's restriction columns; the full row is
+    # decoded only when some cursor actually transmits.
+    restr_positions: "set[int]" = set()
+    for cursor in cursors:
+        restr_positions.update(
+            schema.position(name) for name in cursor.restriction.expr.columns()
+        )
+    probe_positions = tuple(sorted(restr_positions | {prev_pos, ts_pos}))
+    probe_prev = probe_positions.index(prev_pos)
+    probe_ts = probe_positions.index(ts_pos)
+    width = len(schema)
+
+    stats = RefreshResult()
+    stats.group_cursors = len(cursors)
+    pool_stats = heap.pool.stats
+    hits_before = pool_stats.hits
+    misses_before = pool_stats.misses
+    fixup_time = table.db.clock.tick()
+
+    expect_prev = Rid.BEGIN  # last non-newly-inserted entry (fix-up)
+    last_addr = Rid.BEGIN  # last entry of any kind (fix-up)
+
+    for page_no in range(heap.page_count):
+        live = [cursor for cursor in cursors if not cursor.failed]
+        if not live:
+            break  # every output failed; nothing left to serve
+
+        scanning: "list[RefreshCursor]" = []
+        skipping: "list[tuple[RefreshCursor, PageQualInfo]]" = []
+        summary = summaries.get(page_no) if summaries is not None else None
+        for cursor in live:
+            if (
+                summary is not None
+                and not cursor.deletion
+                and summary.skippable(cursor.snap_time)
+            ):
+                info = (
+                    cursor.cache.get(page_no)
+                    if cursor.cache is not None
+                    else None
+                )
+                if (
+                    info is not None
+                    and info.page_version == summary.page_version
+                    and (
+                        not fixup
+                        # At the boundary the scan state must look exactly
+                        # like it did when the cache was filled: a trailing
+                        # pure insert (last_addr != expect_prev) would need
+                        # this page's first PrevAddr repointed, and a
+                        # first_prev mismatch is precisely a deletion
+                        # anomaly hiding on this page.
+                        or (
+                            last_addr == expect_prev
+                            and (
+                                info.first_prev is None
+                                or info.first_prev == expect_prev
+                            )
+                        )
+                    )
+                ):
+                    skipping.append((cursor, info))
+                    continue
+            scanning.append(cursor)
+
+        for cursor, info in skipping:
+            cursor.fast_forward(info)
+        if not scanning:
+            # Every live cursor proved the page unchanged for itself:
+            # never read it.  Any valid skip implies the page needs no
+            # fix-up, so the shared fix-up state advances exactly as a
+            # scan would have left it.
+            stats.pages_skipped += 1
+            info = skipping[0][1]
+            if info.last_live is not None:
+                last_addr = info.last_live
+                expect_prev = info.last_live
+            continue
+
+        stats.pages_scanned += 1
+        for cursor in scanning:
+            cursor.begin_page()
+        page_first_prev: "Optional[Rid]" = None
+        page_last_live: "Optional[Rid]" = None
+        first_on_page = True
+
+        for slot_no, body in heap.page_entries(page_no):
+            rid = Rid(page_no, slot_no)
+            stats.scanned += 1
+            stats.rows_decoded += 1
+            probed = decode_fields(schema, body, probe_positions)
+            prev = probed[probe_prev]
+            ts = probed[probe_ts]
+            orig_ts = ts
+            final_prev = prev
+            pure_insert = False
+            anomaly = False
+            if fixup:
+                if prev is NULL:
+                    # Inserted since the last fix-up.
+                    pure_insert = True
+                    final_prev = last_addr
+                    table.set_annotations(rid, prev=last_addr, ts=fixup_time)
+                    stats.fixup_writes += 1
+                else:
+                    new_prev: "Optional[Rid]" = None
+                    stamp = False
+                    if ts is NULL:
+                        # Updated since the last fix-up.
+                        stamp = True
+                    if prev != expect_prev:
+                        # Deletion(s) detected before this entry.
+                        new_prev = last_addr
+                        stamp = True
+                        anomaly = True
+                        stats.deletions_detected += 1
+                    elif prev != last_addr:
+                        # Insertions (only) before this entry.
+                        new_prev = last_addr
+                    if new_prev is not None or stamp:
+                        fields: "dict[str, object]" = {}
+                        if new_prev is not None:
+                            fields["prev"] = new_prev
+                            final_prev = new_prev
+                        if stamp:
+                            fields["ts"] = fixup_time
+                        table.set_annotations(rid, **fields)
+                        stats.fixup_writes += 1
+                    expect_prev = rid
+            else:
+                if ts is NULL:
+                    raise RefreshMethodError(
+                        f"entry {rid} has a NULL timestamp but fix-up is "
+                        f"disabled; run base_fixup first or use a lazy table"
+                    )
+            last_addr = rid
+            if first_on_page:
+                page_first_prev = final_prev
+                first_on_page = False
+            page_last_live = rid
+
+            # Decode once, decide per cursor (Figure 3 per snapshot).
+            sparse: "list[object]" = [None] * width
+            for position, value in zip(probe_positions, probed):
+                sparse[position] = value
+            entry = _LazyEntry(schema, body)
+            for cursor in scanning:
+                if cursor.failed:
+                    continue
+                if isolate_failures:
+                    try:
+                        cursor.observe(
+                            rid, entry, sparse, orig_ts, pure_insert, anomaly
+                        )
+                    except ChannelError as error:
+                        cursor.fail(error)
+                else:
+                    cursor.observe(
+                        rid, entry, sparse, orig_ts, pure_insert, anomaly
+                    )
+
+        if summaries is not None:
+            # Version read after the fix-up writes above, so the cache
+            # entry describes the page bytes as this scan left them.
+            version: Optional[int] = None
+            for cursor in scanning:
+                if cursor.failed or cursor.cache is None:
+                    continue
+                if version is None:
+                    version = summaries.get_or_create(page_no).page_version
+                cursor.record_page(
+                    page_no, version, page_first_prev, page_last_live
+                )
+
+    for cursor in cursors:
+        if cursor.failed:
+            continue
+        if isolate_failures:
+            try:
+                cursor.finish(fixup_time)
+            except ChannelError as error:
+                cursor.fail(error)
+        else:
+            cursor.finish(fixup_time)
+
+    stats.new_snap_time = fixup_time
+    stats.buffer_hits = pool_stats.hits - hits_before
+    stats.buffer_misses = pool_stats.misses - misses_before
+    for cursor in cursors:
+        result = cursor.result
+        stats.qualified += result.qualified
+        stats.entries_sent += result.entries_sent
+        stats.messages_sent += result.messages_sent
+        stats.bytes_sent += result.bytes_sent
+        stats.entries_evaluated += result.entries_evaluated
+        stats.pages_fast_forwarded += result.pages_fast_forwarded
+    return stats
 
 
 class DifferentialRefresher:
@@ -194,217 +661,36 @@ class DifferentialRefresher:
         lock.
         """
         table = self.table
-        if fixup is None:
-            fixup = table.annotation_mode == "lazy"
-        schema = table.schema
-        prev_pos = table.schema.position(PREVADDR)
-        ts_pos = table.schema.position(TIMESTAMP)
-        value_schema = projection.schema
-
-        heap = table.heap
-        summaries = heap.summaries if self.use_page_summaries else None
-        if summaries is not None and cache is None:
+        if self.use_page_summaries and cache is None:
             if self._cache_restriction != restriction.text:
                 self._page_cache.clear()
                 self._cache_restriction = restriction.text
             cache = self._page_cache
 
-        # One decode_fields probe per entry covers the annotations plus
-        # whatever the restriction reads; the full row is decoded only on
-        # transmit.
-        restr_positions = {
-            schema.position(name) for name in restriction.expr.columns()
-        }
-        probe_positions = tuple(sorted(restr_positions | {prev_pos, ts_pos}))
-        probe_prev = probe_positions.index(prev_pos)
-        probe_ts = probe_positions.index(ts_pos)
-        width = len(schema)
-
-        result = RefreshResult()
-        pool_stats = heap.pool.stats
-        hits_before = pool_stats.hits
-        misses_before = pool_stats.misses
-        fixup_time = table.db.clock.tick()
-
-        def transmit(message: RefreshMessage) -> None:
-            result.messages_sent += 1
-            result.bytes_sent += message.wire_size()
-            if message.counts_as_entry:
-                result.entries_sent += 1
-            send(message)
-
-        expect_prev = Rid.BEGIN  # last non-newly-inserted entry (fix-up)
-        last_addr = Rid.BEGIN  # last entry of any kind (fix-up)
-        last_qual = Rid.BEGIN  # last qualified entry (refresh)
-        deletion = False  # pending-deletion flag (refresh)
-
-        for page_no in range(heap.page_count):
-            if summaries is not None and not deletion:
-                summary = summaries.get(page_no)
-                info = cache.get(page_no) if cache is not None else None
-                if (
-                    summary is not None
-                    and summary.skippable(snap_time)
-                    and info is not None
-                    and info.page_version == summary.page_version
-                    and (
-                        not fixup
-                        # At the boundary the scan state must look exactly
-                        # like it did when the cache was filled: a trailing
-                        # pure insert (last_addr != expect_prev) would need
-                        # this page's first PrevAddr repointed, and a
-                        # first_prev mismatch is precisely a deletion
-                        # anomaly hiding on this page.
-                        or (
-                            last_addr == expect_prev
-                            and (
-                                info.first_prev is None
-                                or info.first_prev == expect_prev
-                            )
-                        )
-                    )
-                ):
-                    result.pages_skipped += 1
-                    if info.qual_count:
-                        result.qualified += info.qual_count
-                        last_qual = info.last_qual
-                    if info.last_live is not None:
-                        last_addr = info.last_live
-                        expect_prev = info.last_live
-                    continue
-
-            result.pages_scanned += 1
-            page_first_prev: "Optional[Rid]" = None
-            page_first_qual: "Optional[Rid]" = None
-            page_last_qual: "Optional[Rid]" = None
-            page_qual_count = 0
-            page_last_live: "Optional[Rid]" = None
-            first_on_page = True
-
-            for slot_no, body in heap.page_entries(page_no):
-                rid = Rid(page_no, slot_no)
-                result.scanned += 1
-                result.rows_decoded += 1
-                probed = decode_fields(schema, body, probe_positions)
-                prev = probed[probe_prev]
-                ts = probed[probe_ts]
-                final_prev = prev
-                pure_insert = False
-                anomaly = False
-                if fixup:
-                    if prev is NULL:
-                        # Inserted since the last fix-up.
-                        pure_insert = True
-                        ts = fixup_time
-                        final_prev = last_addr
-                        table.set_annotations(rid, prev=last_addr, ts=fixup_time)
-                        result.fixup_writes += 1
-                    else:
-                        new_prev: "Optional[Rid]" = None
-                        stamp = False
-                        if ts is NULL:
-                            # Updated since the last fix-up.
-                            stamp = True
-                        if prev != expect_prev:
-                            # Deletion(s) detected before this entry.
-                            new_prev = last_addr
-                            stamp = True
-                            anomaly = True
-                            result.deletions_detected += 1
-                        elif prev != last_addr:
-                            # Insertions (only) before this entry.
-                            new_prev = last_addr
-                        if ts is NULL:
-                            value_changed = True
-                        else:
-                            value_changed = ts > snap_time
-                        if stamp:
-                            ts = fixup_time
-                        if new_prev is not None or stamp:
-                            fields: "dict[str, object]" = {}
-                            if new_prev is not None:
-                                fields["prev"] = new_prev
-                                final_prev = new_prev
-                            if stamp:
-                                fields["ts"] = fixup_time
-                            table.set_annotations(rid, **fields)
-                            result.fixup_writes += 1
-                        expect_prev = rid
-                    if pure_insert:
-                        value_changed = True
-                else:
-                    if ts is NULL:
-                        raise RefreshMethodError(
-                            f"entry {rid} has a NULL timestamp but fix-up is "
-                            f"disabled; run base_fixup first or use a lazy table"
-                        )
-                    value_changed = ts > snap_time
-                last_addr = rid
-                if first_on_page:
-                    page_first_prev = final_prev
-                    first_on_page = False
-                page_last_live = rid
-
-                # --- Figure 3: the refresh decision ---------------------------
-                # The faithful transmit condition is `ts > snap_time or
-                # Deletion`; with fix-up folded in, `ts > snap_time` decomposes
-                # into "the value changed" (insert/update) or "a deletion was
-                # detected just before this entry" (anomaly stamp).  The
-                # distinction is what lets optimize_deletes ship a value-free
-                # message when only the region needs clearing.
-                sparse = [None] * width
-                for position, value in zip(probe_positions, probed):
-                    sparse[position] = value
-                if restriction(sparse):
-                    result.qualified += 1
-                    page_qual_count += 1
-                    if page_first_qual is None:
-                        page_first_qual = rid
-                    page_last_qual = rid
-                    if value_changed or anomaly or deletion:
-                        if self.optimize_deletes and not value_changed:
-                            # Entry itself unchanged; only the preceding
-                            # region needs clearing.
-                            transmit(DeleteRangeMessage(last_qual, rid))
-                        else:
-                            row = decode_row(schema, body)
-                            projected = projection(row)
-                            value_bytes = len(
-                                encode_row(value_schema, projected)
-                            )
-                            transmit(
-                                EntryMessage(
-                                    rid, last_qual, projected.values, value_bytes
-                                )
-                            )
-                    last_qual = rid
-                    deletion = False
-                else:
-                    if value_changed or anomaly:
-                        if not (self.suppress_pure_inserts and pure_insert):
-                            # "Updated entry ==> may have qualified before".
-                            deletion = True
-
-            if summaries is not None and cache is not None:
-                # Version read after the fix-up writes above, so the cache
-                # entry describes the page bytes as this scan left them.
-                version = summaries.get_or_create(page_no).page_version
-                cache[page_no] = PageQualInfo(
-                    version,
-                    page_first_prev,
-                    page_first_qual,
-                    page_last_qual,
-                    page_qual_count,
-                    page_last_live,
-                )
-
-        # Deletions at the end of the base table.
-        transmit(EndOfScanMessage(last_qual))
-        new_time = fixup_time
-        transmit(SnapTimeMessage(new_time))
-        result.new_snap_time = new_time
-        result.buffer_hits = pool_stats.hits - hits_before
-        result.buffer_misses = pool_stats.misses - misses_before
+        cursor = RefreshCursor(
+            snap_time,
+            restriction,
+            projection,
+            send,
+            cache=cache,
+            optimize_deletes=self.optimize_deletes,
+            suppress_pure_inserts=self.suppress_pure_inserts,
+        )
+        stats = run_refresh_scan(
+            table,
+            (cursor,),
+            fixup=fixup,
+            use_page_summaries=self.use_page_summaries,
+        )
+        # A solo refresh owns its whole pass: fold the pass-level scan
+        # costs into the cursor's result (per-cursor fields are already
+        # there, and equal the pass totals for one cursor).
+        result = cursor.result
+        result.rows_decoded = stats.rows_decoded
+        result.fixup_writes = stats.fixup_writes
+        result.deletions_detected = stats.deletions_detected
+        result.buffer_hits = stats.buffer_hits
+        result.buffer_misses = stats.buffer_misses
         return result
 
 

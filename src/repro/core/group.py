@@ -1,0 +1,160 @@
+"""Shared-scan group refresh: one base-table pass serves N snapshots.
+
+The paper's refresh is a single sequential scan of the base table; with
+a fleet of snapshots per base table, running that scan once *per
+snapshot* costs N scans, N fix-up passes, and N rounds of decoding the
+same entries.  A :class:`GroupRefresher` amortizes the pass: every
+pending snapshot contributes a :class:`~repro.core.differential.RefreshCursor`
+(its ``SnapTime``, ``LastQual``, ``Deletion`` flag, compiled restriction,
+and output channel) and one address-order scan serves them all —
+
+- Figure 7 fix-up is applied to the base table exactly once per pass,
+  regardless of fan-out; the annotations are shared state, so repairing
+  them for one reader repairs them for every reader;
+- each entry is partial-decoded once over the **union** of all
+  restrictions' columns, then evaluated per cursor on that one decode
+  (full-row decode happens at most once per entry, shared between
+  transmitting cursors);
+- page-summary skipping generalizes per snapshot: a page skippable for
+  a *subset* of cursors fast-forwards only those cursors from their
+  :class:`~repro.storage.summary.PageQualInfo` caches while the scan
+  proceeds for the rest, so one stale snapshot does not drag every
+  fresh one back to a full scan;
+- a :class:`~repro.errors.ChannelError` on one cursor's output fails
+  only that cursor; the pass completes for the others.
+
+The invariant that makes this safe: **every per-snapshot output stream
+is byte-identical to a solo**
+:class:`~repro.core.differential.DifferentialRefresher` **run at the
+same ``SnapTime``** (asserted by the group-refresh hypothesis property,
+page summaries on and off, fix-up lazy and eager).  The skip decision
+uses exactly the solo conditions — per-cursor content staleness plus
+the shared fix-up state at the page boundary — so a cursor
+fast-forwards precisely when its own solo run would have skipped, and
+a validly skipped page is provably one the shared fix-up will not
+touch.
+
+The :class:`~repro.core.manager.SnapshotManager` drives group passes
+from ``refresh_all``/``refresh_many`` (with per-snapshot epochs, so a
+failed cursor aborts only its own epoch), and the scheduler's
+coalescing window batches almost-due snapshots onto one pass.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.differential import (
+    RefreshCursor,
+    RefreshResult,
+    run_refresh_scan,
+)
+from repro.errors import RefreshMethodError
+from repro.table import Table
+
+
+class GroupRefreshResult:
+    """Outcome of one shared-scan pass over a group of cursors.
+
+    ``per_snapshot`` maps cursor name to its own
+    :class:`~repro.core.differential.RefreshResult` (traffic counters,
+    pages it scanned or fast-forwarded); ``errors`` maps failed cursors
+    to the channel error that killed them.  ``pass_result`` carries the
+    pass-level costs paid once for the whole group — pages read, rows
+    decoded, fix-up writes — plus totals of the per-cursor counters.
+    """
+
+    def __init__(self) -> None:
+        self.pass_result = RefreshResult()
+        self.per_snapshot: "dict[str, RefreshResult]" = {}
+        self.errors: "dict[str, BaseException]" = {}
+
+    @property
+    def cursors_served(self) -> int:
+        """Cursors whose stream completed (failed ones excluded)."""
+        return len(self.per_snapshot)
+
+    @property
+    def decode_savings(self) -> float:
+        """Entries evaluated per entry decoded (≈ fan-out amortization).
+
+        A solo refresh decodes every entry it evaluates, ratio 1.0; a
+        group pass decodes once and evaluates per cursor, so the ratio
+        approaches the number of cursors riding the scan.
+        """
+        if self.pass_result.rows_decoded == 0:
+            return 0.0
+        return (
+            self.pass_result.entries_evaluated / self.pass_result.rows_decoded
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupRefreshResult(cursors={self.cursors_served}, "
+            f"failed={len(self.errors)}, "
+            f"pages={self.pass_result.pages_scanned}"
+            f"+{self.pass_result.pages_skipped}skip, "
+            f"decoded={self.pass_result.rows_decoded}, "
+            f"evaluated={self.pass_result.entries_evaluated})"
+        )
+
+
+class GroupRefresher:
+    """Executes shared-scan refreshes of one base table.
+
+    Stateless between calls: all per-snapshot state arrives on the
+    cursors, all change state lives in the base table's annotations.
+    ``use_page_summaries`` gates the pass-level skip machinery; a cursor
+    without a cache never skips regardless (which is how a group mixes
+    summary-on and summary-off snapshots without changing any stream).
+    """
+
+    def __init__(self, table: Table, use_page_summaries: bool = False) -> None:
+        if not table.has_annotations:
+            raise RefreshMethodError(
+                f"group differential refresh requires annotations on "
+                f"{table.name!r}"
+            )
+        self.table = table
+        self.use_page_summaries = use_page_summaries
+
+    def refresh_group(
+        self,
+        cursors: "Sequence[RefreshCursor]",
+        fixup: Optional[bool] = None,
+    ) -> GroupRefreshResult:
+        """One combined fix-up + refresh pass serving every cursor.
+
+        Channel failures are isolated per cursor: the failed cursor is
+        reported under ``errors`` (its epoch is the caller's to abort)
+        and the pass keeps serving the rest.  The caller is responsible
+        for holding the table-level lock.
+        """
+        outcome = GroupRefreshResult()
+        if not cursors:
+            return outcome
+        outcome.pass_result = run_refresh_scan(
+            self.table,
+            list(cursors),
+            fixup=fixup,
+            use_page_summaries=self.use_page_summaries,
+            isolate_failures=True,
+        )
+        stats = outcome.pass_result
+        for index, cursor in enumerate(cursors):
+            name = cursor.name if cursor.name is not None else str(index)
+            result = cursor.result
+            result.group_cursors = len(cursors)
+            # Pass-level costs, paid once however many cursors rode: a
+            # per-snapshot result reports the work of the pass that
+            # served it, exactly as a solo refresh result does.
+            result.rows_decoded = stats.rows_decoded
+            result.fixup_writes = stats.fixup_writes
+            result.deletions_detected = stats.deletions_detected
+            result.buffer_hits = stats.buffer_hits
+            result.buffer_misses = stats.buffer_misses
+            if cursor.failed:
+                outcome.errors[name] = cursor.error
+            else:
+                outcome.per_snapshot[name] = cursor.result
+        return outcome

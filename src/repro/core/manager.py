@@ -26,14 +26,20 @@ from repro.catalog.compiler import (
     compile_snapshot,
 )
 from repro.core.costmodel import CostModel
-from repro.core.differential import DifferentialRefresher, RefreshResult
+from repro.core.differential import (
+    DifferentialRefresher,
+    RefreshCursor,
+    RefreshResult,
+)
 from repro.core.full import FullRefresher
+from repro.core.group import GroupRefresher
 from repro.core.ideal import IdealRefresher
 from repro.core.logbased import LogRefresher
 from repro.core.messages import RefreshBeginMessage, RefreshCommitMessage
 from repro.core.snapshot import SnapshotTable
 from repro.database import Database
 from repro.errors import (
+    ChannelError,
     EpochError,
     LinkDownError,
     RetryExhaustedError,
@@ -48,6 +54,34 @@ from repro.txn.locks import LockMode
 #: Failures a retried refresh can recover from: the link died mid-stream,
 #: or the receiver detected a torn/lossy epoch and rolled it back.
 RETRYABLE_ERRORS = (LinkDownError, EpochError)
+
+#: Failures ``refresh_all``/``refresh_many`` isolate per snapshot instead
+#: of aborting the whole batch — the scheduler's skip-don't-crash set.
+ISOLATED_ERRORS = (ChannelError, RetryExhaustedError)
+
+
+class RefreshAllResult(dict):
+    """Partial-result map of a multi-snapshot refresh.
+
+    Behaves as ``{name: RefreshResult}`` for every snapshot that
+    refreshed (insertion order follows the catalog), with the snapshots
+    that failed recorded in :attr:`errors` instead of aborting the
+    batch — one dead link must not starve every other snapshot.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Failed snapshots: name -> the error that stopped them.
+        self.errors: "dict[str, BaseException]" = {}
+
+    @property
+    def failed(self) -> "list[str]":
+        return list(self.errors)
+
+    def __repr__(self) -> str:
+        return (
+            f"RefreshAllResult(ok={list(self)}, failed={self.failed})"
+        )
 
 
 class Snapshot:
@@ -87,6 +121,21 @@ class Snapshot:
     @property
     def snap_time(self) -> int:
         return self.info.snap_time
+
+    @property
+    def restriction(self):
+        """The compiled restriction from the stored plan.
+
+        Compiled once at CREATE SNAPSHOT (and memoized by
+        :meth:`~repro.expr.predicate.Restriction.parse`); hot refresh
+        loops evaluate this object and never re-lex the predicate text.
+        """
+        return self.info.plan.restriction
+
+    @property
+    def projection(self):
+        """The compiled projection from the stored plan."""
+        return self.info.plan.projection
 
     def refresh(self) -> RefreshResult:
         """Bring this snapshot up to the current base-table state."""
@@ -362,12 +411,177 @@ class SnapshotManager:
             handle.channel.abort()
         handle.info.snapshot_table.abort_epoch()
 
-    def refresh_all(self, base_table: Optional[str] = None) -> "dict[str, RefreshResult]":
-        """Refresh every snapshot (optionally: of one base table)."""
-        results = {}
-        for info in self.db.catalog.snapshots(base_table):
-            results[info.name] = self.refresh(info.name)
-        return results
+    # -- group refresh -----------------------------------------------------------
+
+    def _execute_group(
+        self, base_table: str, handles: "list[Snapshot]"
+    ) -> "tuple[dict[str, RefreshResult], dict[str, BaseException]]":
+        """One shared-scan pass over every handle, under one table lock.
+
+        Each snapshot keeps its own epoch: RefreshBegin is sent per
+        channel before the pass, RefreshCommit per channel after it, and
+        a channel failure anywhere in between aborts only that
+        snapshot's epoch — the pass completes for the others, exactly as
+        a solo failure leaves unrelated snapshots untouched.
+        """
+        table = self.db.table(base_table)
+        results: "dict[str, RefreshResult]" = {}
+        errors: "dict[str, BaseException]" = {}
+        owner = ("refresh-group", base_table)
+        resource = ("table", base_table)
+        with self.db.locks.locking(owner, resource, LockMode.X):
+            cursors: "list[RefreshCursor]" = []
+            states: "dict[str, tuple[Snapshot, int, list]]" = {}
+            for handle in handles:
+                epoch = self.db.clock.tick()
+                try:
+                    handle.channel.send(RefreshBeginMessage(epoch))
+                except ChannelError as error:
+                    self._abort_attempt(handle)
+                    errors[handle.name] = error
+                    continue
+                sent = [0]
+
+                def send(
+                    message: Any, channel: Any = handle.channel, sent: list = sent
+                ) -> None:
+                    channel.send(message)
+                    sent[0] += 1
+
+                refresher = handle.refresher
+                cursors.append(
+                    RefreshCursor(
+                        handle.info.snap_time,
+                        handle.restriction,
+                        handle.projection,
+                        send,
+                        cache=(
+                            handle.page_cache
+                            if refresher.use_page_summaries
+                            else None
+                        ),
+                        optimize_deletes=refresher.optimize_deletes,
+                        suppress_pure_inserts=refresher.suppress_pure_inserts,
+                        name=handle.name,
+                    )
+                )
+                states[handle.name] = (handle, epoch, sent)
+
+            group = GroupRefresher(
+                table,
+                use_page_summaries=any(
+                    cursor.cache is not None for cursor in cursors
+                ),
+            )
+            group.refresh_group(cursors)
+
+            for cursor in cursors:
+                handle, epoch, sent = states[cursor.name]
+                info = handle.info
+                if cursor.failed:
+                    self._abort_attempt(handle)
+                    errors[handle.name] = cursor.error
+                    continue
+                try:
+                    handle.channel.send(RefreshCommitMessage(epoch, sent[0]))
+                    if isinstance(handle.channel, BlockingChannel):
+                        handle.channel.flush()
+                except ChannelError as error:
+                    self._abort_attempt(handle)
+                    errors[handle.name] = error
+                    continue
+                if info.snapshot_table.last_committed_epoch != epoch:
+                    self._abort_attempt(handle)
+                    errors[handle.name] = EpochError(
+                        f"snapshot {info.name!r}: epoch {epoch} was never "
+                        f"committed at the receiver (stream lost in transit)"
+                    )
+                    continue
+                info.last_refresh_lsn = self.db.wal.next_lsn
+                info.snap_time = cursor.result.new_snap_time
+                info.refresh_count += 1
+                results[handle.name] = cursor.result
+        return results, errors
+
+    def refresh_many(
+        self,
+        names: "Sequence[str]",
+        retry: Optional[RetryPolicy] = None,
+        group: bool = True,
+    ) -> RefreshAllResult:
+        """Refresh several snapshots, coalescing shared-scan groups.
+
+        Differential snapshots of the same base table ride **one**
+        address-order pass (the shared-scan group refresh); every other
+        snapshot — and any group of one — refreshes solo.  Failures are
+        isolated per snapshot: a dead link or exhausted retry budget is
+        recorded in the result's ``errors`` map and the batch continues.
+        With a retry policy (per call, or the manager default), a
+        snapshot that failed its group pass retries solo under that
+        policy — or simply joins the next group pass, since its
+        ``SnapTime`` and page cache are exactly where the failed attempt
+        left them.
+        """
+        ordered = [self.snapshot(name) for name in names]
+        policy = retry if retry is not None else self.retry_policy
+        done: "dict[str, RefreshResult]" = {}
+        failed: "dict[str, BaseException]" = {}
+
+        solo: "list[Snapshot]" = []
+        by_base: "dict[str, list[Snapshot]]" = {}
+        for handle in ordered:
+            if group and isinstance(handle.refresher, DifferentialRefresher):
+                by_base.setdefault(handle.info.base_table, []).append(handle)
+            else:
+                solo.append(handle)
+        for base, handles in list(by_base.items()):
+            if len(handles) == 1:
+                solo.append(handles[0])
+                del by_base[base]
+
+        def retry_solo(name: str, error: BaseException) -> None:
+            if policy is None:
+                failed[name] = error
+                return
+            try:
+                done[name] = self.refresh(name, retry=policy)
+            except ISOLATED_ERRORS as retry_error:
+                failed[name] = retry_error
+
+        for base, handles in by_base.items():
+            results, errors = self._execute_group(base, handles)
+            done.update(results)
+            for name, error in errors.items():
+                retry_solo(name, error)
+        for handle in solo:
+            try:
+                done[handle.name] = self.refresh(handle.name, retry=retry)
+            except ISOLATED_ERRORS as error:
+                failed[handle.name] = error
+
+        out = RefreshAllResult()
+        for handle in ordered:
+            if handle.name in done:
+                out[handle.name] = done[handle.name]
+            elif handle.name in failed:
+                out.errors[handle.name] = failed[handle.name]
+        return out
+
+    def refresh_all(
+        self,
+        base_table: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        group: bool = True,
+    ) -> RefreshAllResult:
+        """Refresh every snapshot (optionally: of one base table).
+
+        Differential snapshots sharing a base table are served by one
+        shared-scan pass (``group=False`` restores independent scans);
+        per-snapshot failures are recorded in the returned map's
+        ``errors`` instead of aborting the remaining snapshots.
+        """
+        names = [info.name for info in self.db.catalog.snapshots(base_table)]
+        return self.refresh_many(names, retry=retry, group=group)
 
     # -- DROP SNAPSHOT --------------------------------------------------------------
 

@@ -15,6 +15,14 @@ Longer periods coalesce more changes per transmitted entry (differential
 refresh ships at most one message per entry regardless of how many times
 it changed) at the price of higher average staleness; benchmark A11
 sweeps the curve.
+
+**Coalescing window.**  With ``coalesce_window=W``, a snapshot coming
+due pulls every other scheduled snapshot of the same base table that is
+within ``W`` operations of its own deadline into the same refresh — and
+the manager serves the whole batch from **one** shared-scan pass
+(:mod:`repro.core.group`).  Refreshing an almost-due snapshot a few
+operations early costs a sliver of staleness headroom; riding an
+already-paid base-table scan saves the entire second pass.
 """
 
 from __future__ import annotations
@@ -75,11 +83,22 @@ class ScheduleEntry:
 class RefreshScheduler:
     """Drives periodic refreshes off the commit stream."""
 
-    def __init__(self, manager: SnapshotManager) -> None:
+    def __init__(
+        self, manager: SnapshotManager, coalesce_window: int = 0
+    ) -> None:
+        if coalesce_window < 0:
+            raise SnapshotError("coalesce window must be non-negative")
         self.manager = manager
+        #: Snapshots within this many operations of their own deadline
+        #: ride a due snapshot's shared-scan pass (0 = no coalescing).
+        self.coalesce_window = coalesce_window
         self._entries: "Dict[str, ScheduleEntry]" = {}
         #: Scheduled refreshes skipped because the refresh failed.
         self.failed_refreshes = 0
+        #: Shared-scan passes that served 2+ scheduled snapshots.
+        self.group_passes = 0
+        #: Refreshes that rode another snapshot's pass early.
+        self.coalesced_refreshes = 0
         self._listener = self._on_commit
         manager.db.txns.on_commit(self._listener)
 
@@ -108,6 +127,7 @@ class RefreshScheduler:
     # -- commit hook ---------------------------------------------------------
 
     def _on_commit(self, txn: Transaction) -> None:
+        due = []
         for entry in self._entries.values():
             base = entry.snapshot.info.base_table
             relevant = sum(
@@ -124,22 +144,67 @@ class RefreshScheduler:
                 entry.staleness_area += entry.pending
             entry.ops_observed += relevant
             if entry.pending >= entry.every_ops:
+                due.append(entry)
+        # Accumulate for the whole fleet first, then fire: a refresh
+        # reads the base table *after* this commit, so every sibling it
+        # coalesces has genuinely seen these operations — firing
+        # mid-loop would re-charge a rider for ops its pass covered.
+        for entry in due:
+            if entry.pending >= entry.every_ops:
                 self._refresh(entry)
 
+    def _coalesce_group(self, entry: ScheduleEntry) -> "list[ScheduleEntry]":
+        """The due entry plus every near-due sibling on its base table."""
+        group = [entry]
+        if self.coalesce_window == 0:
+            return group
+        base = entry.snapshot.info.base_table
+        for other in self._entries.values():
+            if other is entry or other.pending == 0:
+                continue
+            if other.snapshot.info.base_table != base:
+                continue
+            if other.pending + self.coalesce_window >= other.every_ops:
+                group.append(other)
+        return group
+
+    def _record_failure(self, entry: ScheduleEntry, error: Exception) -> None:
+        # A down link must not propagate out of the commit hook and
+        # fail the writer's transaction.  Record the failure, keep
+        # `pending` so the next period (or flush()) retries.
+        entry.failed_refreshes += 1
+        entry.last_failure = error
+        self.failed_refreshes += 1
+
     def _refresh(self, entry: ScheduleEntry) -> None:
-        try:
-            result = self.manager.refresh(entry.snapshot.name)
-        except (ChannelError, RetryExhaustedError) as error:
-            # A down link must not propagate out of the commit hook and
-            # fail the writer's transaction.  Record the failure, keep
-            # `pending` so the next period (or flush()) retries.
-            entry.failed_refreshes += 1
-            entry.last_failure = error
-            self.failed_refreshes += 1
+        group = self._coalesce_group(entry)
+        if len(group) == 1:
+            try:
+                result = self.manager.refresh(entry.snapshot.name)
+            except (ChannelError, RetryExhaustedError) as error:
+                self._record_failure(entry, error)
+                return
+            entry.refreshes += 1
+            entry.entries_shipped += result.entries_sent
+            entry.pending = 0
             return
-        entry.refreshes += 1
-        entry.entries_shipped += result.entries_sent
-        entry.pending = 0
+        # Due refreshes within the batch window ride the same pass.
+        results = self.manager.refresh_many(
+            [member.snapshot.name for member in group]
+        )
+        self.group_passes += 1
+        for member in group:
+            result = results.get(member.snapshot.name)
+            if result is None:
+                self._record_failure(
+                    member, results.errors.get(member.snapshot.name)
+                )
+                continue
+            member.refreshes += 1
+            member.entries_shipped += result.entries_sent
+            member.pending = 0
+            if member is not entry:
+                self.coalesced_refreshes += 1
 
     def flush(self) -> None:
         """Refresh every scheduled snapshot with pending changes now."""

@@ -22,7 +22,19 @@ from repro.relation.schema import Schema
 
 
 class Restriction:
-    """A compiled predicate over a base-table schema."""
+    """A compiled predicate over a base-table schema.
+
+    Restrictions are immutable once built, so :meth:`parse` memoizes
+    the compiled form per ``(text, schema)``: a hot refresh loop (or a
+    snapshot fleet sharing predicate text) re-lexes and re-compiles
+    nothing — it gets the same compiled object back.
+    """
+
+    #: Compiled-restriction memo: (text, schema) -> Restriction.
+    _parse_cache: "dict[tuple[str, Schema], Restriction]" = {}
+    _parse_cache_limit = 512
+    #: Cache hits (observable from tests and benchmarks).
+    parse_cache_hits = 0
 
     def __init__(self, expr: Expr, schema: Schema) -> None:
         unknown = expr.columns() - set(schema.names)
@@ -38,11 +50,28 @@ class Restriction:
         self.expr = expr
         self.schema = schema
         self._compiled = expr.compile(schema)
+        # The round-tripped predicate text, serialized once: refresh
+        # paths key page caches by it on every call.
+        self._text = expr.sql()
 
     @classmethod
     def parse(cls, text: str, schema: Schema) -> "Restriction":
-        """Parse and compile ``text`` (e.g. ``"salary < 10"``)."""
-        return cls(parse_expression(text), schema)
+        """Parse and compile ``text`` (e.g. ``"salary < 10"``), memoized."""
+        key = (text, schema)
+        cached = cls._parse_cache.get(key)
+        if cached is not None:
+            cls.parse_cache_hits += 1
+            return cached
+        restriction = cls(parse_expression(text), schema)
+        if len(cls._parse_cache) >= cls._parse_cache_limit:
+            cls._parse_cache.clear()
+        cls._parse_cache[key] = restriction
+        return restriction
+
+    @classmethod
+    def clear_parse_cache(cls) -> None:
+        cls._parse_cache.clear()
+        cls.parse_cache_hits = 0
 
     @classmethod
     def true(cls, schema: Schema) -> "Restriction":
@@ -56,7 +85,7 @@ class Restriction:
 
     @property
     def text(self) -> str:
-        return self.expr.sql()
+        return self._text
 
     def __repr__(self) -> str:
         return f"Restriction({self.text})"
