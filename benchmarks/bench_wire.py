@@ -1,0 +1,222 @@
+"""A16 — the real wire: binary codec vs the fixed-width byte model.
+
+Every earlier benchmark modeled refresh traffic with fixed-width
+``wire_size()`` arithmetic.  This one measures it: the refresh stream is
+serialized through :class:`~repro.net.wire.WireCodec` (varints,
+delta-encoded addresses, frame batching, optional per-frame deflate,
+per-column update deltas) and the channel counts the encoded frame
+bytes that actually crossed.
+
+Sweep, on a clustered-update workload (one contiguous address range
+touched between refreshes — the paper's locality assumption, and the
+delta encoder's favorable case):
+
+- ``fixed``            — object transport; bytes == the fixed-width model
+- ``compact``          — binary frames (varints + address deltas)
+- ``compact+deflate``  — the same frames, zlib per frame
+- ``delta``            — compact frames + per-column UpdateDeltaMessages
+
+plus encode/decode throughput of the codec over a synthetic entry
+stream.  Runs as a pytest benchmark and as a plain script; ``WIRE_N``
+scales the table for CI smoke.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # script mode: `python benchmarks/bench_wire.py`
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+import pytest
+
+from repro.core.manager import SnapshotManager
+from repro.core.messages import EntryMessage
+from repro.database import Database
+from repro.net.channel import Channel
+from repro.net.wire import WireCodec
+from repro.relation.row import Row, encode_row
+from repro.relation.schema import Column, Schema
+from repro.relation.types import IntType, StringType
+from repro.storage.rid import Rid
+
+from benchmarks._util import emit, emit_json
+
+N = int(os.environ.get("WIRE_N", "4000"))
+#: Fraction of the table updated (one contiguous cluster) per round.
+UPDATE_FRACTION = 0.15
+VARIANTS = ("fixed", "compact", "compact+deflate", "delta")
+
+
+def _schema() -> Schema:
+    # The paper's accounts-style row: a key, a short label, and small
+    # integer attributes — where fixed 8-byte ints cost varints a byte
+    # or two.  (Floats, which both encodings ship as raw 8 bytes, are
+    # exercised by the codec tests rather than this traffic sweep.)
+    return Schema(
+        [
+            Column("id", IntType(), nullable=False),
+            Column("name", StringType()),
+            Column("balance", IntType()),
+            Column("branch", IntType()),
+            Column("v", IntType()),
+        ]
+    )
+
+
+def _build(n: int):
+    db = Database("hq")
+    table = db.create_table("items", _schema(), annotations="lazy")
+    rids = [
+        table.insert([i, f"name-{i:05d}", i * 100, i % 13, i % 97])
+        for i in range(n)
+    ]
+    return db, table, rids
+
+
+def _variant_kwargs(variant: str) -> dict:
+    if variant == "fixed":
+        return {}
+    kwargs = {"wire_format": True}
+    if variant == "compact+deflate":
+        kwargs["compress"] = True
+    if variant == "delta":
+        kwargs["delta_updates"] = True
+    return kwargs
+
+
+def _one_variant(variant: str, n: int) -> dict:
+    db, table, rids = _build(n)
+    manager = SnapshotManager(db)
+    channel = Channel()
+    snap = manager.create_snapshot(
+        "wire_snap", "items", channel=channel, **_variant_kwargs(variant)
+    )
+    # Warm the delta value cache / page summaries with one quiet round,
+    # then measure the clustered-update refresh alone.
+    snap.refresh()
+    channel.stats.reset()
+
+    start = n // 4
+    width = max(1, int(n * UPDATE_FRACTION))
+    for i in range(start, start + width):
+        table.update(rids[i], {"v": (i * 31) % 89})
+    result = snap.refresh()
+
+    stats = channel.stats
+    return {
+        "variant": variant,
+        "entries": result.entries_sent,
+        "wire_bytes": stats.bytes,
+        "modeled_bytes": stats.modeled_bytes,
+        "bytes_per_entry": stats.bytes / max(1, result.entries_sent),
+        "merges": snap.table.applied_merges,
+    }
+
+
+def _throughput(n_messages: int = 20_000, frame_size: int = 64) -> dict:
+    """Encode+decode rate of the codec over a synthetic entry stream."""
+    schema = _schema()
+    codec = WireCodec(schema)
+    messages = []
+    prev = Rid.BEGIN
+    for i in range(n_messages):
+        rid = Rid(i // 40, i % 40)
+        values = (i, f"name-{i:05d}", i * 100, i % 13, i % 97)
+        value_bytes = len(encode_row(schema, Row(values)))
+        messages.append(EntryMessage(rid, prev, values, value_bytes))
+        prev = rid
+
+    chunks = [
+        messages[i : i + frame_size]
+        for i in range(0, len(messages), frame_size)
+    ]
+    t0 = time.perf_counter()
+    frames = [codec.encode_frame(chunk) for chunk in chunks]
+    t1 = time.perf_counter()
+    for frame in frames:
+        codec.decode_frame(frame)
+    t2 = time.perf_counter()
+
+    payload = sum(frame.wire_size() for frame in frames)
+    encode_s = max(t1 - t0, 1e-9)
+    decode_s = max(t2 - t1, 1e-9)
+    return {
+        "messages": n_messages,
+        "encoded_bytes": payload,
+        "encode_msgs_per_s": n_messages / encode_s,
+        "decode_msgs_per_s": n_messages / decode_s,
+        "encode_mb_per_s": payload / encode_s / 1e6,
+        "decode_mb_per_s": payload / decode_s / 1e6,
+    }
+
+
+def _sweep(n: int):
+    samples = [_one_variant(variant, n) for variant in VARIANTS]
+    rows = []
+    fixed_bpe = samples[0]["bytes_per_entry"]
+    for sample in samples:
+        rows.append(
+            [
+                sample["variant"],
+                sample["entries"],
+                sample["wire_bytes"],
+                sample["modeled_bytes"],
+                f"{sample['bytes_per_entry']:.1f}",
+                f"{fixed_bpe / sample['bytes_per_entry']:.2f}x",
+            ]
+        )
+    return rows, samples
+
+
+def _check(samples) -> None:
+    by_variant = {sample["variant"]: sample for sample in samples}
+    fixed = by_variant["fixed"]
+    compact = by_variant["compact"]
+    delta = by_variant["delta"]
+    # Object transport's measured bytes ARE the model.
+    assert fixed["wire_bytes"] == fixed["modeled_bytes"]
+    ratio = fixed["bytes_per_entry"] / compact["bytes_per_entry"]
+    assert ratio >= 2.0, (
+        f"compact codec only {ratio:.2f}x smaller than fixed-width"
+    )
+    assert delta["wire_bytes"] < compact["wire_bytes"], (
+        f"delta updates ({delta['wire_bytes']}B) not smaller than "
+        f"compact ({compact['wire_bytes']}B)"
+    )
+    assert delta["merges"] > 0, "no per-column merges were applied"
+    # Every encoded variant refreshed the same logical stream.
+    assert len({sample["entries"] for sample in samples}) == 1
+
+
+def run(n: int = N):
+    rows, samples = _sweep(n)
+    throughput = _throughput()
+    emit(
+        "wire",
+        f"A16: bytes on the wire per refresh encoding (N={n}, "
+        f"clustered update {UPDATE_FRACTION:.0%})",
+        ["encoding", "entries", "wire bytes", "modeled bytes", "bytes/entry", "vs fixed"],
+        rows,
+    )
+    print(
+        f"codec throughput: encode {throughput['encode_msgs_per_s']:,.0f} "
+        f"msg/s ({throughput['encode_mb_per_s']:.1f} MB/s), decode "
+        f"{throughput['decode_msgs_per_s']:,.0f} msg/s "
+        f"({throughput['decode_mb_per_s']:.1f} MB/s)"
+    )
+    emit_json("wire", {"samples": samples, "throughput": throughput})
+    _check(samples)
+    return samples
+
+
+@pytest.mark.benchmark(group="wire")
+def test_wire_sweep(benchmark):
+    samples = benchmark.pedantic(lambda: _sweep(N)[1], rounds=1, iterations=1)
+    _check(samples)
+
+
+if __name__ == "__main__":
+    run(N)

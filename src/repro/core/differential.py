@@ -71,16 +71,75 @@ from repro.core.messages import (
     EntryMessage,
     RefreshMessage,
     SnapTimeMessage,
+    UpdateDeltaMessage,
 )
 from repro.errors import ChannelError, RefreshMethodError
 from repro.expr.predicate import Projection, Restriction
-from repro.relation.row import decode_fields, decode_row, encode_row
+from repro.relation.row import (
+    decode_fields,
+    decode_row,
+    encode_row,
+    encoded_fields_size,
+    encoded_size,
+)
 from repro.relation.types import NULL
 from repro.storage.rid import Rid
 from repro.storage.summary import PageQualInfo
 from repro.table import PREVADDR, TIMESTAMP, Table
 
 Send = Callable[[RefreshMessage], None]
+
+
+class ValueCache:
+    """Per-snapshot mirror of the values previously transmitted.
+
+    Keyed page → ``{rid: projected values}``, this is what lets the
+    refresher send :class:`~repro.core.messages.UpdateDeltaMessage`\\ s
+    (only the changed columns) instead of whole rows: a cache hit means
+    the receiver still holds exactly these values for the address, so a
+    column diff against them merges correctly at the other end.
+
+    The cache is **staged per refresh and committed only once the
+    receiver's epoch commit is confirmed** — a torn stream must leave
+    the mirror describing what the receiver actually has, or a later
+    delta would merge against values the receiver never applied.  The
+    :class:`~repro.core.manager.SnapshotManager` drives
+    :meth:`commit`/:meth:`abort` from the epoch outcome; direct
+    refresher use with an internal cache commits optimistically after
+    the synchronous scan.
+    """
+
+    __slots__ = ("pages", "staged")
+
+    def __init__(self) -> None:
+        #: Committed mirror: page_no -> {rid: projected values tuple}.
+        self.pages: "dict[int, dict[Rid, tuple]]" = {}
+        self.staged: "Optional[dict[int, dict[Rid, tuple]]]" = None
+
+    def lookup(self, rid: Rid) -> "Optional[tuple]":
+        page = self.pages.get(rid.page_no)
+        return page.get(rid) if page is not None else None
+
+    def page(self, page_no: int) -> "Optional[dict[Rid, tuple]]":
+        return self.pages.get(page_no)
+
+    def stage(self, pages: "dict[int, dict[Rid, tuple]]") -> None:
+        self.staged = pages
+
+    def commit(self) -> bool:
+        """Adopt the staged mirror (the refresh's epoch committed)."""
+        if self.staged is None:
+            return False
+        self.pages = self.staged
+        self.staged = None
+        return True
+
+    def abort(self) -> None:
+        """Drop the staged mirror (the refresh's epoch was rolled back)."""
+        self.staged = None
+
+    def __len__(self) -> int:
+        return sum(len(page) for page in self.pages.values())
 
 
 class RefreshResult:
@@ -208,6 +267,7 @@ class RefreshCursor:
         "projection",
         "send",
         "cache",
+        "value_cache",
         "optimize_deletes",
         "suppress_pure_inserts",
         "name",
@@ -220,6 +280,7 @@ class RefreshCursor:
         "_page_first_qual",
         "_page_last_qual",
         "_page_qual_count",
+        "_staged_values",
     )
 
     def __init__(
@@ -232,6 +293,7 @@ class RefreshCursor:
         optimize_deletes: bool = False,
         suppress_pure_inserts: bool = False,
         name: Optional[str] = None,
+        value_cache: "Optional[ValueCache]" = None,
     ) -> None:
         self.snap_time = snap_time
         self.restriction = restriction
@@ -240,6 +302,10 @@ class RefreshCursor:
         #: Per-snapshot page-qualification cache; ``None`` disables page
         #: skipping for this cursor even when the scan has summaries.
         self.cache = cache
+        #: Per-snapshot mirror of previously transmitted values; when
+        #: set, retransmissions of changed entries become per-column
+        #: :class:`UpdateDeltaMessage`\ s on cache hits.
+        self.value_cache = value_cache
         self.optimize_deletes = optimize_deletes
         self.suppress_pure_inserts = suppress_pure_inserts
         self.name = name
@@ -254,6 +320,10 @@ class RefreshCursor:
         self._page_first_qual: "Optional[Rid]" = None
         self._page_last_qual: "Optional[Rid]" = None
         self._page_qual_count = 0
+        #: Next refresh's value mirror, built as the scan walks.
+        self._staged_values: "Optional[dict[int, dict[Rid, tuple]]]" = (
+            {} if value_cache is not None else None
+        )
 
     def transmit(self, message: RefreshMessage) -> None:
         self.result.messages_sent += 1
@@ -291,13 +361,19 @@ class RefreshCursor:
             last_live,
         )
 
-    def fast_forward(self, info: PageQualInfo) -> None:
+    def fast_forward(self, page_no: int, info: PageQualInfo) -> None:
         """Advance across a page from its cached qualification info."""
         self.result.pages_fast_forwarded += 1
         self.result.pages_skipped += 1
         if info.qual_count:
             self.result.qualified += info.qual_count
             self.last_qual = info.last_qual
+        if self._staged_values is not None:
+            # The page is unchanged since this snapshot's SnapTime, so
+            # the receiver still holds exactly the mirrored values.
+            page_values = self.value_cache.page(page_no)
+            if page_values:
+                self._staged_values[page_no] = page_values
 
     # -- the Figure-3 transmit decision --------------------------------------
 
@@ -337,16 +413,16 @@ class RefreshCursor:
                     # Entry itself unchanged; only the preceding region
                     # needs clearing.
                     self.transmit(DeleteRangeMessage(self.last_qual, rid))
+                    self._carry_value(rid)
                 else:
                     projected = self.projection(entry.row())
-                    value_bytes = len(
-                        encode_row(self.value_schema, projected)
-                    )
-                    self.transmit(
-                        EntryMessage(
-                            rid, self.last_qual, projected.values, value_bytes
-                        )
-                    )
+                    self.transmit(self._value_message(rid, projected))
+                    if self._staged_values is not None:
+                        self._staged_values.setdefault(rid.page_no, {})[
+                            rid
+                        ] = projected.values
+            else:
+                self._carry_value(rid)
             self.last_qual = rid
             self.deletion = False
         else:
@@ -355,11 +431,58 @@ class RefreshCursor:
                     # "Updated entry ==> may have qualified before".
                     self.deletion = True
 
+    def _value_message(self, rid: Rid, projected) -> RefreshMessage:
+        """Full entry, or a per-column delta when the mirror allows it.
+
+        A delta is only sent when it is *strictly* smaller than the full
+        entry payload — a row whose every column changed would otherwise
+        pay the column bitmap for nothing.
+        """
+        values = projected.values
+        if self.value_cache is not None:
+            old = self.value_cache.lookup(rid)
+            if old is not None and len(old) == len(values):
+                positions = [
+                    index
+                    for index, value in enumerate(values)
+                    if not (value is old[index] or value == old[index])
+                ]
+                mask = 0
+                for index in positions:
+                    mask |= 1 << index
+                delta_bytes = encoded_fields_size(
+                    self.value_schema,
+                    positions,
+                    [values[index] for index in positions],
+                )
+                mask_bytes = max(1, (mask.bit_length() + 7) // 8)
+                full_bytes = encoded_size(self.value_schema, projected)
+                if mask_bytes + delta_bytes < full_bytes:
+                    return UpdateDeltaMessage(
+                        rid,
+                        self.last_qual,
+                        mask,
+                        tuple(values[index] for index in positions),
+                        delta_bytes,
+                    )
+        value_bytes = len(encode_row(self.value_schema, projected))
+        return EntryMessage(rid, self.last_qual, values, value_bytes)
+
+    def _carry_value(self, rid: Rid) -> None:
+        """A qualified entry the receiver keeps unchanged: mirror it on."""
+        if self._staged_values is None:
+            return
+        old = self.value_cache.lookup(rid)
+        if old is not None:
+            self._staged_values.setdefault(rid.page_no, {})[rid] = old
+
     def finish(self, new_time: int) -> None:
         """Deletions at the end of the base table, then the new SnapTime."""
         self.transmit(EndOfScanMessage(self.last_qual))
         self.transmit(SnapTimeMessage(new_time))
         self.result.new_snap_time = new_time
+        if self.value_cache is not None:
+            self.value_cache.stage(self._staged_values)
 
     def __repr__(self) -> str:
         return (
@@ -474,7 +597,7 @@ def run_refresh_scan(
             scanning.append(cursor)
 
         for cursor, info in skipping:
-            cursor.fast_forward(info)
+            cursor.fast_forward(page_no, info)
         if not scanning:
             # Every live cursor proved the page unchanged for itself:
             # never read it.  Any valid skip implies the page needs no
@@ -626,6 +749,7 @@ class DifferentialRefresher:
         optimize_deletes: bool = False,
         suppress_pure_inserts: bool = False,
         use_page_summaries: bool = False,
+        delta_updates: bool = False,
     ) -> None:
         if not table.has_annotations:
             raise RefreshMethodError(
@@ -635,10 +759,13 @@ class DifferentialRefresher:
         self.optimize_deletes = optimize_deletes
         self.suppress_pure_inserts = suppress_pure_inserts
         self.use_page_summaries = use_page_summaries
-        # Fallback qualification cache for callers that do not thread a
-        # per-snapshot cache through `refresh(cache=...)`; valid only for
-        # one restriction at a time.
+        #: Send per-column UpdateDeltaMessages on value-cache hits.
+        self.delta_updates = delta_updates
+        # Fallback caches for callers that do not thread per-snapshot
+        # caches through `refresh(cache=..., value_cache=...)`; valid
+        # only for one restriction (i.e. one snapshot) at a time.
         self._page_cache: "dict[int, PageQualInfo]" = {}
+        self._value_cache = ValueCache()
         self._cache_restriction: Optional[str] = None
 
     def refresh(
@@ -649,6 +776,7 @@ class DifferentialRefresher:
         send: Send,
         fixup: Optional[bool] = None,
         cache: "Optional[dict[int, PageQualInfo]]" = None,
+        value_cache: "Optional[ValueCache]" = None,
     ) -> RefreshResult:
         """One combined fix-up + refresh scan.
 
@@ -657,15 +785,27 @@ class DifferentialRefresher:
         ``cache`` is the per-snapshot page-qualification cache (the
         manager passes the snapshot's own); with summaries enabled and no
         cache given, a refresher-local one keyed by the restriction text
-        is used.  The caller is responsible for holding the table-level
-        lock.
+        is used.  ``value_cache`` (with ``delta_updates``) is the
+        per-snapshot transmitted-values mirror; when the caller passes
+        one, *the caller* commits or aborts it from the epoch outcome —
+        with the internal fallback the stage is committed here, right
+        after the synchronous scan.  The caller is responsible for
+        holding the table-level lock.
         """
         table = self.table
-        if self.use_page_summaries and cache is None:
+        if self.use_page_summaries and cache is None or (
+            self.delta_updates and value_cache is None
+        ):
             if self._cache_restriction != restriction.text:
                 self._page_cache.clear()
+                self._value_cache = ValueCache()
                 self._cache_restriction = restriction.text
+        if self.use_page_summaries and cache is None:
             cache = self._page_cache
+        own_value_cache = False
+        if self.delta_updates and value_cache is None:
+            value_cache = self._value_cache
+            own_value_cache = True
 
         cursor = RefreshCursor(
             snap_time,
@@ -675,6 +815,7 @@ class DifferentialRefresher:
             cache=cache,
             optimize_deletes=self.optimize_deletes,
             suppress_pure_inserts=self.suppress_pure_inserts,
+            value_cache=value_cache if self.delta_updates else None,
         )
         stats = run_refresh_scan(
             table,
@@ -682,6 +823,8 @@ class DifferentialRefresher:
             fixup=fixup,
             use_page_summaries=self.use_page_summaries,
         )
+        if own_value_cache:
+            value_cache.commit()
         # A solo refresh owns its whole pass: fold the pass-level scan
         # costs into the cursor's result (per-cursor fields are already
         # there, and equal the pass totals for one cursor).

@@ -30,6 +30,7 @@ from repro.core.differential import (
     DifferentialRefresher,
     RefreshCursor,
     RefreshResult,
+    ValueCache,
 )
 from repro.core.full import FullRefresher
 from repro.core.group import GroupRefresher
@@ -103,6 +104,10 @@ class Snapshot:
         #: Survives failed refresh attempts, so a retry resumes past the
         #: pages the first attempt already proved clean.
         self.page_cache: "dict[int, Any]" = {}
+        #: Per-snapshot mirror of transmitted values; lets the refresher
+        #: send per-column update deltas.  Staged during a refresh and
+        #: committed only once the receiver's epoch commit is confirmed.
+        self.value_cache = ValueCache()
         #: Failed attempts that were retried (across all refreshes).
         self.retries = 0
 
@@ -193,6 +198,11 @@ class SnapshotManager:
         suppress_pure_inserts: bool = False,
         initial_refresh: bool = True,
         join: Optional[JoinSpec] = None,
+        wire_format: bool = False,
+        compress: bool = False,
+        frame_messages: int = 64,
+        frame_bytes: Optional[int] = None,
+        delta_updates: bool = False,
     ) -> Snapshot:
         """Compile, materialize, and (by default) initially populate.
 
@@ -206,6 +216,18 @@ class SnapshotManager:
         manager's site: "snapshots can serve as base tables for other
         snapshots".  The cascade refreshes against the snapshot's
         storage table, whose lazy annotations the receiver maintains.
+
+        ``wire_format=True`` ships the refresh stream as real encoded
+        bytes: a :class:`~repro.net.wire.WireCodec` (optionally with
+        per-frame deflate via ``compress``) encodes messages into binary
+        frames — batched by ``frame_messages``/``frame_bytes`` on a plain
+        channel, or riding ``block_size`` when blocking is requested —
+        and the channel's ``stats.bytes`` then count measured frame
+        bytes, with the fixed-width model kept on ``stats.modeled_bytes``.
+        ``delta_updates=True`` (differential method only) additionally
+        sends per-column :class:`~repro.core.messages.UpdateDeltaMessage`
+        deltas whenever the snapshot's value cache knows the previously
+        transmitted row.
         """
         from repro.core.snapshot import STORAGE_PREFIX
 
@@ -249,6 +271,7 @@ class SnapshotManager:
                 optimize_deletes=optimize_deletes,
                 suppress_pure_inserts=suppress_pure_inserts,
                 use_page_summaries=self.use_page_summaries,
+                delta_updates=delta_updates,
             )
         elif plan.method is RefreshMethod.FULL:
             refresher = FullRefresher(table)
@@ -259,6 +282,12 @@ class SnapshotManager:
         else:  # pragma: no cover - AUTO resolved above
             raise SnapshotError(f"unresolvable method {plan.method!r}")
 
+        if delta_updates and not isinstance(refresher, DifferentialRefresher):
+            raise SnapshotError(
+                f"snapshot {name!r}: delta_updates requires the "
+                f"differential refresh method (got {plan.method.value})"
+            )
+
         site = target_db if target_db is not None else self.db
         # Managed snapshots always refresh inside epochs, so a stream
         # whose RefreshBegin was lost must fail loudly, not tear.
@@ -267,11 +296,24 @@ class SnapshotManager:
         )
         if channel is None:
             channel = Channel(name=f"{base_table}->{name}")
+        codec = None
+        if wire_format:
+            from repro.net.wire import WireCodec
+
+            codec = WireCodec(plan.value_schema, compress=compress)
         send_channel: Any = channel
         if block_size is not None:
-            send_channel = BlockingChannel(channel, block_size=block_size)
+            send_channel = BlockingChannel(
+                channel, block_size=block_size, codec=codec
+            )
             send_channel.attach(snapshot_table.receiver())
         else:
+            if codec is not None:
+                channel.enable_wire(
+                    codec,
+                    flush_messages=frame_messages,
+                    flush_bytes=frame_bytes,
+                )
             channel.attach(snapshot_table.receiver())
 
         info = SnapshotInfo(name, base_table, plan, snapshot_table)
@@ -370,6 +412,11 @@ class SnapshotManager:
                         plan.projection,
                         send,
                         cache=handle.page_cache,
+                        value_cache=(
+                            handle.value_cache
+                            if refresher.delta_updates
+                            else None
+                        ),
                     )
                 else:
                     result = refresher.refresh(
@@ -379,8 +426,7 @@ class SnapshotManager:
                         send,
                     )
                 handle.channel.send(RefreshCommitMessage(epoch, sent))
-                if isinstance(handle.channel, BlockingChannel):
-                    handle.channel.flush()
+                handle.channel.flush()
             except Exception:
                 self._abort_attempt(handle)
                 raise
@@ -392,6 +438,9 @@ class SnapshotManager:
                     f"snapshot {info.name!r}: epoch {epoch} was never "
                     f"committed at the receiver (stream lost in transit)"
                 )
+            # The receiver applied the epoch: the transmitted values we
+            # staged this attempt are now truly its contents.
+            handle.value_cache.commit()
             info.last_refresh_lsn = self.db.wal.next_lsn
         info.snap_time = result.new_snap_time
         info.refresh_count += 1
@@ -400,15 +449,18 @@ class SnapshotManager:
     def _abort_attempt(self, handle: Snapshot) -> None:
         """Roll back a failed refresh attempt on both sides of the link.
 
-        Sender side: a :class:`BlockingChannel` may hold a partial frame
-        of the torn stream — shipping that tail at the start of the next
-        refresh would violate the receiver's ordering, so drop it.
+        Sender side: a blocking or wire-encoded channel may hold a
+        partial frame of the torn stream — shipping that tail at the
+        start of the next refresh would violate the receiver's ordering,
+        so drop it — and the value cache's stage must be discarded (the
+        receiver never applied those values, so believing them would
+        send deltas against rows the other side does not have).
         Receiver side: discard the staged epoch (the site-local analog
         of the receiver noticing the connection died; a retried
         refresh's own RefreshBegin would do the same).
         """
-        if isinstance(handle.channel, BlockingChannel):
-            handle.channel.abort()
+        handle.channel.abort()
+        handle.value_cache.abort()
         handle.info.snapshot_table.abort_epoch()
 
     # -- group refresh -----------------------------------------------------------
@@ -463,6 +515,11 @@ class SnapshotManager:
                         optimize_deletes=refresher.optimize_deletes,
                         suppress_pure_inserts=refresher.suppress_pure_inserts,
                         name=handle.name,
+                        value_cache=(
+                            handle.value_cache
+                            if refresher.delta_updates
+                            else None
+                        ),
                     )
                 )
                 states[handle.name] = (handle, epoch, sent)
@@ -484,8 +541,7 @@ class SnapshotManager:
                     continue
                 try:
                     handle.channel.send(RefreshCommitMessage(epoch, sent[0]))
-                    if isinstance(handle.channel, BlockingChannel):
-                        handle.channel.flush()
+                    handle.channel.flush()
                 except ChannelError as error:
                     self._abort_attempt(handle)
                     errors[handle.name] = error
@@ -497,6 +553,7 @@ class SnapshotManager:
                         f"committed at the receiver (stream lost in transit)"
                     )
                     continue
+                handle.value_cache.commit()
                 info.last_refresh_lsn = self.db.wal.next_lsn
                 info.snap_time = cursor.result.new_snap_time
                 info.refresh_count += 1

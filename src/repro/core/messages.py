@@ -57,6 +57,71 @@ class EntryMessage(RefreshMessage):
         return f"EntryMessage({self.addr}, prev={self.prev_qual}, {self.values})"
 
 
+class UpdateDeltaMessage(RefreshMessage):
+    """A qualified entry retransmission carrying only the changed columns.
+
+    *Towards a Theory of Data-Diff*'s succinct modification: when the
+    sender still holds the values it previously transmitted for this
+    address (the per-snapshot value cache), it ships a column bitmap plus
+    the changed values instead of the whole projected row.  The receiver
+    semantics are exactly :class:`EntryMessage`'s — clear the open
+    interval ``(prev_qual, addr)``, then update the entry at ``addr`` —
+    except the update merges the changed columns into the row the
+    receiver already has.  The sender falls back to a full
+    :class:`EntryMessage` whenever the cache misses or the delta would
+    not be strictly smaller.
+
+    ``mask`` is an integer bitmap (bit *i* set means value-schema column
+    *i* changed); ``values`` holds the changed columns' new values in
+    ascending position order; ``value_bytes`` is the encoded size of the
+    partial row (NULL sub-bitmap + changed values).
+    """
+
+    __slots__ = ("addr", "prev_qual", "mask", "values", "value_bytes")
+
+    def __init__(
+        self,
+        addr: Rid,
+        prev_qual: Rid,
+        mask: int,
+        values: Tuple,
+        value_bytes: int,
+    ) -> None:
+        self.addr = addr
+        self.prev_qual = prev_qual
+        self.mask = mask
+        self.values = values
+        self.value_bytes = value_bytes
+
+    @property
+    def mask_bytes(self) -> int:
+        """Bytes the column bitmap occupies (at least one)."""
+        return max(1, (self.mask.bit_length() + 7) // 8)
+
+    def positions(self) -> "list[int]":
+        """Changed column positions, ascending (parallel to ``values``)."""
+        out = []
+        mask = self.mask
+        position = 0
+        while mask:
+            if mask & 1:
+                out.append(position)
+            mask >>= 1
+            position += 1
+        return out
+
+    def wire_size(self) -> int:
+        return (
+            _TYPE_BYTE + 2 * _ADDR_BYTES + self.mask_bytes + self.value_bytes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateDeltaMessage({self.addr}, prev={self.prev_qual}, "
+            f"mask={self.mask:b}, {self.values})"
+        )
+
+
 class EndOfScanMessage(RefreshMessage):
     """Figure 3's final ``Xmit(NULL, LastQual, NULL)``.
 

@@ -12,6 +12,10 @@ The receiver implements the paper's apply rules:
 - ``EntryMessage(addr, prev, value)`` — delete every entry with BaseAddr
   in the open interval ``(prev, addr)``, then update the entry at
   ``addr`` if present, else insert it;
+- ``UpdateDeltaMessage(addr, prev, mask, values)`` — same interval
+  delete, then merge just the masked columns into the entry at ``addr``
+  (which the sender's value cache guarantees exists — a miss is a
+  protocol violation, not a quiet insert);
 - ``EndOfScanMessage(last_qual)`` — delete every entry beyond
   ``last_qual`` (covers deletions at the end of the base table);
 - ``SnapTimeMessage(t)`` — adopt ``t`` as the snapshot's new SnapTime;
@@ -109,6 +113,8 @@ class SnapshotTable:
         #: Apply-effort counters (updates the receiver performed).
         self.applied_upserts = 0
         self.applied_deletes = 0
+        #: Partial-column merges applied from UpdateDeltaMessages.
+        self.applied_merges = 0
         #: When True, refresh data arriving outside an epoch is an error.
         self.require_epochs = require_epochs
         self._epoch: "Optional[_Epoch]" = None
@@ -161,6 +167,26 @@ class SnapshotTable:
             self.storage.system_delete(heap_rid)
         self.applied_deletes += len(doomed)
         return len(doomed)
+
+    def _merge(self, message: Any) -> None:
+        """Overlay an :class:`~repro.core.messages.UpdateDeltaMessage`.
+
+        The sender only emits a delta when its value cache says this
+        address was transmitted before, so the entry must exist here; a
+        miss means the two sides' caches diverged and applying the delta
+        would fabricate NULLs for the unsent columns.
+        """
+        existing = self._index.get(message.addr.key())
+        if existing is None:
+            raise SnapshotError(
+                f"snapshot {self.name!r}: update delta for {message.addr} "
+                f"but no entry exists; sender value cache out of sync"
+            )
+        merged = list(self._visible_row(existing).values)
+        for position, value in zip(message.positions(), message.values):
+            merged[position] = value
+        self.applied_merges += 1
+        self._upsert(message.addr, tuple(merged))
 
     def clear(self) -> None:
         for _, heap_rid in list(self._index.items()):
@@ -257,6 +283,9 @@ class SnapshotTable:
         if isinstance(message, msg.EntryMessage):
             self._delete_open_interval(message.prev_qual, message.addr)
             self._upsert(message.addr, message.values)
+        elif isinstance(message, msg.UpdateDeltaMessage):
+            self._delete_open_interval(message.prev_qual, message.addr)
+            self._merge(message)
         elif isinstance(message, msg.EndOfScanMessage):
             self._delete_open_interval(message.last_qual, None)
         elif isinstance(message, msg.SnapTimeMessage):

@@ -93,6 +93,15 @@ class LinkDownError(ChannelError):
     """A send was attempted while the simulated link is interrupted."""
 
 
+class WireError(ChannelError):
+    """The binary wire codec met bytes (or a message) it cannot handle.
+
+    Raised when encoding sees an unregistered message type, or when a
+    frame's payload is truncated, has an unknown message tag, or carries
+    a value that does not decode under the snapshot's value schema.
+    """
+
+
 class EpochError(ChannelError):
     """A refresh epoch was torn, lost, or inconsistent at the receiver.
 

@@ -10,20 +10,27 @@ for fault-injection; :class:`~repro.net.retry.RetryPolicy` bounds how a
 refresh fights back; :class:`~repro.net.blocking.BlockingChannel` models
 R*'s blocking of entries into frames ("the execution of both the full and
 differential refresh methods take advantage of the blocking to reduce
-the cost of the refresh operation").
+the cost of the refresh operation"); :mod:`repro.net.wire` is the real
+binary codec (delta-encoded addresses, varints, frame batching, optional
+deflate) that turns the modeled byte counts into measured ones.
 """
 
 from repro.net.blocking import BlockingChannel, Frame
-from repro.net.channel import Channel, Link, TrafficStats
+from repro.net.channel import Channel, Link, TrafficStats, wire_size_of
 from repro.net.faults import FaultyLink
 from repro.net.retry import RetryPolicy
+from repro.net.wire import FrameWriter, WireCodec, WireFrame
 
 __all__ = [
     "BlockingChannel",
     "Channel",
     "FaultyLink",
     "Frame",
+    "FrameWriter",
     "Link",
     "RetryPolicy",
     "TrafficStats",
+    "WireCodec",
+    "WireFrame",
+    "wire_size_of",
 ]

@@ -15,10 +15,10 @@ which the ablation benchmark reports.
 
 from __future__ import annotations
 
-from typing import Any, List
+from typing import Any, List, Optional
 
 from repro.errors import ChannelError
-from repro.net.channel import Channel
+from repro.net.channel import Channel, wire_size_of
 
 #: Per-physical-frame overhead in bytes (headers, session, checksums).
 FRAME_OVERHEAD = 64
@@ -33,7 +33,7 @@ class Frame:
         self.messages = list(messages)
 
     def wire_size(self) -> int:
-        return FRAME_OVERHEAD + sum(m.wire_size() for m in self.messages)
+        return FRAME_OVERHEAD + sum(wire_size_of(m) for m in self.messages)
 
     def __len__(self) -> int:
         return len(self.messages)
@@ -49,12 +49,26 @@ class BlockingChannel:
     ``logical`` stats so callers can see both views.  A receiver attached
     to the *inner* channel receives :class:`Frame` objects; attaching via
     this wrapper unwraps frames back into logical messages.
+
+    With a :class:`~repro.net.wire.WireCodec`, each shipped frame is a
+    binary :class:`~repro.net.wire.WireFrame` instead of an object
+    batch: the inner channel's stats then count real encoded bytes
+    (modeled sizes stay on ``stats.modeled_bytes``), and attaching via
+    this wrapper decodes frames back into logical messages.
     """
 
-    def __init__(self, inner: Channel, block_size: int = 32) -> None:
+    def __init__(
+        self, inner: Channel, block_size: int = 32, codec: Optional[Any] = None
+    ) -> None:
         if block_size < 1:
             raise ChannelError("block size must be at least 1")
+        if codec is not None and getattr(inner, "wire_enabled", False):
+            raise ChannelError(
+                "encode at one layer only: the inner channel already "
+                "has wire transport enabled"
+            )
         self.inner = inner
+        self.codec = codec
         self.block_size = block_size
         self._pending: "list[Any]" = []
         from repro.net.channel import TrafficStats
@@ -68,6 +82,9 @@ class BlockingChannel:
 
     def attach(self, receiver) -> None:
         """Attach a logical receiver (frames are unwrapped for it)."""
+        if self.codec is not None:
+            self.inner.attach(self.codec.receiver(receiver))
+            return
 
         def unwrap(frame: Frame) -> None:
             for message in frame.messages:
@@ -91,8 +108,12 @@ class BlockingChannel:
         whole stream, so losing the frame is safe.
         """
         if self._pending:
-            frame = Frame(self._pending)
+            pending = self._pending
             self._pending = []
+            if self.codec is not None:
+                frame: Any = self.codec.encode_frame(pending)
+            else:
+                frame = Frame(pending)
             self.inner.send(frame)
 
     def abort(self) -> int:

@@ -5,22 +5,35 @@ delivery path is decorated with deterministic fault policies, so tests
 and benchmarks can replay exactly the failure the paper worries about
 ("if communication ... is interrupted"):
 
-- **outage windows** — half-open ``(lo, hi)`` intervals over the send
-  counter during which every send raises
+- **outage windows** — half-open ``(lo, hi)`` intervals over the
+  transmit counter during which every transmission raises
   :class:`~repro.errors.LinkDownError` (use :meth:`fail_at` to script
-  "die k messages from now");
+  "die k transmissions from now");
 - **periodic outages** — ``(down, cycle)``: the last ``down`` of every
-  ``cycle`` sends fail, modelling a link with a steady outage rate;
-- **drop-every-Nth** — every Nth send is silently swallowed (UDP-style
-  loss; the epoch commit count catches the hole at the receiver);
-- **duplicate-every-Nth** — every Nth send is delivered twice (the
-  receiver must be idempotent: upserts and range deletes are naturally,
-  and the epoch stage dedupes redelivered messages).
+  ``cycle`` transmissions fail, modelling a link with a steady outage
+  rate;
+- **drop-every-Nth** — every Nth transmission is silently swallowed
+  (UDP-style loss; the epoch commit count catches the hole at the
+  receiver);
+- **duplicate-every-Nth** — every Nth transmission is delivered twice
+  (the receiver must be idempotent: upserts and range deletes are
+  naturally, and the epoch stage dedupes redelivered messages);
+- **frame-granular faults** — ``drop_frame_every`` /
+  ``duplicate_frame_every`` count only whole *frames* (a
+  :class:`~repro.net.blocking.Frame` batch or an encoded
+  :class:`~repro.net.wire.WireFrame`), so a blocked or binary-encoded
+  stream can lose an entire frame of messages at once.  Partial-frame
+  loss is exactly what the epoch count-mismatch check exists for: the
+  receiver stages too few messages and rolls the epoch back instead of
+  committing a hole.
 
-All policies key off the *send-attempt counter*, not wall time, so a
-retried refresh makes progress through an outage window deterministically
-and a run replays identically.  Manual :meth:`~repro.net.channel.Link.go_down`
-/ ``come_up`` still work and take precedence over scripted delivery.
+Faults act on *physical transmissions*: individual messages on a plain
+channel, whole frames on a blocked or wire-encoded one — which is what
+a real lossy link does.  All policies key off the transmit-attempt
+counter, not wall time, so a retried refresh makes progress through an
+outage window deterministically and a run replays identically.  Manual
+:meth:`~repro.net.channel.Link.go_down` / ``come_up`` still work and
+take precedence over scripted delivery.
 """
 
 from __future__ import annotations
@@ -28,7 +41,14 @@ from __future__ import annotations
 from typing import Any, Optional, Sequence, Tuple
 
 from repro.errors import LinkDownError, ReproError
+from repro.net.blocking import Frame
 from repro.net.channel import Link
+from repro.net.wire import WireFrame
+
+
+def is_frame(message: Any) -> bool:
+    """Whether a physical transmission unit is a whole frame."""
+    return isinstance(message, (Frame, WireFrame))
 
 
 class FaultyLink(Link):
@@ -41,6 +61,8 @@ class FaultyLink(Link):
         periodic_outage: "Optional[Tuple[int, int]]" = None,
         drop_every: Optional[int] = None,
         duplicate_every: Optional[int] = None,
+        drop_frame_every: Optional[int] = None,
+        duplicate_frame_every: Optional[int] = None,
     ) -> None:
         super().__init__(name)
         self._outages: "list[Tuple[int, int]]" = []
@@ -59,12 +81,22 @@ class FaultyLink(Link):
             raise ReproError("drop_every must be at least 2")
         if duplicate_every is not None and duplicate_every < 1:
             raise ReproError("duplicate_every must be at least 1")
+        if drop_frame_every is not None and drop_frame_every < 2:
+            raise ReproError("drop_frame_every must be at least 2")
+        if duplicate_frame_every is not None and duplicate_frame_every < 1:
+            raise ReproError("duplicate_frame_every must be at least 1")
         self.drop_every = drop_every
         self.duplicate_every = duplicate_every
-        #: Send attempts observed (the fault script's time axis).
+        self.drop_frame_every = drop_frame_every
+        self.duplicate_frame_every = duplicate_frame_every
+        #: Transmit attempts observed (the fault script's time axis).
         self.attempts = 0
+        #: Transmit attempts that carried a whole frame.
+        self.frame_attempts = 0
         self.dropped = 0
         self.duplicated = 0
+        self.frames_dropped = 0
+        self.frames_duplicated = 0
 
     def _add_window(self, lo: int, hi: int) -> None:
         if lo >= hi or lo < 0:
@@ -75,7 +107,7 @@ class FaultyLink(Link):
     # -- scripting -----------------------------------------------------------
 
     def fail_at(self, offset: int = 0, length: int = 1) -> None:
-        """Script an outage ``offset`` sends from now, ``length`` sends long."""
+        """Script an outage ``offset`` transmits from now, ``length`` long."""
         start = self.attempts + offset
         self._add_window(start, start + length)
 
@@ -85,6 +117,8 @@ class FaultyLink(Link):
         self.periodic_outage = None
         self.drop_every = None
         self.duplicate_every = None
+        self.drop_frame_every = None
+        self.duplicate_frame_every = None
 
     def _scripted_down(self, attempt: int) -> bool:
         for lo, hi in self._outages:
@@ -100,24 +134,44 @@ class FaultyLink(Link):
 
     # -- delivery ------------------------------------------------------------
 
-    def send(self, message: Any) -> None:
+    def _transmit(self, message: Any) -> None:
         attempt = self.attempts
         self.attempts += 1
         if not self.is_up or self._scripted_down(attempt):
             self.failed_sends += 1
-            raise LinkDownError(
-                f"{self.name} is down (send {attempt})"
-            )
+            raise LinkDownError(f"{self.name} is down (transmit {attempt})")
         if self.drop_every is not None and (attempt + 1) % self.drop_every == 0:
             self.dropped += 1
             return
-        super().send(message)
-        if (
+        duplicate = (
             self.duplicate_every is not None
             and (attempt + 1) % self.duplicate_every == 0
-        ):
+        )
+        if is_frame(message):
+            frame_attempt = self.frame_attempts
+            self.frame_attempts += 1
+            if (
+                self.drop_frame_every is not None
+                and (frame_attempt + 1) % self.drop_frame_every == 0
+            ):
+                self.frames_dropped += 1
+                return
+            if (
+                self.duplicate_frame_every is not None
+                and (frame_attempt + 1) % self.duplicate_frame_every == 0
+            ):
+                self.frames_duplicated += 1
+                duplicate = True
+        self._deliver(message)
+        if duplicate:
             self.duplicated += 1
-            super().send(message)
+            self._deliver(message)
+
+    def _deliver(self, message: Any) -> None:
+        """The fault-free physical delivery (stats + receiver/queue)."""
+        # Skip Link._transmit: up-ness was already decided above, and a
+        # duplicate must not consume a second scripted attempt.
+        super(Link, self)._transmit(message)
 
     def __repr__(self) -> str:
         return (

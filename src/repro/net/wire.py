@@ -1,0 +1,610 @@
+"""A real binary wire format for the refresh stream.
+
+Every transport so far shipped Python message objects whose byte cost
+was only *modeled* by ``wire_size()``; the paper's whole premise — the
+snapshot is remote, refresh quality is bytes on the link — deserves an
+actual serialization.  This module is that wire:
+
+- **One type tag per message** (a single varint byte).
+- **Varint integers** everywhere a count or length crosses the wire.
+- **Delta-encoded addresses**: refresh emits in address order, so each
+  RID is encoded against the previous address in the frame — the common
+  "next slot on the same page" costs two bytes instead of eight, and an
+  ``EntryMessage``'s ``prev_qual`` (usually the immediately preceding
+  transmitted address) costs the same two.
+- **Relative timestamps**: times (SnapTime, epochs) are zigzag deltas
+  against the previous time in the frame, seeded from the codec's
+  ``base_time`` (the snapshot's SnapTime) — a refresh stream's handful
+  of near-identical clock readings collapse to a byte or two each.
+- **Compact values**: row payloads re-encode through a varint-aware
+  column codec (ints zigzag, strings varint-length-prefixed) instead of
+  the fixed-width storage encoding, with NULLs in a leading bitmap
+  exactly as :func:`~repro.relation.row.encode_row` lays them out.
+- **Frames**: a :class:`FrameWriter` batches encoded messages and ships
+  a :class:`WireFrame` (real bytes; ``wire_size()`` is ``len(data)``)
+  when the frame reaches N messages or B bytes, with optional per-frame
+  ``zlib`` compression.  Delta state resets at every frame boundary, so
+  a dropped frame never corrupts the decode of its successors — the
+  loss surfaces as the epoch commit's count mismatch, not as garbage.
+
+The decoder reconstructs the exact logical message sequence (same
+types, addresses, values, and modeled ``wire_size()``), so a receiver
+behind the wire is byte-identical to one fed the objects directly — the
+round-trip property test pins this for arbitrary workloads.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.core import messages as msg
+from repro.errors import WireError
+from repro.relation.row import encoded_fields_size
+from repro.relation.schema import Schema
+from repro.relation.types import (
+    NULL,
+    FloatType,
+    IntType,
+    RidType,
+    StringType,
+    TimestampType,
+)
+from repro.storage.rid import Rid
+
+#: Frame flags bit: payload is zlib-deflated.
+FLAG_DEFLATE = 0x01
+
+_FLOAT = struct.Struct("<d")
+_RID_FIXED = struct.Struct("<iI")
+
+
+# -- varints ----------------------------------------------------------------
+
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """LEB128 unsigned varint."""
+    if value < 0:
+        raise WireError(f"uvarint cannot encode negative value {value}")
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def read_uvarint(data: bytes, offset: int) -> "tuple[int, int]":
+    value = 0
+    shift = 0
+    while True:
+        try:
+            byte = data[offset]
+        except IndexError:
+            raise WireError("truncated varint") from None
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+
+
+def write_svarint(out: bytearray, value: int) -> None:
+    """Zigzag-mapped signed varint (small magnitudes of either sign stay small)."""
+    write_uvarint(out, value << 1 if value >= 0 else ((-value) << 1) - 1)
+
+
+def read_svarint(data: bytes, offset: int) -> "tuple[int, int]":
+    value, offset = read_uvarint(data, offset)
+    return (value >> 1) ^ -(value & 1), offset
+
+
+# -- compact column values ---------------------------------------------------
+
+# Address head codes shared by the stateful address codec and RidType
+# column values (which use absolute coordinates).
+_ADDR_NONE = 0
+_ADDR_BEGIN = 1
+_ADDR_SAME_PAGE = 2
+_ADDR_NEW_PAGE = 3
+
+
+def _encode_value(out: bytearray, ctype: Any, value: Any) -> None:
+    """Compact encoding of one non-bitmap-NULL column value."""
+    if isinstance(ctype, IntType):
+        write_svarint(out, value)
+    elif isinstance(ctype, StringType):
+        raw = value.encode("utf-8")
+        write_uvarint(out, len(raw))
+        out += raw
+    elif isinstance(ctype, FloatType):
+        out += _FLOAT.pack(float(value))
+    elif isinstance(ctype, TimestampType):
+        # Inline NULL: head 0 is NULL, else 1 + the stamp.
+        if value is NULL:
+            out.append(0)
+        else:
+            out.append(1)
+            write_uvarint(out, value)
+    elif isinstance(ctype, RidType):
+        if value is NULL:
+            out.append(_ADDR_NONE)
+        elif value == Rid.BEGIN:
+            out.append(_ADDR_BEGIN)
+        else:
+            out.append(_ADDR_NEW_PAGE)
+            write_svarint(out, value.page_no)
+            write_uvarint(out, value.slot_no)
+    else:
+        # Unknown type: fall back to its own storage encoding, framed.
+        raw = ctype.encode(value)
+        write_uvarint(out, len(raw))
+        out += raw
+
+
+def _decode_value(ctype: Any, data: bytes, offset: int) -> "tuple[Any, int]":
+    if isinstance(ctype, IntType):
+        return read_svarint(data, offset)
+    if isinstance(ctype, StringType):
+        length, offset = read_uvarint(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise WireError("truncated string value")
+        return data[offset:end].decode("utf-8"), end
+    if isinstance(ctype, FloatType):
+        (value,) = _FLOAT.unpack_from(data, offset)
+        return value, offset + _FLOAT.size
+    if isinstance(ctype, TimestampType):
+        head = data[offset]
+        offset += 1
+        if head == 0:
+            return NULL, offset
+        return read_uvarint(data, offset)
+    if isinstance(ctype, RidType):
+        head = data[offset]
+        offset += 1
+        if head == _ADDR_NONE:
+            return NULL, offset
+        if head == _ADDR_BEGIN:
+            return Rid.BEGIN, offset
+        page_no, offset = read_svarint(data, offset)
+        slot_no, offset = read_uvarint(data, offset)
+        return Rid(page_no, slot_no), offset
+    length, offset = read_uvarint(data, offset)
+    value, end = ctype.decode(data, offset)
+    if end != offset + length:
+        raise WireError(f"value decode overran its frame for {ctype!r}")
+    return value, end
+
+
+def _encode_fields(
+    out: bytearray,
+    schema: Schema,
+    positions: Sequence[int],
+    values: Sequence[Any],
+) -> None:
+    """NULL bitmap over ``positions`` + each value's compact encoding."""
+    bitmap = bytearray((len(positions) + 7) // 8)
+    mark = len(out)
+    out += bitmap
+    columns = schema.columns
+    for index, (position, value) in enumerate(zip(positions, values)):
+        ctype = columns[position].ctype
+        if value is NULL and not ctype.inline_null:
+            bitmap[index // 8] |= 1 << (index % 8)
+        else:
+            _encode_value(out, ctype, value)
+    out[mark : mark + len(bitmap)] = bitmap
+
+
+def _decode_fields(
+    schema: Schema, positions: Sequence[int], data: bytes, offset: int
+) -> "tuple[tuple, int]":
+    bitmap_size = (len(positions) + 7) // 8
+    bitmap = data[offset : offset + bitmap_size]
+    if len(bitmap) < bitmap_size:
+        raise WireError("truncated row bitmap")
+    offset += bitmap_size
+    values: "list[Any]" = []
+    columns = schema.columns
+    for index, position in enumerate(positions):
+        ctype = columns[position].ctype
+        if not ctype.inline_null and bitmap[index // 8] & (1 << (index % 8)):
+            values.append(NULL)
+        else:
+            value, offset = _decode_value(ctype, data, offset)
+            values.append(value)
+    return tuple(values), offset
+
+
+# -- stateful address/time deltas -------------------------------------------
+
+
+class _WireState:
+    """Per-frame delta state: last address and last time encoded."""
+
+    __slots__ = ("prev_page", "prev_slot", "prev_time")
+
+    def __init__(self, base_time: int = 0) -> None:
+        self.prev_page = 0
+        self.prev_slot = 0
+        self.prev_time = base_time
+
+
+def _encode_addr(out: bytearray, rid: Optional[Rid], state: _WireState) -> None:
+    if rid is None:
+        out.append(_ADDR_NONE)
+        return
+    if rid == Rid.BEGIN:
+        out.append(_ADDR_BEGIN)
+        return
+    if rid.page_no == state.prev_page:
+        out.append(_ADDR_SAME_PAGE)
+        write_svarint(out, rid.slot_no - state.prev_slot)
+    else:
+        out.append(_ADDR_NEW_PAGE)
+        write_svarint(out, rid.page_no - state.prev_page)
+        write_uvarint(out, rid.slot_no)
+    state.prev_page = rid.page_no
+    state.prev_slot = rid.slot_no
+
+
+def _decode_addr(
+    data: bytes, offset: int, state: _WireState
+) -> "tuple[Optional[Rid], int]":
+    try:
+        head = data[offset]
+    except IndexError:
+        raise WireError("truncated address") from None
+    offset += 1
+    if head == _ADDR_NONE:
+        return None, offset
+    if head == _ADDR_BEGIN:
+        return Rid.BEGIN, offset
+    if head == _ADDR_SAME_PAGE:
+        delta, offset = read_svarint(data, offset)
+        page_no = state.prev_page
+        slot_no = state.prev_slot + delta
+    elif head == _ADDR_NEW_PAGE:
+        delta, offset = read_svarint(data, offset)
+        page_no = state.prev_page + delta
+        slot_no, offset = read_uvarint(data, offset)
+    else:
+        raise WireError(f"unknown address head {head}")
+    state.prev_page = page_no
+    state.prev_slot = slot_no
+    return Rid(page_no, slot_no), offset
+
+
+def _encode_time(out: bytearray, time: int, state: _WireState) -> None:
+    write_svarint(out, time - state.prev_time)
+    state.prev_time = time
+
+
+def _decode_time(data: bytes, offset: int, state: _WireState) -> "tuple[int, int]":
+    delta, offset = read_svarint(data, offset)
+    state.prev_time += delta
+    return state.prev_time, offset
+
+
+# -- message codec -----------------------------------------------------------
+
+_TAG_ENTRY = 1
+_TAG_END_OF_SCAN = 2
+_TAG_SNAP_TIME = 3
+_TAG_BEGIN = 4
+_TAG_COMMIT = 5
+_TAG_DELETE_RANGE = 6
+_TAG_UPSERT = 7
+_TAG_DELETE = 8
+_TAG_CLEAR = 9
+_TAG_FULL_ROW = 10
+_TAG_UPDATE_DELTA = 11
+
+
+class WireFrame:
+    """One physical frame of encoded refresh messages — real bytes.
+
+    ``wire_size()`` is the actual encoded length, so a channel carrying
+    wire frames counts bytes that truly crossed the link.
+    ``modeled_size`` preserves what the fixed-width model
+    (``sum(m.wire_size())`` plus the per-frame overhead) would have
+    charged for the same messages — kept as the comparison column.
+    """
+
+    __slots__ = ("data", "count", "modeled_size")
+
+    def __init__(self, data: bytes, count: int, modeled_size: int) -> None:
+        self.data = data
+        self.count = count
+        self.modeled_size = modeled_size
+
+    def wire_size(self) -> int:
+        return len(self.data)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"WireFrame({self.count} messages, {len(self.data)}B encoded, "
+            f"{self.modeled_size}B modeled)"
+        )
+
+
+class WireCodec:
+    """Encodes and decodes refresh-message frames for one snapshot.
+
+    Bound to the snapshot's *value schema* (the projected row layout) —
+    both ends of a channel must construct the codec from the same
+    schema, exactly as both ends of a real replication link share the
+    subscription's row format.  ``base_time`` seeds the time-delta state
+    (the snapshot's SnapTime is the natural choice); any shared value
+    works because every delta chain starts fresh per frame.
+    """
+
+    def __init__(
+        self,
+        value_schema: Schema,
+        compress: bool = False,
+        base_time: int = 0,
+    ) -> None:
+        self.value_schema = value_schema
+        self.compress = compress
+        self.base_time = base_time
+        self._all_positions = tuple(range(len(value_schema)))
+
+    # -- one message ---------------------------------------------------------
+
+    def encode_into(self, out: bytearray, message: Any, state: _WireState) -> None:
+        schema = self.value_schema
+        if isinstance(message, msg.EntryMessage):
+            out.append(_TAG_ENTRY)
+            _encode_addr(out, message.addr, state)
+            _encode_addr(out, message.prev_qual, state)
+            _encode_fields(out, schema, self._all_positions, message.values)
+        elif isinstance(message, msg.UpdateDeltaMessage):
+            out.append(_TAG_UPDATE_DELTA)
+            _encode_addr(out, message.addr, state)
+            _encode_addr(out, message.prev_qual, state)
+            write_uvarint(out, message.mask)
+            _encode_fields(out, schema, message.positions(), message.values)
+        elif isinstance(message, msg.EndOfScanMessage):
+            out.append(_TAG_END_OF_SCAN)
+            _encode_addr(out, message.last_qual, state)
+        elif isinstance(message, msg.SnapTimeMessage):
+            out.append(_TAG_SNAP_TIME)
+            _encode_time(out, message.time, state)
+        elif isinstance(message, msg.RefreshBeginMessage):
+            out.append(_TAG_BEGIN)
+            _encode_time(out, message.epoch, state)
+        elif isinstance(message, msg.RefreshCommitMessage):
+            out.append(_TAG_COMMIT)
+            _encode_time(out, message.epoch, state)
+            write_uvarint(out, message.count)
+        elif isinstance(message, msg.DeleteRangeMessage):
+            out.append(_TAG_DELETE_RANGE)
+            _encode_addr(out, message.lo, state)
+            _encode_addr(out, message.hi, state)
+        elif isinstance(message, msg.UpsertMessage):
+            out.append(_TAG_UPSERT)
+            _encode_addr(out, message.addr, state)
+            _encode_fields(out, schema, self._all_positions, message.values)
+        elif isinstance(message, msg.DeleteMessage):
+            out.append(_TAG_DELETE)
+            _encode_addr(out, message.addr, state)
+        elif isinstance(message, msg.ClearMessage):
+            out.append(_TAG_CLEAR)
+        elif isinstance(message, msg.FullRowMessage):
+            out.append(_TAG_FULL_ROW)
+            _encode_addr(out, message.addr, state)
+            _encode_fields(out, schema, self._all_positions, message.values)
+        else:
+            raise WireError(f"no wire encoding for {message!r}")
+
+    def _decode_one(
+        self, data: bytes, offset: int, state: _WireState
+    ) -> "tuple[Any, int]":
+        schema = self.value_schema
+        try:
+            tag = data[offset]
+        except IndexError:
+            raise WireError("truncated frame: missing message tag") from None
+        offset += 1
+        if tag == _TAG_ENTRY:
+            addr, offset = _decode_addr(data, offset, state)
+            prev, offset = _decode_addr(data, offset, state)
+            values, offset = _decode_fields(
+                schema, self._all_positions, data, offset
+            )
+            value_bytes = encoded_fields_size(schema, self._all_positions, values)
+            return msg.EntryMessage(addr, prev, values, value_bytes), offset
+        if tag == _TAG_UPDATE_DELTA:
+            addr, offset = _decode_addr(data, offset, state)
+            prev, offset = _decode_addr(data, offset, state)
+            mask, offset = read_uvarint(data, offset)
+            positions = [
+                index for index in range(mask.bit_length()) if mask >> index & 1
+            ]
+            values, offset = _decode_fields(schema, positions, data, offset)
+            value_bytes = encoded_fields_size(schema, positions, values)
+            return (
+                msg.UpdateDeltaMessage(addr, prev, mask, values, value_bytes),
+                offset,
+            )
+        if tag == _TAG_END_OF_SCAN:
+            last, offset = _decode_addr(data, offset, state)
+            return msg.EndOfScanMessage(last), offset
+        if tag == _TAG_SNAP_TIME:
+            time, offset = _decode_time(data, offset, state)
+            return msg.SnapTimeMessage(time), offset
+        if tag == _TAG_BEGIN:
+            epoch, offset = _decode_time(data, offset, state)
+            return msg.RefreshBeginMessage(epoch), offset
+        if tag == _TAG_COMMIT:
+            epoch, offset = _decode_time(data, offset, state)
+            count, offset = read_uvarint(data, offset)
+            return msg.RefreshCommitMessage(epoch, count), offset
+        if tag == _TAG_DELETE_RANGE:
+            lo, offset = _decode_addr(data, offset, state)
+            hi, offset = _decode_addr(data, offset, state)
+            return msg.DeleteRangeMessage(lo, hi), offset
+        if tag == _TAG_UPSERT:
+            addr, offset = _decode_addr(data, offset, state)
+            values, offset = _decode_fields(
+                schema, self._all_positions, data, offset
+            )
+            value_bytes = encoded_fields_size(schema, self._all_positions, values)
+            return msg.UpsertMessage(addr, values, value_bytes), offset
+        if tag == _TAG_DELETE:
+            addr, offset = _decode_addr(data, offset, state)
+            return msg.DeleteMessage(addr), offset
+        if tag == _TAG_CLEAR:
+            return msg.ClearMessage(), offset
+        if tag == _TAG_FULL_ROW:
+            addr, offset = _decode_addr(data, offset, state)
+            values, offset = _decode_fields(
+                schema, self._all_positions, data, offset
+            )
+            value_bytes = encoded_fields_size(schema, self._all_positions, values)
+            return msg.FullRowMessage(addr, values, value_bytes), offset
+        raise WireError(f"unknown message tag {tag}")
+
+    # -- whole frames --------------------------------------------------------
+
+    def encode_frame(self, messages: "Sequence[Any]") -> WireFrame:
+        """Encode a batch of logical messages into one physical frame."""
+        state = _WireState(self.base_time)
+        payload = bytearray()
+        modeled = 0
+        for message in messages:
+            self.encode_into(payload, message, state)
+            modeled += message.wire_size()
+        from repro.net.blocking import FRAME_OVERHEAD
+
+        return self._seal(bytes(payload), len(messages), modeled + FRAME_OVERHEAD)
+
+    def _seal(self, payload: bytes, count: int, modeled_size: int) -> WireFrame:
+        flags = 0
+        if self.compress:
+            deflated = zlib.compress(payload, 6)
+            if len(deflated) < len(payload):
+                payload = deflated
+                flags |= FLAG_DEFLATE
+        header = bytearray((flags,))
+        write_uvarint(header, count)
+        return WireFrame(bytes(header) + payload, count, modeled_size)
+
+    def decode_frame(self, frame: "WireFrame | bytes") -> "List[Any]":
+        """Inverse of :meth:`encode_frame`: the exact message sequence."""
+        data = frame.data if isinstance(frame, WireFrame) else frame
+        if not data:
+            raise WireError("empty frame")
+        flags = data[0]
+        count, offset = read_uvarint(data, 1)
+        payload = data[offset:]
+        if flags & FLAG_DEFLATE:
+            try:
+                payload = zlib.decompress(payload)
+            except zlib.error as error:
+                raise WireError(f"bad deflate payload: {error}") from None
+        state = _WireState(self.base_time)
+        messages: "List[Any]" = []
+        offset = 0
+        for _ in range(count):
+            message, offset = self._decode_one(payload, offset, state)
+            messages.append(message)
+        if offset != len(payload):
+            raise WireError(
+                f"frame payload has {len(payload) - offset} trailing bytes"
+            )
+        return messages
+
+    def receiver(self, logical_receiver: "Callable[[Any], None]"):
+        """Wrap a logical receiver so it can be attached to a frame stream."""
+
+        def decode_and_apply(frame: Any) -> None:
+            for message in self.decode_frame(frame):
+                logical_receiver(message)
+
+        return decode_and_apply
+
+
+class FrameWriter:
+    """Batches encoded messages into frames; flushes at N messages/B bytes.
+
+    ``sink`` receives each sealed :class:`WireFrame`.  The pending frame
+    is dropped *before* the sink call (mirroring
+    :class:`~repro.net.blocking.BlockingChannel.flush`): if the link dies
+    mid-flush the frame is lost, never half-kept, and the refresh layer
+    retries the whole stream.  A :class:`~repro.core.messages.RefreshCommitMessage`
+    force-flushes, so frames never straddle refresh epochs.
+    """
+
+    def __init__(
+        self,
+        sink: "Callable[[WireFrame], None]",
+        codec: WireCodec,
+        flush_messages: int = 64,
+        flush_bytes: Optional[int] = None,
+    ) -> None:
+        if flush_messages < 1:
+            raise WireError("flush_messages must be at least 1")
+        if flush_bytes is not None and flush_bytes < 1:
+            raise WireError("flush_bytes must be at least 1")
+        self.sink = sink
+        self.codec = codec
+        self.flush_messages = flush_messages
+        self.flush_bytes = flush_bytes
+        self._payload = bytearray()
+        self._count = 0
+        self._modeled = 0
+        self._state = _WireState(codec.base_time)
+        #: Frames shipped over this writer's lifetime.
+        self.frames_sent = 0
+
+    @property
+    def pending(self) -> int:
+        """Messages encoded into the not-yet-shipped frame."""
+        return self._count
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._payload)
+
+    def send(self, message: Any) -> None:
+        self.codec.encode_into(self._payload, message, self._state)
+        self._count += 1
+        self._modeled += message.wire_size()
+        if (
+            self._count >= self.flush_messages
+            or (
+                self.flush_bytes is not None
+                and len(self._payload) >= self.flush_bytes
+            )
+            or isinstance(message, msg.RefreshCommitMessage)
+        ):
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._count:
+            return
+        from repro.net.blocking import FRAME_OVERHEAD
+
+        frame = self.codec._seal(
+            bytes(self._payload), self._count, self._modeled + FRAME_OVERHEAD
+        )
+        self._reset()
+        self.frames_sent += 1
+        self.sink(frame)
+
+    def abort(self) -> int:
+        """Discard the pending partial frame; returns messages dropped."""
+        dropped = self._count
+        self._reset()
+        return dropped
+
+    def _reset(self) -> None:
+        self._payload = bytearray()
+        self._count = 0
+        self._modeled = 0
+        self._state = _WireState(self.codec.base_time)

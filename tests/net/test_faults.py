@@ -126,3 +126,116 @@ class TestComeUpFlushOrdering:
         assert received == [early, late]
         assert link.stats.messages == 2
         assert link.stats.bytes == 8
+
+
+class TestFrameFaults:
+    """Frame-granular loss on blocked/encoded transports."""
+
+    def _fleet(self, **create_kwargs):
+        from repro.core.manager import SnapshotManager
+        from repro.database import Database
+
+        db = Database()
+        table = db.create_table("t", [("v", "int")], annotations="lazy")
+        rids = [table.insert([i]) for i in range(80)]
+        link = FaultyLink()
+        manager = SnapshotManager(db)
+        snap = manager.create_snapshot(
+            "s", "t", where="v >= 0", channel=link, **create_kwargs
+        )
+        return table, rids, link, manager, snap
+
+    def _truth(self, table):
+        return {rid: row.values for rid, row in table.scan(visible=True)}
+
+    def test_plain_messages_do_not_count_as_frames(self):
+        link = FaultyLink(drop_frame_every=2)
+        received = []
+        link.attach(received.append)
+        for _ in range(6):
+            link.send(Msg())
+        assert received and len(received) == 6
+        assert link.frame_attempts == 0
+        assert link.frames_dropped == 0
+
+    def test_object_frame_drop_counts_frames_only(self):
+        from repro.net.blocking import Frame
+
+        link = FaultyLink(drop_frame_every=2)
+        received = []
+        link.attach(received.append)
+        link.send(Msg())
+        link.send(Frame([Msg(), Msg()]))  # frame 1: delivered
+        link.send(Frame([Msg()]))  # frame 2: dropped
+        link.send(Msg())
+        assert link.frame_attempts == 2
+        assert link.frames_dropped == 1
+        assert len(received) == 3  # 2 messages + 1 surviving frame
+
+    def test_partial_frame_loss_caught_by_epoch_count(self):
+        """A dropped wire frame mid-epoch is detected, not committed."""
+        from repro.errors import EpochError
+
+        table, rids, link, manager, snap = self._fleet(
+            wire_format=True, frame_messages=8
+        )
+        before_map = snap.table.as_map()
+        before_time = snap.table.snap_time
+        for i in range(10, 60):
+            table.update(rids[i], {"v": i + 1000})
+
+        # Drop the second frame of the refresh stream: the receiver
+        # stages too few messages, and the commit's count mismatches.
+        link.drop_frame_every = 2
+        with pytest.raises(EpochError):
+            snap.refresh()
+        assert snap.table.as_map() == before_map
+        assert snap.table.snap_time == before_time
+        assert link.frames_dropped >= 1
+
+        # With the link healthy again, the same refresh goes through and
+        # the value mirror / page caches resume from the failed attempt.
+        link.clear_faults()
+        snap.refresh()
+        assert snap.table.as_map() == self._truth(table)
+
+    def test_partial_frame_loss_on_blocked_object_transport(self):
+        from repro.errors import EpochError
+
+        table, rids, link, manager, snap = self._fleet(block_size=8)
+        before_map = snap.table.as_map()
+        for i in range(10, 60):
+            table.update(rids[i], {"v": i + 1000})
+        link.drop_frame_every = 2
+        with pytest.raises(EpochError):
+            snap.refresh()
+        assert snap.table.as_map() == before_map
+        link.clear_faults()
+        snap.refresh()
+        assert snap.table.as_map() == self._truth(table)
+
+    def test_wire_frame_duplicate_caught_by_epoch_count(self):
+        # Encoded frames decode to fresh message objects, so the
+        # receiver's per-epoch identity dedupe cannot absorb a
+        # duplicated frame — the commit count catches it instead.
+        from repro.errors import EpochError
+
+        table, rids, link, manager, snap = self._fleet(
+            wire_format=True, frame_messages=8
+        )
+        before_map = snap.table.as_map()
+        for i in range(10, 60):
+            table.update(rids[i], {"v": i + 1000})
+        link.duplicate_frame_every = 2
+        with pytest.raises(EpochError):
+            snap.refresh()
+        assert snap.table.as_map() == before_map
+        link.clear_faults()
+        snap.refresh()
+        assert snap.table.as_map() == self._truth(table)
+
+    def test_frame_knob_validation(self):
+        with pytest.raises(ReproError):
+            FaultyLink(drop_frame_every=1)
+        with pytest.raises(ReproError):
+            FaultyLink(duplicate_frame_every=0)
