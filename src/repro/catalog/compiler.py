@@ -17,7 +17,7 @@ from __future__ import annotations
 import enum
 from typing import Optional, Sequence
 
-from repro.errors import RefreshMethodError
+from repro.errors import InternalError, RefreshMethodError
 from repro.expr.predicate import Projection, Restriction
 from repro.table import Table
 
@@ -228,7 +228,11 @@ def _compile_join(
     from repro.relation.schema import Column, Schema
 
     join = definition.join
-    assert join is not None
+    if join is None:
+        raise InternalError(
+            f"snapshot {definition.name!r} compiled as a join without a "
+            "join clause"
+        )
     if right_table is None:
         raise RefreshMethodError(
             f"snapshot {definition.name!r} joins {join.right_table!r}; "

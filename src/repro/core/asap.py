@@ -23,8 +23,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional
 
-from repro.core.messages import DeleteMessage, UpsertMessage
-from repro.errors import LinkDownError
+from repro.core.messages import DeleteMessage, RefreshMessage, UpsertMessage
+from repro.errors import InternalError, LinkDownError
 from repro.expr.predicate import Projection, Restriction
 from repro.net.channel import Channel
 from repro.relation.row import decode_row, encode_row
@@ -75,9 +75,12 @@ class AsapPropagator:
             self.propagated += 1
             self._send(message)
 
-    def _message_for(self, record: LogRecord):
+    def _message_for(self, record: LogRecord) -> "Optional[RefreshMessage]":
         """Map one committed operation to a snapshot message (or None)."""
-        assert record.rid is not None
+        if record.rid is None:
+            raise InternalError(
+                "committed data-change log record carries no RID"
+            )
         qualified_after = (
             record.after is not None
             and self.restriction(decode_row(self.table.schema, record.after))
@@ -100,7 +103,7 @@ class AsapPropagator:
 
     # -- link handling -----------------------------------------------------------
 
-    def _send(self, message) -> None:
+    def _send(self, message: RefreshMessage) -> None:
         if self._buffer:
             # Preserve ordering: nothing may overtake the buffered backlog.
             self._buffer.append(message)

@@ -65,6 +65,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
+from repro import sanitize
 from repro.core.messages import (
     DeleteRangeMessage,
     EndOfScanMessage,
@@ -76,12 +77,14 @@ from repro.core.messages import (
 from repro.errors import ChannelError, RefreshMethodError
 from repro.expr.predicate import Projection, Restriction
 from repro.relation.row import (
+    Row,
     decode_fields,
     decode_row,
     encode_row,
     encoded_fields_size,
     encoded_size,
 )
+from repro.relation.schema import Schema
 from repro.relation.types import NULL
 from repro.storage.rid import Rid
 from repro.storage.summary import PageQualInfo
@@ -236,12 +239,12 @@ class _LazyEntry:
 
     __slots__ = ("_schema", "body", "_row")
 
-    def __init__(self, schema, body: bytes) -> None:
+    def __init__(self, schema: Schema, body: bytes) -> None:
         self._schema = schema
         self.body = body
-        self._row = None
+        self._row: "Optional[Row]" = None
 
-    def row(self):
+    def row(self) -> Row:
         if self._row is None:
             self._row = decode_row(self._schema, self.body)
         return self._row
@@ -431,7 +434,7 @@ class RefreshCursor:
                     # "Updated entry ==> may have qualified before".
                     self.deletion = True
 
-    def _value_message(self, rid: Rid, projected) -> RefreshMessage:
+    def _value_message(self, rid: Rid, projected: Row) -> RefreshMessage:
         """Full entry, or a per-column delta when the mirror allows it.
 
         A delta is only sent when it is *strictly* smaller than the full
@@ -552,10 +555,12 @@ def run_refresh_scan(
 
     expect_prev = Rid.BEGIN  # last non-newly-inserted entry (fix-up)
     last_addr = Rid.BEGIN  # last entry of any kind (fix-up)
+    completed = True  # whether the pass reached the end of the heap
 
     for page_no in range(heap.page_count):
         live = [cursor for cursor in cursors if not cursor.failed]
         if not live:
+            completed = False
             break  # every output failed; nothing left to serve
 
         scanning: "list[RefreshCursor]" = []
@@ -719,6 +724,8 @@ def run_refresh_scan(
     stats.new_snap_time = fixup_time
     stats.buffer_hits = pool_stats.hits - hits_before
     stats.buffer_misses = pool_stats.misses - misses_before
+    if completed and sanitize.enabled():
+        sanitize.check_after_refresh_scan(table, fixup)
     for cursor in cursors:
         result = cursor.result
         stats.qualified += result.qualified

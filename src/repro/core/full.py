@@ -26,7 +26,12 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional, Tuple
 
 from repro.core.differential import RefreshResult, Send
-from repro.core.messages import ClearMessage, FullRowMessage, SnapTimeMessage
+from repro.core.messages import (
+    ClearMessage,
+    FullRowMessage,
+    RefreshMessage,
+    SnapTimeMessage,
+)
 from repro.expr.predicate import Projection, Restriction
 from repro.relation.row import Row, encode_row
 from repro.storage.rid import Rid
@@ -88,7 +93,7 @@ class FullRefresher:
         hits_before = pool_stats.hits
         misses_before = pool_stats.misses
 
-        def transmit(message) -> None:
+        def transmit(message: RefreshMessage) -> None:
             result.messages_sent += 1
             result.bytes_sent += message.wire_size()
             if message.counts_as_entry:

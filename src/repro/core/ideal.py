@@ -17,7 +17,12 @@ transmitting exactly the net upserts and deletes.
 from __future__ import annotations
 
 from repro.core.differential import RefreshResult, Send
-from repro.core.messages import DeleteMessage, SnapTimeMessage, UpsertMessage
+from repro.core.messages import (
+    DeleteMessage,
+    RefreshMessage,
+    SnapTimeMessage,
+    UpsertMessage,
+)
 from repro.expr.predicate import Projection, Restriction
 from repro.relation.row import Row, encode_row
 from repro.storage.rid import Rid
@@ -50,7 +55,7 @@ class IdealRefresher:
         value_schema = projection.schema
         result = RefreshResult()
 
-        def transmit(message) -> None:
+        def transmit(message: RefreshMessage) -> None:
             result.messages_sent += 1
             result.bytes_sent += message.wire_size()
             if message.counts_as_entry:

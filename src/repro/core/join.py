@@ -19,7 +19,12 @@ from typing import Dict, List
 
 from repro.catalog.compiler import JoinPlan
 from repro.core.differential import RefreshResult, Send
-from repro.core.messages import ClearMessage, FullRowMessage, SnapTimeMessage
+from repro.core.messages import (
+    ClearMessage,
+    FullRowMessage,
+    RefreshMessage,
+    SnapTimeMessage,
+)
 from repro.expr.predicate import Projection, Restriction
 from repro.relation.row import Row, encode_row
 from repro.storage.rid import Rid
@@ -44,7 +49,7 @@ class JoinFullRefresher:
         plan = self.join_plan
         result = RefreshResult()
 
-        def transmit(message) -> None:
+        def transmit(message: RefreshMessage) -> None:
             result.messages_sent += 1
             result.bytes_sent += message.wire_size()
             if message.counts_as_entry:

@@ -30,10 +30,15 @@ from typing import Dict, Optional
 
 from repro.core.differential import RefreshResult, Send
 from repro.core.full import FullRefresher
-from repro.core.messages import DeleteMessage, SnapTimeMessage, UpsertMessage
-from repro.errors import LogTruncatedError
+from repro.core.messages import (
+    DeleteMessage,
+    RefreshMessage,
+    SnapTimeMessage,
+    UpsertMessage,
+)
+from repro.errors import InternalError, LogTruncatedError
 from repro.expr.predicate import Projection, Restriction
-from repro.relation.row import Row, decode_row, encode_row
+from repro.relation.row import decode_row, encode_row
 from repro.storage.rid import Rid
 from repro.table import Table
 from repro.txn.wal import LogRecord, LogRecordType
@@ -79,7 +84,7 @@ class LogRefresher:
         wal = table.db.wal
         result = LogRefreshResult()
 
-        def transmit(message) -> None:
+        def transmit(message: RefreshMessage) -> None:
             result.messages_sent += 1
             result.bytes_sent += message.wire_size()
             if message.counts_as_entry:
@@ -109,7 +114,10 @@ class LogRefresher:
         last: "Dict[Rid, LogRecord]" = {}
         first: "Dict[Rid, LogRecord]" = {}
         for record in relevant:
-            assert record.rid is not None
+            if record.rid is None:
+                raise InternalError(
+                    "committed data-change log record carries no RID"
+                )
             last[record.rid] = record
             first.setdefault(record.rid, record)
 
@@ -120,7 +128,10 @@ class LogRefresher:
                     transmit(DeleteMessage(rid))
                 # else: was never in the snapshot and is gone — nothing.
                 continue
-            assert record.after is not None
+            if record.after is None:
+                raise InternalError(
+                    "insert/update log record carries no after-image"
+                )
             row = decode_row(self.table.schema, record.after)
             if restriction(row):
                 projected = projection(row)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Sequence, Union
 
+from repro import sanitize
 from repro.catalog.catalog import SnapshotInfo
 from repro.catalog.compiler import (
     JoinSpec,
@@ -46,6 +47,7 @@ from repro.errors import (
     RetryExhaustedError,
     SnapshotError,
 )
+from repro.expr.predicate import Projection, Restriction
 from repro.net.blocking import BlockingChannel
 from repro.net.channel import Channel
 from repro.net.retry import RetryPolicy
@@ -128,7 +130,7 @@ class Snapshot:
         return self.info.snap_time
 
     @property
-    def restriction(self):
+    def restriction(self) -> Restriction:
         """The compiled restriction from the stored plan.
 
         Compiled once at CREATE SNAPSHOT (and memoized by
@@ -138,7 +140,7 @@ class Snapshot:
         return self.info.plan.restriction
 
     @property
-    def projection(self):
+    def projection(self) -> Projection:
         """The compiled projection from the stored plan."""
         return self.info.plan.projection
 
@@ -169,7 +171,7 @@ class SnapshotManager:
         cost_model: Optional[CostModel] = None,
         use_page_summaries: bool = True,
         retry_policy: Optional[RetryPolicy] = None,
-    ):
+    ) -> None:
         self.db = db
         self.cost_model = cost_model if cost_model is not None else CostModel()
         #: Default for differential refreshers created here; the paper's
@@ -440,7 +442,10 @@ class SnapshotManager:
                 )
             # The receiver applied the epoch: the transmitted values we
             # staged this attempt are now truly its contents.
-            handle.value_cache.commit()
+            if handle.value_cache.commit() and sanitize.enabled():
+                sanitize.check_value_cache(
+                    handle.value_cache, info.snapshot_table
+                )
             info.last_refresh_lsn = self.db.wal.next_lsn
         info.snap_time = result.new_snap_time
         info.refresh_count += 1
@@ -553,7 +558,10 @@ class SnapshotManager:
                         f"committed at the receiver (stream lost in transit)"
                     )
                     continue
-                handle.value_cache.commit()
+                if handle.value_cache.commit() and sanitize.enabled():
+                    sanitize.check_value_cache(
+                        handle.value_cache, info.snapshot_table
+                    )
                 info.last_refresh_lsn = self.db.wal.next_lsn
                 info.snap_time = cursor.result.new_snap_time
                 info.refresh_count += 1

@@ -27,7 +27,7 @@ already-paid base-table scan saves the entire second pass.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.manager import Snapshot, SnapshotManager
 from repro.errors import ChannelError, RetryExhaustedError, SnapshotError

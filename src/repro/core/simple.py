@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Tuple
 
 from repro.core.messages import RefreshMessage, SnapTimeMessage
-from repro.errors import SnapshotError
+from repro.errors import InternalError, SnapshotError
 from repro.relation.row import Row, encode_row
 from repro.relation.schema import Schema
 from repro.txn.clock import LogicalClock
@@ -193,7 +193,10 @@ class SimpleSnapshot:
             if message.empty:
                 self.entries.pop(message.addr, None)
             else:
-                assert message.values is not None
+                if message.values is None:
+                    raise InternalError(
+                        "non-empty simple-refresh element carries no values"
+                    )
                 self.entries[message.addr] = message.values
         elif isinstance(message, SnapTimeMessage):
             self.snap_time = message.time
@@ -203,7 +206,7 @@ class SimpleSnapshot:
     def _apply_other(self, message: RefreshMessage) -> None:
         raise SnapshotError(f"unknown dense-model message: {message!r}")
 
-    def receiver(self):
+    def receiver(self) -> "Callable[[RefreshMessage], None]":
         return self.apply
 
     def as_map(self) -> "dict[int, tuple]":

@@ -49,8 +49,9 @@ expects.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional, Tuple
+from typing import Any, Callable, Iterator, Optional, Tuple
 
+from repro import sanitize
 from repro.core import messages as msg
 from repro.errors import EpochError, SnapshotError
 from repro.relation.row import Row
@@ -123,6 +124,9 @@ class SnapshotTable:
         self.committed_epochs = 0
         #: Epochs discarded without committing (torn or lossy streams).
         self.aborted_epochs = 0
+        #: Sanitizer baseline: the visible-state fingerprint taken when
+        #: the open epoch began (``None`` when no epoch is being watched).
+        self._sanitize_baseline: "Optional[tuple]" = None
 
     def __len__(self) -> int:
         return len(self._index)
@@ -209,6 +213,8 @@ class SnapshotTable:
                 # A new refresh attempt supersedes a torn stream.
                 self.abort_epoch()
             self._epoch = _Epoch(message.epoch)
+            if sanitize.enabled():
+                self._sanitize_baseline = sanitize.visible_fingerprint(self)
             return
         if isinstance(message, msg.RefreshCommitMessage):
             self._commit_epoch(message)
@@ -248,7 +254,11 @@ class SnapshotTable:
                 f"{message.count} messages but {len(staged)} arrived; "
                 f"stream was lossy — rolled back"
             )
+        if sanitize.enabled():
+            # Nothing may have reached visible state while staging.
+            sanitize.check_epoch_isolation(self)
         self._epoch = None
+        self._sanitize_baseline = None
         for staged_message in staged:
             self._apply_now(staged_message)
         self.last_committed_epoch = message.epoch
@@ -266,6 +276,7 @@ class SnapshotTable:
         if self._epoch is None:
             return False
         self._epoch = None
+        self._sanitize_baseline = None
         self.aborted_epochs += 1
         return True
 
@@ -308,7 +319,7 @@ class SnapshotTable:
         else:
             raise SnapshotError(f"unknown refresh message: {message!r}")
 
-    def receiver(self):
+    def receiver(self) -> "Callable[[Any], None]":
         """A callback suitable for :meth:`repro.net.channel.Channel.attach`."""
         return self.apply
 
@@ -320,10 +331,14 @@ class SnapshotTable:
 
     def rows(self) -> "list[Row]":
         """Visible snapshot rows, ordered by base address."""
+        if sanitize.enabled():
+            sanitize.check_epoch_isolation(self)
         return [self._visible_row(rid) for _, rid in self._index.items()]
 
     def entries(self) -> "Iterator[tuple[Rid, Row]]":
         """Yield ``(base_addr, visible_row)`` ordered by base address."""
+        if sanitize.enabled():
+            sanitize.check_epoch_isolation(self)
         for key, heap_rid in self._index.items():
             yield Rid(*key), self._visible_row(heap_rid)
 
@@ -336,6 +351,8 @@ class SnapshotTable:
 
     def lookup(self, base_addr: Rid) -> Optional[Row]:
         """The visible row for ``base_addr``, or ``None``."""
+        if sanitize.enabled():
+            sanitize.check_epoch_isolation(self)
         heap_rid = self._index.get(base_addr.key())
         if heap_rid is None:
             return None

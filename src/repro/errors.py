@@ -116,3 +116,22 @@ class EpochError(ChannelError):
 
 class RetryExhaustedError(SnapshotError):
     """A refresh kept failing after every retry the policy allowed."""
+
+
+class InternalError(ReproError):
+    """An internal invariant did not hold (a bug, not a caller error).
+
+    Replaces bare ``assert`` for runtime protocol checks so the check
+    survives ``python -O`` (lint rule L501) and the failure carries a
+    message naming the broken invariant.
+    """
+
+
+class SanitizerError(ReproError):
+    """A ``REPRO_SANITIZE=1`` runtime invariant check failed.
+
+    Raised by :mod:`repro.sanitize` when a refresh leaves the
+    ``PrevAddr`` chain torn, a page summary no longer dominates its
+    rows, a staged epoch leaks into visible reads, or the value cache
+    diverges from the last-transmitted values.
+    """

@@ -1,0 +1,31 @@
+"""``replint`` — repo-specific static invariant checking.
+
+The paper's correctness rests on discipline no single call site can see:
+annotation fields may only be touched by the Figure-7 fix-up machinery,
+refresh timestamps must come from the site clock (never the wall),
+every refresh message must round-trip through the binary wire codec,
+lock acquisition must follow one global order, and runtime protocol
+checks must survive ``python -O``.  ``python -m repro.lint src`` walks
+the source AST and enforces each of those invariants as a named rule;
+see :mod:`repro.lint.checkers` for the rule catalogue and
+``docs/invariants.md`` for the paper reference behind each one.
+"""
+
+from repro.lint.checkers import ALL_CHECKERS, RULES
+from repro.lint.engine import (
+    SourceFile,
+    Violation,
+    lint_paths,
+    lint_sources,
+    load_source,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "RULES",
+    "SourceFile",
+    "Violation",
+    "lint_paths",
+    "lint_sources",
+    "load_source",
+]

@@ -1,0 +1,28 @@
+"""CLI driver: ``python -m repro.lint [paths...]`` (default ``src``)."""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import lint_paths
+
+
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
+    args: "List[str]" = list(sys.argv[1:] if argv is None else argv)
+    paths = args or ["src"]
+    try:
+        violations = lint_paths(paths)
+    except (OSError, SyntaxError) as exc:
+        print(f"replint: {exc}", file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"replint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,529 @@
+"""The replint rule catalogue: repo-specific invariants as AST checks.
+
+Each rule guards an invariant of the paper's refresh protocol that the
+type system cannot express (see ``docs/invariants.md`` for the paper
+sections behind them):
+
+**L1 — annotation/summary mutation discipline**
+    ``L101``  ``set_annotations`` called outside the fix-up machinery.
+    ``L102``  :class:`~repro.storage.summary.PageSummary` change state
+              mutated outside ``storage/summary.py``.
+    ``L103``  Page-summary write hooks invoked outside the heap layer.
+
+**L2 — determinism of the refresh core**
+    ``L201``  Wall-clock read (``time.time`` & friends) outside the
+              designated time base ``txn/clock.py``.
+    ``L202``  ``datetime.now``/``utcnow``/``today`` in a deterministic
+              module.
+    ``L203``  Unseeded ``random`` use in a deterministic module.
+
+**L3 — wire-codec parity**
+    ``L301``  A refresh message class has no encode branch in
+              ``WireCodec.encode_into``.
+    ``L302``  A refresh message class is never constructed in
+              ``WireCodec._decode_one``.
+    ``L303``  A refresh message class defines no ``wire_size``.
+    ``L304``  The number of ``_TAG_`` wire-type constants does not match
+              the number of concrete message classes.
+
+**L4 — lock acquisition order**
+    ``L401``  Locks acquired against the global table-before-row order.
+    ``L402``  Lock resource uses an unknown hierarchy level.
+
+**L5 — no bare ``assert`` for runtime checks**
+    ``L501``  ``assert`` statement in library code (stripped under
+              ``python -O``; raise a :mod:`repro.errors` exception).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.lint.engine import SourceFile, Violation
+
+#: Modules allowed to write the hidden annotation fields: the lazy/eager
+#: write hooks (table.py) and the Figure-7 fix-up passes.
+ANNOTATION_WRITERS = {"table.py", "core/fixup.py", "core/differential.py"}
+
+#: The only module that may mutate PageSummary change state directly.
+SUMMARY_STATE_OWNER = {"storage/summary.py"}
+
+#: Modules allowed to call the page-summary write hooks.
+SUMMARY_HOOK_CALLERS = {"storage/heap.py", "storage/summary.py", "table.py"}
+
+#: PageSummary fields whose mutation is change-tracking state.
+SUMMARY_STATE_FIELDS = {
+    "max_ts",
+    "null_slots",
+    "structural_changed_at",
+    "page_version",
+    "first_live_slot",
+    "last_live_slot",
+}
+
+#: The page-summary maintenance entry points (heap write hooks).
+SUMMARY_HOOKS = {"note_insert", "note_update", "note_delete", "attach_summaries"}
+
+#: Module prefixes whose behaviour must be a function of the site clock.
+DETERMINISTIC_PREFIXES = ("core/", "net/", "storage/", "txn/")
+
+#: The designated wall-time module; everything else reads the site clock.
+CLOCK_MODULES = {"txn/clock.py"}
+
+#: Wall-clock reads the determinism rule rejects.
+WALL_CLOCK_CALLS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+}
+
+DATETIME_NOW_CALLS = {"now", "utcnow", "today"}
+
+#: Lock hierarchy: a level may only be acquired before strictly deeper
+#: levels within one function body.
+LOCK_LEVELS = {"table": 0, "row": 1}
+
+RULES = {
+    "L101": "set_annotations call outside the annotation-writer whitelist",
+    "L102": "PageSummary change state mutated outside storage/summary.py",
+    "L103": "page-summary write hook called outside the heap layer",
+    "L201": "wall-clock read outside txn/clock.py in a deterministic module",
+    "L202": "datetime.now/utcnow/today in a deterministic module",
+    "L203": "unseeded random use in a deterministic module",
+    "L301": "message class has no encode branch in WireCodec.encode_into",
+    "L302": "message class is never constructed in WireCodec._decode_one",
+    "L303": "message class defines no wire_size",
+    "L304": "wire type-tag count does not match message class count",
+    "L401": "lock acquired against the global table-before-row order",
+    "L402": "lock resource with an unknown hierarchy level",
+    "L501": "bare assert in library code (stripped under python -O)",
+}
+
+
+class Checker:
+    """Base: file-level by default; ``project_level`` runs once over all."""
+
+    project_level = False
+    rules: "Sequence[str]" = ()
+
+    def check(self, source: SourceFile) -> "Iterator[Violation]":
+        raise NotImplementedError
+
+    def check_project(
+        self, sources: "Sequence[SourceFile]"
+    ) -> "Iterator[Violation]":
+        raise NotImplementedError
+
+
+def _is_deterministic_module(logical: str) -> bool:
+    return logical.startswith(DETERMINISTIC_PREFIXES)
+
+
+class MutationDisciplineChecker(Checker):
+    """L1: annotation and page-summary writes stay in their owners."""
+
+    rules = ("L101", "L102", "L103")
+
+    def check(self, source: SourceFile) -> "Iterator[Violation]":
+        logical = source.logical
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                attr = node.func.attr
+                if attr == "set_annotations" and logical not in ANNOTATION_WRITERS:
+                    yield Violation(
+                        "L101",
+                        source.path,
+                        node.lineno,
+                        node.col_offset,
+                        "set_annotations may only be called from "
+                        f"{sorted(ANNOTATION_WRITERS)} (TimeStamp/PrevAddr "
+                        "are owned by the fix-up machinery)",
+                    )
+                elif attr in SUMMARY_HOOKS and logical not in SUMMARY_HOOK_CALLERS:
+                    yield Violation(
+                        "L103",
+                        source.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"page-summary hook {attr}() may only be called from "
+                        f"{sorted(SUMMARY_HOOK_CALLERS)}",
+                    )
+                elif (
+                    attr in ("add", "discard", "remove", "clear", "update")
+                    and isinstance(node.func.value, ast.Attribute)
+                    and node.func.value.attr == "null_slots"
+                    and logical not in SUMMARY_STATE_OWNER
+                ):
+                    yield Violation(
+                        "L102",
+                        source.path,
+                        node.lineno,
+                        node.col_offset,
+                        "null_slots may only be mutated inside "
+                        "storage/summary.py",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                if logical in SUMMARY_STATE_OWNER:
+                    continue
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr in SUMMARY_STATE_FIELDS
+                        and not (
+                            isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        )
+                    ):
+                        yield Violation(
+                            "L102",
+                            source.path,
+                            node.lineno,
+                            node.col_offset,
+                            f"PageSummary.{target.attr} may only be mutated "
+                            "inside storage/summary.py",
+                        )
+
+
+class DeterminismChecker(Checker):
+    """L2: core/net/storage/txn are functions of the site clock."""
+
+    rules = ("L201", "L202", "L203")
+
+    def check(self, source: SourceFile) -> "Iterator[Violation]":
+        logical = source.logical
+        if not _is_deterministic_module(logical) or logical in CLOCK_MODULES:
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in WALL_CLOCK_CALLS:
+                            yield Violation(
+                                "L201",
+                                source.path,
+                                node.lineno,
+                                node.col_offset,
+                                f"wall-clock import time.{alias.name}; read "
+                                "the site clock (txn/clock.py) instead",
+                            )
+                elif node.module == "random":
+                    yield Violation(
+                        "L203",
+                        source.path,
+                        node.lineno,
+                        node.col_offset,
+                        "random import in a deterministic module; derive "
+                        "jitter from the site clock (see net/retry.py)",
+                    )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                base = node.func.value
+                attr = node.func.attr
+                if isinstance(base, ast.Name):
+                    if base.id == "time" and attr in WALL_CLOCK_CALLS:
+                        yield Violation(
+                            "L201",
+                            source.path,
+                            node.lineno,
+                            node.col_offset,
+                            f"wall-clock call time.{attr}(); read the site "
+                            "clock (txn/clock.py) instead",
+                        )
+                    elif (
+                        base.id in ("datetime", "date")
+                        and attr in DATETIME_NOW_CALLS
+                    ):
+                        yield Violation(
+                            "L202",
+                            source.path,
+                            node.lineno,
+                            node.col_offset,
+                            f"{base.id}.{attr}() in a deterministic module; "
+                            "read the site clock (txn/clock.py) instead",
+                        )
+                    elif base.id == "random":
+                        if attr != "Random" or not (node.args or node.keywords):
+                            yield Violation(
+                                "L203",
+                                source.path,
+                                node.lineno,
+                                node.col_offset,
+                                f"unseeded random.{attr}() in a deterministic "
+                                "module; derive jitter from the site clock",
+                            )
+                elif (
+                    isinstance(base, ast.Attribute)
+                    and base.attr in ("datetime", "date")
+                    and attr in DATETIME_NOW_CALLS
+                ):
+                    yield Violation(
+                        "L202",
+                        source.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"datetime.{base.attr}.{attr}() in a deterministic "
+                        "module; read the site clock (txn/clock.py) instead",
+                    )
+
+
+def _message_classes(tree: ast.Module) -> "Dict[str, ast.ClassDef]":
+    """Concrete refresh-message classes: transitive RefreshMessage subs."""
+    classes: "Dict[str, ast.ClassDef]" = {}
+    bases: "Dict[str, List[str]]" = {}
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            classes[node.name] = node
+            bases[node.name] = [
+                base.id for base in node.bases if isinstance(base, ast.Name)
+            ]
+    derived: "Dict[str, ast.ClassDef]" = {}
+
+    def is_message(name: str, seen: "Set[str]") -> bool:
+        if name == "RefreshMessage":
+            return True
+        if name in seen or name not in bases:
+            return False
+        seen.add(name)
+        return any(is_message(base, seen) for base in bases[name])
+
+    for name, node in classes.items():
+        if name != "RefreshMessage" and is_message(name, set()):
+            derived[name] = node
+    return derived
+
+
+def _defines_wire_size(
+    name: str, classes: "Dict[str, ast.ClassDef]"
+) -> bool:
+    node = classes.get(name)
+    if node is None:
+        return False
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "wire_size":
+            return True
+    for base in node.bases:
+        if (
+            isinstance(base, ast.Name)
+            and base.id != "RefreshMessage"
+            and _defines_wire_size(base.id, classes)
+        ):
+            return True
+    return False
+
+
+def _find_function(
+    tree: ast.Module, class_name: str, func_name: str
+) -> "Optional[ast.FunctionDef]":
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) and item.name == func_name:
+                    return item
+    return None
+
+
+class CodecParityChecker(Checker):
+    """L3: every message class is registered end-to-end with the codec."""
+
+    project_level = True
+    rules = ("L301", "L302", "L303", "L304")
+
+    MESSAGES_MODULE = "core/messages.py"
+    WIRE_MODULE = "net/wire.py"
+
+    def check_project(
+        self, sources: "Sequence[SourceFile]"
+    ) -> "Iterator[Violation]":
+        by_logical = {source.logical: source for source in sources}
+        messages = by_logical.get(self.MESSAGES_MODULE)
+        wire = by_logical.get(self.WIRE_MODULE)
+        if messages is None or wire is None:
+            return  # partial file set: parity is unknowable, not wrong
+
+        message_classes = _message_classes(messages.tree)
+        all_classes = {
+            node.name: node
+            for node in messages.tree.body
+            if isinstance(node, ast.ClassDef)
+        }
+
+        encode = _find_function(wire.tree, "WireCodec", "encode_into")
+        encoded: "Set[str]" = set()
+        if encode is not None:
+            for node in ast.walk(encode):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "isinstance"
+                    and len(node.args) == 2
+                ):
+                    encoded.update(_class_names(node.args[1]))
+
+        decode = _find_function(wire.tree, "WireCodec", "_decode_one")
+        decoded: "Set[str]" = set()
+        if decode is not None:
+            for node in ast.walk(decode):
+                if isinstance(node, ast.Call):
+                    decoded.update(_class_names(node.func))
+
+        tag_lines = [
+            node.lineno
+            for node in wire.tree.body
+            if isinstance(node, ast.Assign)
+            and any(
+                isinstance(target, ast.Name) and target.id.startswith("_TAG_")
+                for target in node.targets
+            )
+        ]
+
+        for name in sorted(message_classes):
+            node = message_classes[name]
+            if name not in encoded:
+                yield Violation(
+                    "L301",
+                    messages.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"{name} has no isinstance branch in "
+                    "WireCodec.encode_into",
+                )
+            if name not in decoded:
+                yield Violation(
+                    "L302",
+                    messages.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"{name} is never constructed in WireCodec._decode_one",
+                )
+            if not _defines_wire_size(name, all_classes):
+                yield Violation(
+                    "L303",
+                    messages.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"{name} defines no wire_size (byte accounting would "
+                    "fall through to NotImplementedError)",
+                )
+        if tag_lines and len(tag_lines) != len(message_classes):
+            yield Violation(
+                "L304",
+                wire.path,
+                tag_lines[0],
+                0,
+                f"{len(tag_lines)} _TAG_ constants for "
+                f"{len(message_classes)} message classes",
+            )
+
+
+def _class_names(node: ast.AST) -> "Iterator[str]":
+    """Class names referenced by an isinstance arm or constructor call."""
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            yield from _class_names(element)
+    elif isinstance(node, ast.Attribute):
+        yield node.attr
+    elif isinstance(node, ast.Name):
+        yield node.id
+
+
+class LockOrderChecker(Checker):
+    """L4: within any function, locks are acquired in hierarchy order."""
+
+    rules = ("L401", "L402")
+
+    def check(self, source: SourceFile) -> "Iterator[Violation]":
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(source, node)
+
+    def _check_function(
+        self, source: SourceFile, func: ast.AST
+    ) -> "Iterator[Violation]":
+        deepest = -1
+        for node in _walk_shallow(func):
+            level = None
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("acquire", "locking")
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Tuple)
+                and node.args[1].elts
+                and isinstance(node.args[1].elts[0], ast.Constant)
+                and isinstance(node.args[1].elts[0].value, str)
+            ):
+                resource = node.args[1].elts[0].value
+                level = LOCK_LEVELS.get(resource)
+                if level is None:
+                    yield Violation(
+                        "L402",
+                        source.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"unknown lock level {resource!r}; the global order "
+                        f"knows {sorted(LOCK_LEVELS)}",
+                    )
+                    continue
+                if level < deepest:
+                    yield Violation(
+                        "L401",
+                        source.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"{resource!r} lock acquired after a deeper level; "
+                        "the global order is table before row",
+                    )
+                deepest = max(deepest, level)
+
+
+def _walk_shallow(func: ast.AST) -> "Iterator[ast.AST]":
+    """Walk a function body in source order, skipping nested functions."""
+    stack = list(reversed(getattr(func, "body", [])))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        children = list(ast.iter_child_nodes(node))
+        stack.extend(reversed(children))
+
+
+class BareAssertChecker(Checker):
+    """L5: runtime checks must survive ``python -O``."""
+
+    rules = ("L501",)
+
+    def check(self, source: SourceFile) -> "Iterator[Violation]":
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Assert):
+                yield Violation(
+                    "L501",
+                    source.path,
+                    node.lineno,
+                    node.col_offset,
+                    "assert is stripped under python -O; raise a "
+                    "repro.errors exception for runtime checks",
+                )
+
+
+ALL_CHECKERS: "List[Checker]" = [
+    MutationDisciplineChecker(),
+    DeterminismChecker(),
+    CodecParityChecker(),
+    LockOrderChecker(),
+    BareAssertChecker(),
+]

@@ -1,0 +1,187 @@
+"""The replint engine: file collection, suppression, and checker driving.
+
+A :class:`SourceFile` pairs a parsed AST with the file's *logical path* —
+its location relative to the ``repro`` package root (``core/fixup.py``,
+``table.py``) — because every repo-specific rule is scoped by module, not
+by filesystem layout.  Tests lint fixture files by loading them with an
+explicit logical path, so a fixture in ``tests/lint/fixtures`` can be
+checked as if it lived in ``core/``.
+
+Suppression: a line ending in ``# replint: ignore[L501]`` (or a
+comma-separated rule list, or no bracket to ignore every rule) is exempt
+from the named rules on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*replint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
+)
+
+
+class Violation:
+    """One rule firing at one source location."""
+
+    __slots__ = ("rule", "path", "line", "col", "message")
+
+    def __init__(
+        self, rule: str, path: str, line: int, col: int, message: str
+    ) -> None:
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.col = col
+        self.message = message
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def __repr__(self) -> str:
+        return f"Violation({self.format()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Violation):
+            return NotImplemented
+        return (
+            self.rule == other.rule
+            and self.path == other.path
+            and self.line == other.line
+            and self.col == other.col
+            and self.message == other.message
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.rule, self.path, self.line, self.col))
+
+
+class SourceFile:
+    """One parsed source file plus its logical (package-relative) path."""
+
+    __slots__ = ("path", "logical", "text", "tree", "suppressions")
+
+    def __init__(
+        self, path: str, logical: str, text: str, tree: ast.Module
+    ) -> None:
+        self.path = path
+        self.logical = logical
+        self.text = text
+        self.tree = tree
+        #: line -> set of suppressed rule ids (empty set = all rules).
+        self.suppressions: "Dict[int, Set[str]]" = _parse_suppressions(text)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        if rules is None:
+            return False
+        return not rules or rule in rules
+
+    def __repr__(self) -> str:
+        return f"SourceFile({self.logical})"
+
+
+def _parse_suppressions(text: str) -> "Dict[int, Set[str]]":
+    out: "Dict[int, Set[str]]" = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        spec = match.group("rules")
+        if spec is None:
+            out[lineno] = set()
+        else:
+            out[lineno] = {rule.strip() for rule in spec.split(",") if rule.strip()}
+    return out
+
+
+def logical_path(path: str, package_root: Optional[str] = None) -> str:
+    """The module-relative path rules are scoped by.
+
+    With ``package_root`` given, the path is taken relative to it.
+    Otherwise the last ``repro`` directory component anchors the logical
+    path (``src/repro/core/fixup.py`` -> ``core/fixup.py``); files
+    outside any ``repro`` directory keep their basename.
+    """
+    normalized = path.replace(os.sep, "/")
+    if package_root is not None:
+        root = package_root.replace(os.sep, "/").rstrip("/")
+        relative = os.path.relpath(normalized, root)
+        return relative.replace(os.sep, "/")
+    parts = normalized.split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1 :])
+    return parts[-1]
+
+
+def load_source(
+    path: str,
+    logical: Optional[str] = None,
+    package_root: Optional[str] = None,
+) -> SourceFile:
+    """Read and parse one file (raises ``SyntaxError`` on bad source)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    tree = ast.parse(text, filename=path)
+    if logical is None:
+        logical = logical_path(path, package_root)
+    return SourceFile(path, logical, text, tree)
+
+
+def collect_sources(
+    paths: "Sequence[str]", package_root: Optional[str] = None
+) -> "List[SourceFile]":
+    """Every ``.py`` file under ``paths``, parsed, in sorted order."""
+    files: "List[str]" = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    name for name in dirnames if name != "__pycache__"
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        files.append(os.path.join(dirpath, filename))
+        else:
+            files.append(path)
+    return [load_source(path, package_root=package_root) for path in files]
+
+
+def lint_sources(
+    sources: "Sequence[SourceFile]",
+    checkers: Optional[Iterable] = None,
+) -> "List[Violation]":
+    """Run every checker over ``sources``; suppressed findings dropped."""
+    if checkers is None:
+        from repro.lint.checkers import ALL_CHECKERS
+
+        checkers = ALL_CHECKERS
+    by_path = {source.path: source for source in sources}
+    violations: "List[Violation]" = []
+    for checker in checkers:
+        if checker.project_level:
+            violations.extend(checker.check_project(sources))
+        else:
+            for source in sources:
+                violations.extend(checker.check(source))
+    kept = [
+        violation
+        for violation in violations
+        if not (
+            violation.path in by_path
+            and by_path[violation.path].suppressed(violation.rule, violation.line)
+        )
+    ]
+    kept.sort(key=lambda violation: (violation.path, violation.line, violation.rule))
+    return kept
+
+
+def lint_paths(
+    paths: "Sequence[str]", package_root: Optional[str] = None
+) -> "List[Violation]":
+    """Collect, parse, and lint every ``.py`` file under ``paths``."""
+    return lint_sources(collect_sources(paths, package_root=package_root))

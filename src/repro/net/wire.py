@@ -519,7 +519,9 @@ class WireCodec:
             )
         return messages
 
-    def receiver(self, logical_receiver: "Callable[[Any], None]"):
+    def receiver(
+        self, logical_receiver: "Callable[[Any], None]"
+    ) -> "Callable[[Any], None]":
         """Wrap a logical receiver so it can be attached to a frame stream."""
 
         def decode_and_apply(frame: Any) -> None:

@@ -9,10 +9,9 @@ ignore NULLs, and SUM/AVG/MIN/MAX over zero non-NULL inputs yield NULL.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Tuple
+from typing import Any, Iterator, Tuple
 
 from repro.errors import EvaluationError
-from repro.query.parser import SelectItem
 from repro.query.plan import (
     Aggregate,
     Filter,

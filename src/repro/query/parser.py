@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.errors import ParseError
+from repro.errors import InternalError, ParseError
 from repro.expr.lexer import Token, tokenize
 from repro.expr.nodes import Expr
 from repro.expr.parser import parse_expression
@@ -55,7 +55,8 @@ class SelectItem:
         if self.is_aggregate:
             inner = self.argument.sql() if self.argument is not None else "*"
             return f"{self.aggregate.lower()}({inner})"
-        assert self.expr is not None
+        if self.expr is None:
+            raise InternalError("non-aggregate select item has no expression")
         return self.expr.sql()
 
     def __repr__(self) -> str:

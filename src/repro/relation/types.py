@@ -40,7 +40,7 @@ class NullValue:
     def __bool__(self) -> bool:
         return False
 
-    def __reduce__(self):
+    def __reduce__(self) -> "tuple[type, tuple]":
         # Keep the singleton property through pickling.
         return (NullValue, ())
 

@@ -44,12 +44,16 @@ Summaries are keyed by ``(page, slot)`` — never by byte offsets — so
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.relation.row import decode_fields
 from repro.relation.schema import Schema
 from repro.relation.types import NULL
 from repro.storage.rid import Rid
+
+if TYPE_CHECKING:  # imported lazily: heap.py is a client of this module
+    from repro.storage.heap import HeapFile
+    from repro.storage.page import SlottedPage
 
 
 class PageSummary:
@@ -223,7 +227,7 @@ class PageSummaryMap:
         summary.page_version += 1
         self._absorb(summary, rid.slot_no, body)
 
-    def note_delete(self, rid: Rid, page) -> None:
+    def note_delete(self, rid: Rid, page: "SlottedPage") -> None:
         summary = self.get_or_create(rid.page_no)
         summary.page_version += 1
         summary.null_slots.discard(rid.slot_no)
@@ -242,7 +246,7 @@ class PageSummaryMap:
 
     # -- bulk (re)construction ------------------------------------------------
 
-    def rebuild(self, heap) -> None:
+    def rebuild(self, heap: "HeapFile") -> None:
         """Recompute every summary from the heap's current contents.
 
         Used when annotations (and with them summaries) are enabled on a

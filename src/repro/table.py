@@ -30,8 +30,8 @@ from typing import Any, Iterator, Optional, Sequence
 
 from repro.errors import (
     CatalogError,
+    InternalError,
     PageFullError,
-    RecordNotFoundError,
     SchemaError,
 )
 from repro.relation.row import Row, decode_row, encode_row
@@ -227,14 +227,14 @@ class Table(UndoInterface):
 
     def _chain_all(self) -> None:
         """Stamp and chain every row (eager-mode bootstrap)."""
-        assert self._live is not None
+        live = self._require_live()
         now = self.db.clock.tick()
         prev = Rid.BEGIN
         for rid, body in self.heap.scan():
             row = decode_row(self.schema, body)
             stamped = row.replace(self.schema, **{PREVADDR: prev, TIMESTAMP: now})
             self.heap.update(rid, encode_row(self.schema, stamped))
-            self._live.insert(rid.key(), rid)
+            live.insert(rid.key(), rid)
             prev = rid
 
     def annotations(self, rid: Rid) -> "tuple[Any, Any]":
@@ -280,6 +280,14 @@ class Table(UndoInterface):
     def _require_annotations(self) -> None:
         if not self.has_annotations:
             raise CatalogError(f"table {self.name!r} has no annotations")
+
+    def _require_live(self) -> BPlusTree:
+        if self._live is None:
+            raise InternalError(
+                f"table {self.name!r}: eager-mode maintenance invoked "
+                "without a live-address index"
+            )
+        return self._live
 
     # -- encode/decode helpers -------------------------------------------------
 
@@ -459,14 +467,12 @@ class Table(UndoInterface):
     # -- eager-mode maintenance -------------------------------------------------
 
     def _successor(self, rid: Rid) -> Optional[Rid]:
-        assert self._live is not None
-        for _, value in self._live.range(lo=rid.key(), include_lo=False):
+        for _, value in self._require_live().range(lo=rid.key(), include_lo=False):
             return value
         return None
 
     def _predecessor(self, rid: Rid) -> Optional[Rid]:
-        assert self._live is not None
-        item = self._live.floor_item(rid.key())
+        item = self._require_live().floor_item(rid.key())
         return item[1] if item is not None else None
 
     def _eager_insert(self, values: Sequence[Any], txn: Transaction) -> Rid:
@@ -477,7 +483,7 @@ class Table(UndoInterface):
         table, and the PrevAddr in the next entry must be set to the
         address of the new entry."
         """
-        assert self._live is not None
+        live = self._require_live()
         now = self.db.clock.tick()
         # Insert with placeholder annotations, then fix once the address
         # is known (the heap chooses placement).
@@ -496,7 +502,7 @@ class Table(UndoInterface):
             self.set_annotations(
                 rid, prev=predecessor if predecessor is not None else Rid.BEGIN
             )
-        self._live.insert(rid.key(), rid)
+        live.insert(rid.key(), rid)
         final = self.heap.read(rid)
         self.db.txns.record_operation(
             txn, LogRecordType.INSERT, self.name, rid, None, final

@@ -22,9 +22,9 @@ from __future__ import annotations
 import enum
 from typing import Callable, Optional
 
-from repro.errors import TransactionError
+from repro.errors import InternalError, TransactionError
 from repro.storage.rid import Rid
-from repro.txn.locks import LockManager, LockMode
+from repro.txn.locks import LockManager
 from repro.txn.wal import LogRecord, LogRecordType, WriteAheadLog
 
 
@@ -157,10 +157,16 @@ class TransactionManager:
             if entry.rtype is LogRecordType.INSERT:
                 table.raw_delete(entry.rid)
             elif entry.rtype is LogRecordType.UPDATE:
-                assert entry.before is not None
+                if entry.before is None:
+                    raise InternalError(
+                        "update undo entry carries no before-image"
+                    )
                 table.raw_update(entry.rid, entry.before)
             elif entry.rtype is LogRecordType.DELETE:
-                assert entry.before is not None
+                if entry.before is None:
+                    raise InternalError(
+                        "delete undo entry carries no before-image"
+                    )
                 table.raw_insert_at(entry.rid, entry.before)
         self.wal.append(txn.txn_id, LogRecordType.ABORT)
         txn.status = TxnStatus.ABORTED
@@ -184,7 +190,8 @@ class AutoCommit:
         return self.txn
 
     def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
-        assert self.txn is not None
+        if self.txn is None:
+            raise InternalError("AutoCommit exited without being entered")
         if self.txn.status is TxnStatus.ACTIVE:
             if exc_type is None:
                 self.txn.commit()

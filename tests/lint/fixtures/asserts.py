@@ -1,0 +1,16 @@
+"""Seeded L5 violations; linted with logical path ``core/checks.py``."""
+
+
+def protocol_check(value):
+    assert value is not None  # line 5: L501
+    return value
+
+
+def waived_check(value):
+    assert value is not None  # replint: ignore[L501]
+    return value
+
+
+def waived_everything(value):
+    assert value is not None  # replint: ignore
+    return value

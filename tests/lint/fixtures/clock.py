@@ -1,0 +1,22 @@
+"""Seeded L2 violations; linted with logical path ``core/jitter.py``."""
+
+import random
+import time
+from datetime import datetime
+from time import time_ns  # line 6: L201
+
+
+def wall_clock():
+    return time.time()  # line 10: L201
+
+
+def wall_date():
+    return datetime.now()  # line 14: L202
+
+
+def unseeded_jitter():
+    return random.random()  # line 18: L203
+
+
+def seeded_is_fine(seed):
+    return random.Random(seed).random()  # seeded generator: no violation

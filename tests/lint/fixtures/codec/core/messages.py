@@ -1,0 +1,17 @@
+"""Codec-parity fixture: one fully registered message, one orphan."""
+
+
+class RefreshMessage:
+    counts_as_entry = True
+
+    def wire_size(self):
+        raise NotImplementedError
+
+
+class GoodMessage(RefreshMessage):
+    def wire_size(self):
+        return 1
+
+
+class OrphanMessage(RefreshMessage):  # line 16: L301 + L302 + L303
+    pass

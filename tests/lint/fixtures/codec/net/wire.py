@@ -1,0 +1,18 @@
+"""Codec-parity fixture: the codec side, with one tag too many."""
+
+from codec.core import messages as msg
+
+_TAG_GOOD = 1  # line 5: L304 (3 tags, 2 message classes)
+_TAG_ORPHAN = 2
+_TAG_EXTRA = 3
+
+
+class WireCodec:
+    def encode_into(self, message, out):
+        if isinstance(message, msg.GoodMessage):
+            out.append(_TAG_GOOD)
+
+    def _decode_one(self, tag, payload):
+        if tag == _TAG_GOOD:
+            return msg.GoodMessage()
+        return None

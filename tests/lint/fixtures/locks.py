@@ -1,0 +1,15 @@
+"""Seeded L4 violations; linted with logical path ``txn/rogue.py``."""
+
+
+def inverted_order(locks, owner, name, rid, mode):
+    locks.acquire(owner, ("row", name, rid), mode)
+    locks.acquire(owner, ("table", name), mode)  # line 6: L401
+
+
+def unknown_level(locks, owner, name, mode):
+    locks.acquire(owner, ("partition", name), mode)  # line 10: L402
+
+
+def correct_order(locks, owner, name, rid, mode):
+    locks.acquire(owner, ("table", name), mode)
+    locks.acquire(owner, ("row", name, rid), mode)

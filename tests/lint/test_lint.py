@@ -1,0 +1,119 @@
+"""replint: each checker fires its exact rule IDs on seeded fixtures."""
+
+import os
+import subprocess
+import sys
+
+from repro.lint import RULES, lint_paths, lint_sources, load_source
+from repro.lint.engine import collect_sources, logical_path
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def fixture(name, logical):
+    return load_source(os.path.join(FIXTURES, name), logical=logical)
+
+
+def fired(violations):
+    return [(v.rule, v.line) for v in violations]
+
+
+class TestMutationDiscipline:
+    def test_rogue_writes_fire_exact_rules_and_lines(self):
+        violations = lint_sources([fixture("mutation.py", "core/rogue.py")])
+        assert fired(violations) == [
+            ("L101", 5),
+            ("L102", 9),
+            ("L102", 10),
+            ("L103", 14),
+        ]
+
+    def test_whitelisted_module_is_clean(self):
+        violations = lint_sources([fixture("mutation.py", "core/fixup.py")])
+        assert [v.rule for v in violations if v.rule == "L101"] == []
+
+
+class TestDeterminism:
+    def test_wall_clock_datetime_and_random_fire(self):
+        violations = lint_sources([fixture("clock.py", "core/jitter.py")])
+        assert fired(violations) == [
+            ("L201", 6),
+            ("L201", 10),
+            ("L202", 14),
+            ("L203", 18),
+        ]
+
+    def test_clock_module_is_exempt(self):
+        violations = lint_sources([fixture("clock.py", "txn/clock.py")])
+        assert violations == []
+
+    def test_non_deterministic_dirs_are_exempt(self):
+        violations = lint_sources([fixture("clock.py", "workload/gen.py")])
+        assert violations == []
+
+
+class TestCodecParity:
+    def test_orphan_message_and_tag_mismatch(self):
+        codec_root = os.path.join(FIXTURES, "codec")
+        violations = lint_sources(
+            collect_sources([codec_root], package_root=codec_root)
+        )
+        assert fired(violations) == [
+            ("L301", 16),
+            ("L302", 16),
+            ("L303", 16),
+            ("L304", 5),
+        ]
+
+
+class TestLockOrder:
+    def test_inversion_and_unknown_level(self):
+        violations = lint_sources([fixture("locks.py", "txn/rogue.py")])
+        assert fired(violations) == [("L401", 6), ("L402", 10)]
+
+
+class TestBareAssert:
+    def test_assert_fires_and_suppressions_hold(self):
+        violations = lint_sources([fixture("asserts.py", "core/checks.py")])
+        assert fired(violations) == [("L501", 5)]
+
+
+class TestEngine:
+    def test_logical_path_anchors_at_repro(self):
+        assert logical_path("src/repro/core/fixup.py") == "core/fixup.py"
+        assert logical_path("/a/b/repro/table.py") == "table.py"
+        assert logical_path("elsewhere/module.py") == "module.py"
+
+    def test_every_rule_id_is_documented(self):
+        assert set(RULES) == {
+            "L101", "L102", "L103",
+            "L201", "L202", "L203",
+            "L301", "L302", "L303", "L304",
+            "L401", "L402",
+            "L501",
+        }
+
+    def test_clean_tree_has_no_violations(self):
+        assert lint_paths([os.path.join(REPO_ROOT, "src")]) == []
+
+    def test_cli_exit_codes(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        clean = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+        dirty = subprocess.run(
+            [sys.executable, "-m", "repro.lint", FIXTURES],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert dirty.returncode == 1
+        assert "L501" in dirty.stdout
