@@ -149,6 +149,12 @@ def _measure(n: int, k: int, use_summaries: bool):
         "decode_savings": outcome.decode_savings,
         "entries_sent": stats.entries_sent,
         "bytes_sent": stats.bytes_sent,
+        # Columnar-batch counters (A17).  The group baseline keeps
+        # batch off, so these pin it at zero; bench_batch.py measures
+        # the batch path itself.
+        "pages_batch_decoded_group": stats.pages_batch_decoded,
+        "batches_reused_group": stats.batches_reused,
+        "rows_materialized_group": stats.rows_materialized,
     }
 
 

@@ -111,6 +111,13 @@ def _sweep(n: int):
                 "rows_decoded_off": r_off.rows_decoded,
                 "rows_decoded_on": r_on.rows_decoded,
                 "buffer_hit_rate_on": r_on.buffer_hit_rate,
+                # Columnar-batch counters (A17).  This bench keeps the
+                # per-row baseline (batch off), so these pin the
+                # baseline at zero; bench_batch.py measures the batch
+                # path itself.
+                "pages_batch_decoded": r_on.pages_batch_decoded,
+                "batches_reused": r_on.batches_reused,
+                "rows_materialized": r_on.rows_materialized,
             }
         )
     return rows, samples

@@ -178,6 +178,9 @@ class RefreshResult:
         "group_cursors",
         "entries_evaluated",
         "pages_fast_forwarded",
+        "pages_batch_decoded",
+        "batches_reused",
+        "rows_materialized",
     )
 
     def __init__(self) -> None:
@@ -212,6 +215,17 @@ class RefreshResult:
         #: page for other cursors.  Equals ``pages_skipped`` for a solo
         #: refresh.
         self.pages_fast_forwarded = 0
+        #: Pages served through the columnar batch path (a subset of
+        #: ``pages_scanned``; the remainder took the per-row path).
+        self.pages_batch_decoded = 0
+        #: Of the batch-served pages, how many reused a cached
+        #: :class:`~repro.storage.batch.PageBatch` (same page version)
+        #: instead of re-extracting under a pin.
+        self.batches_reused = 0
+        #: Full-row decodes charged to batch-served pages — the batch
+        #: path's analogue of ``rows_decoded``, which it leaves at the
+        #: per-row path's count so the decode saving stays visible.
+        self.rows_materialized = 0
 
     @property
     def buffer_hit_rate(self) -> float:
@@ -434,6 +448,76 @@ class RefreshCursor:
                     # "Updated entry ==> may have qualified before".
                     self.deletion = True
 
+    def serve_batch(self, batch) -> None:
+        """Apply one *eligible* page's columnar batch to this cursor.
+
+        Equivalent to calling :meth:`observe` for every live entry in
+        slot order, specialized for the facts the scan's eligibility
+        test proved about the page: no entry is a pure insert or
+        carries a NULL annotation, and the scan performs no fix-up
+        write on it (so ``anomaly`` is False throughout).  The Figure-3
+        inputs that remain — each entry's timestamp and qualification —
+        come from the batch's columnar array and memoized
+        qualification index instead of per-row probes, and full rows
+        are materialized only for entries actually transmitted.
+        """
+        result = self.result
+        count = batch.count
+        result.scanned += count
+        result.entries_evaluated += count
+        qual = batch.qualifying(self.restriction)
+        nqual = len(qual)
+        snap_time = self.snap_time
+        ts = batch.ts
+        if not nqual:
+            # Unqualified-but-changed entries still arm the Deletion
+            # flag ("may have qualified before") for the next page.
+            if not self.deletion and batch.max_live_ts > snap_time:
+                self.deletion = True
+            return
+        result.qualified += nqual
+        page_no = batch.page_no
+        slots = batch.slots
+        self._page_qual_count += nqual
+        if self._page_first_qual is None:
+            self._page_first_qual = Rid(page_no, slots[qual[0]])
+        last_qual_rid = Rid(page_no, slots[qual[nqual - 1]])
+        self._page_last_qual = last_qual_rid
+        if batch.max_live_ts <= snap_time and not self.deletion:
+            # Nothing on the page is newer than SnapTime and no
+            # deletion is pending: every qualified entry is carried
+            # unchanged and the flag cannot arm mid-page.
+            if self._staged_values is not None:
+                for qi in qual:
+                    self._carry_value(Rid(page_no, slots[qi]))
+            self.last_qual = last_qual_rid
+            return
+        qi = 0
+        next_qual = qual[0]
+        for index in range(count):
+            changed = ts[index] > snap_time
+            if index == next_qual:
+                rid = Rid(page_no, slots[index])
+                if changed or self.deletion:
+                    if self.optimize_deletes and not changed:
+                        self.transmit(DeleteRangeMessage(self.last_qual, rid))
+                        self._carry_value(rid)
+                    else:
+                        projected = self.projection(batch.row(index))
+                        self.transmit(self._value_message(rid, projected))
+                        if self._staged_values is not None:
+                            self._staged_values.setdefault(page_no, {})[
+                                rid
+                            ] = projected.values
+                else:
+                    self._carry_value(rid)
+                self.last_qual = rid
+                self.deletion = False
+                qi += 1
+                next_qual = qual[qi] if qi < nqual else -1
+            elif changed:
+                self.deletion = True
+
     def _value_message(self, rid: Rid, projected: Row) -> RefreshMessage:
         """Full entry, or a per-column delta when the mirror allows it.
 
@@ -501,6 +585,7 @@ def run_refresh_scan(
     fixup: Optional[bool] = None,
     use_page_summaries: bool = False,
     isolate_failures: bool = False,
+    batch_mode: bool = False,
 ) -> RefreshResult:
     """One combined fix-up + refresh pass serving every cursor.
 
@@ -519,6 +604,20 @@ def run_refresh_scan(
     others performs no fix-up writes and cannot invalidate the skipper's
     cached state.
 
+    With ``batch_mode`` a page that must be read is first offered as a
+    columnar :class:`~repro.storage.batch.PageBatch` (cached on the
+    buffer pool by page version).  A page is *eligible* when the batch
+    proves the scan would neither write to it nor detect an anomaly at
+    it: no NULL annotations anywhere, and under fix-up an intact
+    intra-page chain whose first ``PrevAddr`` equals the scan's
+    ``ExpectPrev`` with no trailing insert pending
+    (``last_addr == expect_prev``).  Eligible pages are served to every
+    scanning cursor from the batch's arrays — byte-identical streams,
+    since every :meth:`RefreshCursor.observe` input is then determined
+    by the timestamp column and the memoized qualification index —
+    while ineligible pages (and tables without trailing annotations)
+    fall back to the per-row path unchanged.
+
     With ``isolate_failures`` a :class:`~repro.errors.ChannelError` on
     one cursor's output marks that cursor failed and the pass continues
     for the rest; otherwise (the solo path) the error propagates.  The
@@ -527,6 +626,9 @@ def run_refresh_scan(
     if fixup is None:
         fixup = table.annotation_mode == "lazy"
     schema = table.schema
+    # The batch extractor reads annotations as a fixed record tail; a
+    # schema without that layout always takes the per-row path.
+    batch_mode = batch_mode and table._ann_trailing
     prev_pos = schema.position(PREVADDR)
     ts_pos = schema.position(TIMESTAMP)
 
@@ -618,6 +720,61 @@ def run_refresh_scan(
         stats.pages_scanned += 1
         for cursor in scanning:
             cursor.begin_page()
+
+        if batch_mode and heap.summaries is not None:
+            # A summary reporting NULL slots dooms eligibility before
+            # extraction; don't build (and cache) a batch the fix-up
+            # pass is about to invalidate anyway.
+            if heap.summaries.get_or_create(page_no).null_slots:
+                looked = None
+            else:
+                looked = heap.page_batch(page_no, schema)
+            if looked is not None:
+                batch, reused = looked
+                if not batch.has_nulls and (
+                    not fixup
+                    or (
+                        batch.chain_ok
+                        and last_addr == expect_prev
+                        and (
+                            batch.count == 0
+                            or batch.first_prev == expect_prev
+                        )
+                    )
+                ):
+                    # The batch proves the scan writes nothing here and
+                    # detects no anomaly: serve every cursor columnar.
+                    stats.pages_batch_decoded += 1
+                    if reused:
+                        stats.batches_reused += 1
+                    stats.scanned += batch.count
+                    decodes_before = batch.materializations
+                    for cursor in scanning:
+                        if cursor.failed:
+                            continue
+                        if isolate_failures:
+                            try:
+                                cursor.serve_batch(batch)
+                            except ChannelError as error:
+                                cursor.fail(error)
+                        else:
+                            cursor.serve_batch(batch)
+                    stats.rows_materialized += (
+                        batch.materializations - decodes_before
+                    )
+                    last = batch.last_rid()
+                    if last is not None:
+                        last_addr = last
+                        expect_prev = last
+                    if summaries is not None:
+                        for cursor in scanning:
+                            if cursor.failed or cursor.cache is None:
+                                continue
+                            cursor.record_page(
+                                page_no, batch.version, batch.first_prev, last
+                            )
+                    continue
+
         page_first_prev: "Optional[Rid]" = None
         page_last_live: "Optional[Rid]" = None
         first_on_page = True
@@ -757,6 +914,7 @@ class DifferentialRefresher:
         suppress_pure_inserts: bool = False,
         use_page_summaries: bool = False,
         delta_updates: bool = False,
+        batch_mode: bool = False,
     ) -> None:
         if not table.has_annotations:
             raise RefreshMethodError(
@@ -768,6 +926,10 @@ class DifferentialRefresher:
         self.use_page_summaries = use_page_summaries
         #: Send per-column UpdateDeltaMessages on value-cache hits.
         self.delta_updates = delta_updates
+        #: Serve eligible pages through the columnar batch path.  Off by
+        #: default so a directly constructed refresher keeps the
+        #: per-row baseline; the manager turns it on.
+        self.batch_mode = batch_mode
         # Fallback caches for callers that do not thread per-snapshot
         # caches through `refresh(cache=..., value_cache=...)`; valid
         # only for one restriction (i.e. one snapshot) at a time.
@@ -829,6 +991,7 @@ class DifferentialRefresher:
             (cursor,),
             fixup=fixup,
             use_page_summaries=self.use_page_summaries,
+            batch_mode=self.batch_mode,
         )
         if own_value_cache:
             value_cache.commit()
@@ -841,6 +1004,9 @@ class DifferentialRefresher:
         result.deletions_detected = stats.deletions_detected
         result.buffer_hits = stats.buffer_hits
         result.buffer_misses = stats.buffer_misses
+        result.pages_batch_decoded = stats.pages_batch_decoded
+        result.batches_reused = stats.batches_reused
+        result.rows_materialized = stats.rows_materialized
         return result
 
 

@@ -109,7 +109,12 @@ class GroupRefresher:
     summary-on and summary-off snapshots without changing any stream).
     """
 
-    def __init__(self, table: Table, use_page_summaries: bool = False) -> None:
+    def __init__(
+        self,
+        table: Table,
+        use_page_summaries: bool = False,
+        batch_mode: bool = False,
+    ) -> None:
         if not table.has_annotations:
             raise RefreshMethodError(
                 f"group differential refresh requires annotations on "
@@ -117,6 +122,9 @@ class GroupRefresher:
             )
         self.table = table
         self.use_page_summaries = use_page_summaries
+        #: Serve eligible pages through the columnar batch path (see
+        #: :func:`~repro.core.differential.run_refresh_scan`).
+        self.batch_mode = batch_mode
 
     def refresh_group(
         self,
@@ -139,6 +147,7 @@ class GroupRefresher:
             fixup=fixup,
             use_page_summaries=self.use_page_summaries,
             isolate_failures=True,
+            batch_mode=self.batch_mode,
         )
         stats = outcome.pass_result
         for index, cursor in enumerate(cursors):
@@ -153,6 +162,9 @@ class GroupRefresher:
             result.deletions_detected = stats.deletions_detected
             result.buffer_hits = stats.buffer_hits
             result.buffer_misses = stats.buffer_misses
+            result.pages_batch_decoded = stats.pages_batch_decoded
+            result.batches_reused = stats.batches_reused
+            result.rows_materialized = stats.rows_materialized
             if cursor.failed:
                 outcome.errors[name] = cursor.error
             else:

@@ -171,6 +171,7 @@ class SnapshotManager:
         cost_model: Optional[CostModel] = None,
         use_page_summaries: bool = True,
         retry_policy: Optional[RetryPolicy] = None,
+        batch_mode: bool = True,
     ) -> None:
         self.db = db
         self.cost_model = cost_model if cost_model is not None else CostModel()
@@ -178,6 +179,10 @@ class SnapshotManager:
         #: full-scan baseline is reproduced by passing False (or by
         #: constructing a DifferentialRefresher directly).
         self.use_page_summaries = use_page_summaries
+        #: Serve eligible pages through the columnar batch path.  On by
+        #: default (streams are byte-identical either way); pass False
+        #: to measure the per-row baseline.
+        self.batch_mode = batch_mode
         #: When set, every refresh retries link/epoch failures under this
         #: policy instead of raising them (overridable per call).
         self.retry_policy = retry_policy
@@ -274,6 +279,7 @@ class SnapshotManager:
                 suppress_pure_inserts=suppress_pure_inserts,
                 use_page_summaries=self.use_page_summaries,
                 delta_updates=delta_updates,
+                batch_mode=self.batch_mode,
             )
         elif plan.method is RefreshMethod.FULL:
             refresher = FullRefresher(table)
@@ -534,6 +540,7 @@ class SnapshotManager:
                 use_page_summaries=any(
                     cursor.cache is not None for cursor in cursors
                 ),
+                batch_mode=self.batch_mode,
             )
             group.refresh_group(cursors)
 

@@ -26,6 +26,14 @@ sections behind them):
     ``L304``  The number of ``_TAG_`` wire-type constants does not match
               the number of concrete message classes.
 
+**L3 — wire-codec parity (batch hot path)**
+    ``L305``  Per-field codec call (``write_uvarint``, ``_encode_value``,
+              bare ``struct.pack``/``unpack`` …) inside a designated
+              batch-path module: those modules promise whole-frame
+              cursor work; per-field calls there are the slow path
+              leaking back in.  Cold fallbacks carry an explicit
+              ``# replint: ignore[L305]``.
+
 **L4 — lock acquisition order**
     ``L401``  Locks acquired against the global table-before-row order.
     ``L402``  Lock resource uses an unknown hierarchy level.
@@ -100,6 +108,7 @@ RULES = {
     "L302": "message class is never constructed in WireCodec._decode_one",
     "L303": "message class defines no wire_size",
     "L304": "wire type-tag count does not match message class count",
+    "L305": "per-field codec call inside a designated batch-path module",
     "L401": "lock acquired against the global table-before-row order",
     "L402": "lock resource with an unknown hierarchy level",
     "L501": "bare assert in library code (stripped under python -O)",
@@ -440,6 +449,79 @@ def _class_names(node: ast.AST) -> "Iterator[str]":
         yield node.id
 
 
+#: Modules that promise whole-frame/whole-page cursor work: their hot
+#: paths must not fall back to per-field codec calls.
+BATCH_PATH_MODULES = {"net/wirebatch.py", "storage/batch.py"}
+
+#: Per-field codec entry points banned inside batch-path modules.
+PER_FIELD_CODEC_CALLS = {
+    "write_uvarint",
+    "write_svarint",
+    "read_uvarint",
+    "read_svarint",
+    "_encode_value",
+    "_decode_value",
+}
+
+#: ``struct`` module calls that encode/decode one field at a time when
+#: written without a precompiled ``Struct`` (whole-directory unpacks
+#: through a precompiled ``Struct`` object are the idiom; bare
+#: ``struct.pack(...)`` per field is the slow path).
+PER_FIELD_STRUCT_CALLS = {"pack", "pack_into", "unpack", "unpack_from"}
+
+
+class BatchPathChecker(Checker):
+    """L305: batch-path modules stay vectorized.
+
+    ``net/wirebatch.py`` and ``storage/batch.py`` exist to replace
+    per-field encode/decode calls with one flat cursor per frame (or
+    one directory walk per page).  A per-field call creeping back into
+    them silently reverts the hot path to per-message speed, which no
+    byte-identity test can catch — only a throughput regression would.
+    Deliberate cold fallbacks (exotic column types) carry
+    ``# replint: ignore[L305]``.
+    """
+
+    rules = ("L305",)
+
+    def check(self, source: SourceFile) -> "Iterator[Violation]":
+        if source.logical not in BATCH_PATH_MODULES:
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in PER_FIELD_CODEC_CALLS:
+                yield Violation(
+                    "L305",
+                    source.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"per-field codec call {name}() in a batch-path module; "
+                    "use the flat-cursor fast path (or mark a deliberate "
+                    "cold fallback with replint: ignore[L305])",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "struct"
+                and func.attr in PER_FIELD_STRUCT_CALLS
+            ):
+                yield Violation(
+                    "L305",
+                    source.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"bare struct.{func.attr}() in a batch-path module; "
+                    "precompile a Struct for the whole span instead",
+                )
+
+
 class LockOrderChecker(Checker):
     """L4: within any function, locks are acquired in hierarchy order."""
 
@@ -524,6 +606,7 @@ ALL_CHECKERS: "List[Checker]" = [
     MutationDisciplineChecker(),
     DeterminismChecker(),
     CodecParityChecker(),
+    BatchPathChecker(),
     LockOrderChecker(),
     BareAssertChecker(),
 ]

@@ -41,6 +41,7 @@ from typing import Any, Callable, List, Optional, Sequence
 
 from repro.core import messages as msg
 from repro.errors import WireError
+from repro.net import wirebatch
 from repro.relation.row import encoded_fields_size
 from repro.relation.schema import Schema
 from repro.relation.types import (
@@ -149,18 +150,30 @@ def _decode_value(ctype: Any, data: bytes, offset: int) -> "tuple[Any, int]":
         end = offset + length
         if end > len(data):
             raise WireError("truncated string value")
-        return data[offset:end].decode("utf-8"), end
+        try:
+            return data[offset:end].decode("utf-8"), end
+        except UnicodeDecodeError as error:
+            raise WireError(f"malformed string value: {error}") from None
     if isinstance(ctype, FloatType):
-        (value,) = _FLOAT.unpack_from(data, offset)
+        try:
+            (value,) = _FLOAT.unpack_from(data, offset)
+        except struct.error:
+            raise WireError("truncated float value") from None
         return value, offset + _FLOAT.size
     if isinstance(ctype, TimestampType):
-        head = data[offset]
+        try:
+            head = data[offset]
+        except IndexError:
+            raise WireError("truncated timestamp value") from None
         offset += 1
         if head == 0:
             return NULL, offset
         return read_uvarint(data, offset)
     if isinstance(ctype, RidType):
-        head = data[offset]
+        try:
+            head = data[offset]
+        except IndexError:
+            raise WireError("truncated rid value") from None
         offset += 1
         if head == _ADDR_NONE:
             return NULL, offset
@@ -352,6 +365,14 @@ class WireCodec:
         self.compress = compress
         self.base_time = base_time
         self._all_positions = tuple(range(len(value_schema)))
+        #: Precompiled per-column dispatch for the batch hot path.
+        self._plan = wirebatch.compile_plan(value_schema)
+        #: Schema-specialized generated decoder, built on first decode.
+        self._fast_decode: Optional[wirebatch.Decoder] = None
+
+    def _new_state(self) -> _WireState:
+        """A fresh per-frame delta state seeded from ``base_time``."""
+        return _WireState(self.base_time)
 
     # -- one message ---------------------------------------------------------
 
@@ -422,6 +443,11 @@ class WireCodec:
             addr, offset = _decode_addr(data, offset, state)
             prev, offset = _decode_addr(data, offset, state)
             mask, offset = read_uvarint(data, offset)
+            if mask >> len(schema):
+                raise WireError(
+                    f"update-delta mask {mask:#x} exceeds the "
+                    f"{len(schema)}-column value schema"
+                )
             positions = [
                 index for index in range(mask.bit_length()) if mask >> index & 1
             ]
@@ -472,7 +498,28 @@ class WireCodec:
     # -- whole frames --------------------------------------------------------
 
     def encode_frame(self, messages: "Sequence[Any]") -> WireFrame:
-        """Encode a batch of logical messages into one physical frame."""
+        """Encode a batch of logical messages into one physical frame.
+
+        Delegates to :meth:`encode_batch` (the flat-cursor hot path);
+        :meth:`encode_frame_per_message` is the reference implementation
+        the byte-identity property pins the batch path against.
+        """
+        return self.encode_batch(messages)
+
+    def encode_batch(self, messages: "Sequence[Any]") -> WireFrame:
+        """Batch hot path: one flat bytearray cursor for the whole frame."""
+        state = _WireState(self.base_time)
+        payload = bytearray()
+        wirebatch.encode_batch_into(self, payload, messages, state)
+        modeled = 0
+        for message in messages:
+            modeled += message.wire_size()
+        from repro.net.blocking import FRAME_OVERHEAD
+
+        return self._seal(bytes(payload), len(messages), modeled + FRAME_OVERHEAD)
+
+    def encode_frame_per_message(self, messages: "Sequence[Any]") -> WireFrame:
+        """Reference path: one :meth:`encode_into` call per message."""
         state = _WireState(self.base_time)
         payload = bytearray()
         modeled = 0
@@ -494,8 +541,8 @@ class WireCodec:
         write_uvarint(header, count)
         return WireFrame(bytes(header) + payload, count, modeled_size)
 
-    def decode_frame(self, frame: "WireFrame | bytes") -> "List[Any]":
-        """Inverse of :meth:`encode_frame`: the exact message sequence."""
+    def _open_frame(self, frame: "WireFrame | bytes") -> "tuple[bytes, int]":
+        """Strip the frame header; returns (inflated payload, count)."""
         data = frame.data if isinstance(frame, WireFrame) else frame
         if not data:
             raise WireError("empty frame")
@@ -507,6 +554,35 @@ class WireCodec:
                 payload = zlib.decompress(payload)
             except zlib.error as error:
                 raise WireError(f"bad deflate payload: {error}") from None
+        return payload, count
+
+    def decode_frame(self, frame: "WireFrame | bytes") -> "List[Any]":
+        """Inverse of :meth:`encode_frame`: the exact message sequence.
+
+        Delegates to :meth:`decode_batch` (the flat-cursor hot path);
+        :meth:`decode_frame_per_message` is the reference implementation
+        the byte-identity property pins the batch path against.
+        """
+        return self.decode_batch(frame)
+
+    def decode_batch(self, frame: "WireFrame | bytes") -> "List[Any]":
+        """Batch hot path: one inlined cursor pass over the payload."""
+        payload, count = self._open_frame(frame)
+        messages, offset = wirebatch.decode_batch_payload(self, payload, count)
+        if offset != len(payload):
+            # The cursor can legitimately pass the end only when a
+            # truncated length prefix made a slice read run short — the
+            # generated decoder defers that bounds check to right here.
+            if offset > len(payload):
+                raise WireError("truncated frame payload")
+            raise WireError(
+                f"frame payload has {len(payload) - offset} trailing bytes"
+            )
+        return messages
+
+    def decode_frame_per_message(self, frame: "WireFrame | bytes") -> "List[Any]":
+        """Reference path: one :meth:`_decode_one` call per message."""
+        payload, count = self._open_frame(frame)
         state = _WireState(self.base_time)
         messages: "List[Any]" = []
         offset = 0
@@ -574,7 +650,9 @@ class FrameWriter:
         return len(self._payload)
 
     def send(self, message: Any) -> None:
-        self.codec.encode_into(self._payload, message, self._state)
+        wirebatch.encode_batch_into(
+            self.codec, self._payload, (message,), self._state
+        )
         self._count += 1
         self._modeled += message.wire_size()
         if (

@@ -33,21 +33,38 @@ class _Frame:
 
 
 class BufferStats:
-    """Counters exposed for benchmarks: hits, misses, evictions, writebacks."""
+    """Counters exposed for benchmarks: hits, misses, evictions, writebacks.
 
-    __slots__ = ("hits", "misses", "evictions", "writebacks")
+    ``batch_hits``/``batch_misses`` count the columnar
+    :class:`~repro.storage.batch.PageBatch` cache separately: a batch
+    hit serves the page *without pinning a frame*, so it must not also
+    count as a page hit — each page access lands in exactly one stat.
+    """
+
+    __slots__ = (
+        "hits",
+        "misses",
+        "evictions",
+        "writebacks",
+        "batch_hits",
+        "batch_misses",
+    )
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        self.batch_hits = 0
+        self.batch_misses = 0
 
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        self.batch_hits = 0
+        self.batch_misses = 0
 
     @property
     def hit_rate(self) -> float:
@@ -57,7 +74,8 @@ class BufferStats:
     def __repr__(self) -> str:
         return (
             f"BufferStats(hits={self.hits}, misses={self.misses}, "
-            f"evictions={self.evictions}, writebacks={self.writebacks})"
+            f"evictions={self.evictions}, writebacks={self.writebacks}, "
+            f"batch={self.batch_hits}/{self.batch_hits + self.batch_misses})"
         )
 
 
@@ -71,6 +89,11 @@ class BufferPool:
         self._capacity = capacity
         # OrderedDict as LRU: most recently used at the end.
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        # Columnar PageBatch cache (page_no -> batch), LRU-bounded to
+        # the frame capacity.  Entries self-invalidate by version: a
+        # lookup with a newer page version is a miss and the caller's
+        # store replaces the stale batch.
+        self._batches: "OrderedDict[int, object]" = OrderedDict()
         self.stats = BufferStats()
 
     @property
@@ -130,6 +153,30 @@ class BufferPool:
                 self._pager.write_page(page_no, bytes(frame.data))
                 frame.dirty = False
                 self.stats.writebacks += 1
+
+    # -- columnar batch cache ------------------------------------------------
+
+    def batch_lookup(self, page_no: int, version: int) -> "object | None":
+        """Cached :class:`~repro.storage.batch.PageBatch`, version-checked.
+
+        A hit serves the whole page without touching a frame (one stat,
+        no pin); a stale or absent entry is a batch miss and the caller
+        re-extracts under a normal pin (which takes the page hit/miss).
+        """
+        batch = self._batches.get(page_no)
+        if batch is not None and batch.version == version:  # type: ignore[attr-defined]
+            self.stats.batch_hits += 1
+            self._batches.move_to_end(page_no)
+            return batch
+        self.stats.batch_misses += 1
+        return None
+
+    def batch_store(self, page_no: int, batch: object) -> None:
+        """Cache a freshly extracted batch, evicting LRU past capacity."""
+        self._batches[page_no] = batch
+        self._batches.move_to_end(page_no)
+        while len(self._batches) > self._capacity:
+            self._batches.popitem(last=False)
 
     def pinned_pages(self) -> "list[int]":
         """Page numbers currently pinned (diagnostic)."""

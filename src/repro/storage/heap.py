@@ -267,6 +267,34 @@ class HeapFile:
         finally:
             self._unpin(heap_page, dirty=False)
 
+    def page_batch(self, heap_page: int, schema) -> "tuple[object, bool] | None":
+        """Columnar :class:`~repro.storage.batch.PageBatch` of one page.
+
+        Returns ``(batch, reused)`` — ``reused`` is True when the buffer
+        pool's version-keyed cache already held the batch (no pin taken,
+        one batch stat) — or ``None`` when the heap has no summaries to
+        version batches by.  On a miss the page is pinned once, the
+        batch extracted and cached, and the pin released; the page
+        hit/miss stat for that single pin is the only frame traffic.
+        """
+        from repro.storage.batch import extract_page_batch
+
+        summaries = self.summaries
+        if summaries is None:
+            return None
+        version = summaries.get_or_create(heap_page).page_version
+        physical = self._physical(heap_page)
+        cached = self._pool.batch_lookup(physical, version)
+        if cached is not None:
+            return cached, True
+        frame = self._pool.pin(physical)
+        try:
+            batch = extract_page_batch(heap_page, frame, schema, version)
+        finally:
+            self._pool.unpin(physical, dirty=False)
+        self._pool.batch_store(physical, batch)
+        return batch, False
+
     def scan_rids(self) -> "Iterator[Rid]":
         """Yield live addresses in increasing order (no record bodies)."""
         for rid, _ in self.scan():

@@ -1,0 +1,15 @@
+"""Fixture: per-field codec calls leaking into a batch-path module."""
+
+import struct
+
+out = bytearray()
+write_uvarint(out, 7)  # noqa: F821
+value, offset = read_svarint(b"\x03", 0)  # noqa: F821
+struct.pack_into("<H", out, 0, 1)
+packed = struct.pack("<q", 9)
+decoded = _decode_value(None, b"\x05", 0)  # noqa: F821
+
+SPAN = struct.Struct("<HH")
+fields = SPAN.unpack_from(b"\x00\x00\x00\x00", 0)
+
+cold = struct.unpack("<i", b"\x00\x00\x00\x00")  # replint: ignore[L305]

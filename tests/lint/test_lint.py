@@ -67,6 +67,30 @@ class TestCodecParity:
         ]
 
 
+class TestBatchPath:
+    def test_per_field_calls_fire_in_batch_modules(self):
+        violations = lint_sources(
+            [fixture("batchpath.py", "net/wirebatch.py")]
+        )
+        assert fired(violations) == [
+            ("L305", 6),
+            ("L305", 7),
+            ("L305", 8),
+            ("L305", 9),
+            ("L305", 10),
+        ]
+
+    def test_storage_batch_is_also_designated(self):
+        violations = lint_sources(
+            [fixture("batchpath.py", "storage/batch.py")]
+        )
+        assert [v.rule for v in violations] == ["L305"] * 5
+
+    def test_other_modules_are_exempt(self):
+        violations = lint_sources([fixture("batchpath.py", "net/wire.py")])
+        assert violations == []
+
+
 class TestLockOrder:
     def test_inversion_and_unknown_level(self):
         violations = lint_sources([fixture("locks.py", "txn/rogue.py")])
@@ -89,7 +113,7 @@ class TestEngine:
         assert set(RULES) == {
             "L101", "L102", "L103",
             "L201", "L202", "L203",
-            "L301", "L302", "L303", "L304",
+            "L301", "L302", "L303", "L304", "L305",
             "L401", "L402",
             "L501",
         }

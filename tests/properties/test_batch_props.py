@@ -1,0 +1,216 @@
+"""Columnar batch pipeline properties: the fast paths change no byte.
+
+Two families of invariants pin the batch hot path introduced for the
+A17 experiment:
+
+1. **Codec parity** — ``encode_batch``/``decode_batch`` (one flat
+   cursor per frame, schema-specialized generated decoder) are
+   byte-identical to the per-message reference paths for arbitrary
+   message mixes, compression on and off.
+
+2. **Scan parity** — a refresh scan with ``batch_mode`` on emits
+   exactly the message stream of the per-row scan from the same
+   ``SnapTime``: same types, same addresses, same values, same modeled
+   sizes — for arbitrary workloads, lazy and eager annotations, page
+   summaries on and off, solo and group passes, delete optimization
+   and per-column deltas on and off.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.differential import (
+    DifferentialRefresher,
+    RefreshCursor,
+    ValueCache,
+)
+from repro.core.group import GroupRefresher
+from repro.database import Database
+from repro.expr.predicate import Projection, Restriction
+from repro.net.wire import WireCodec
+
+from tests.properties.test_wire_props import (
+    _STREAM_SCHEMA,
+    assert_streams_identical,
+    message_strategy,
+    workload,
+)
+
+PREDICATES = ("v < 50", "v >= 20")
+
+
+class TestBatchCodecParity:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        stream=st.lists(message_strategy(), min_size=0, max_size=40),
+        compress=st.booleans(),
+        base_time=st.integers(0, 2**40),
+    )
+    def test_batch_paths_byte_identical_to_reference(
+        self, stream, compress, base_time
+    ):
+        codec = WireCodec(
+            _STREAM_SCHEMA, compress=compress, base_time=base_time
+        )
+        batch = codec.encode_batch(stream)
+        reference = codec.encode_frame_per_message(stream)
+        assert batch.data == reference.data
+        assert batch.modeled_size == reference.modeled_size
+        assert_streams_identical(codec.decode_batch(batch), stream)
+        assert_streams_identical(
+            codec.decode_frame_per_message(reference), stream
+        )
+
+
+# -- scan parity --------------------------------------------------------------
+
+
+class _ScanWorld:
+    """One replayable world: a base table refreshed by raw scan passes.
+
+    Streams are captured as message-object lists per snapshot, so the
+    batch/row comparison sees every transmitted field — not just final
+    snapshot state.
+    """
+
+    def __init__(self, batch_mode, summaries, mode, group, delta, opt):
+        self.db = Database("prop-batch")
+        self.table = self.db.create_table(
+            "t", [("v", "int")], annotations=mode
+        )
+        self.live = [self.table.insert([v]) for v in range(0, 100, 9)]
+        self.summaries = summaries
+        self.group = group
+        self.delta = delta
+        self.refresher = DifferentialRefresher(
+            self.table,
+            use_page_summaries=summaries,
+            batch_mode=batch_mode,
+            delta_updates=delta,
+            optimize_deletes=opt,
+        )
+        self.group_refresher = GroupRefresher(
+            self.table, use_page_summaries=summaries, batch_mode=batch_mode
+        )
+        self.opt = opt
+        self.snap_times = [0 for _ in PREDICATES]
+        self.caches = [{} for _ in PREDICATES] if summaries else None
+        self.value_caches = (
+            [ValueCache() for _ in PREDICATES] if delta else None
+        )
+        self.streams = [[] for _ in PREDICATES]
+
+    def _restriction(self, index):
+        return Restriction.parse(PREDICATES[index], self.table.schema)
+
+    def refresh_one(self, index):
+        sent = []
+        result = self.refresher.refresh(
+            self.snap_times[index],
+            self._restriction(index),
+            Projection(self.table.schema),
+            sent.append,
+            cache=self.caches[index] if self.summaries else None,
+            value_cache=self.value_caches[index] if self.delta else None,
+        )
+        assert result.pages_batch_decoded <= result.pages_scanned
+        if self.delta:
+            self.value_caches[index].commit()
+        self.snap_times[index] = result.new_snap_time
+        self.streams[index].extend(sent)
+
+    def refresh_all(self):
+        if not self.group:
+            for index in range(len(PREDICATES)):
+                self.refresh_one(index)
+            return
+        sents = [[] for _ in PREDICATES]
+        cursors = [
+            RefreshCursor(
+                self.snap_times[index],
+                self._restriction(index),
+                Projection(self.table.schema),
+                sents[index].append,
+                cache=self.caches[index] if self.summaries else None,
+                optimize_deletes=self.opt,
+                name=f"s{index}",
+                value_cache=(
+                    self.value_caches[index] if self.delta else None
+                ),
+            )
+            for index in range(len(PREDICATES))
+        ]
+        outcome = self.group_refresher.refresh_group(cursors)
+        assert not outcome.errors
+        for index, cursor in enumerate(cursors):
+            if self.delta:
+                self.value_caches[index].commit()
+            self.snap_times[index] = cursor.result.new_snap_time
+            self.streams[index].extend(sents[index])
+
+    def replay(self, script):
+        for op, index, value in script:
+            if op == "insert":
+                self.live.append(self.table.insert([value]))
+            elif op == "update" and self.live:
+                self.table.update(
+                    self.live[index % len(self.live)], {"v": value}
+                )
+            elif op == "delete" and self.live:
+                self.table.delete(self.live.pop(index % len(self.live)))
+            elif op == "refresh":
+                self.refresh_one(index % len(PREDICATES))
+            elif op == "refresh_all":
+                self.refresh_all()
+        self.refresh_all()
+
+
+def run_scan_worlds(script, summaries, mode, group, delta=False, opt=False):
+    row = _ScanWorld(False, summaries, mode, group, delta, opt)
+    batch = _ScanWorld(True, summaries, mode, group, delta, opt)
+    row.replay(script)
+    batch.replay(script)
+    for row_stream, batch_stream in zip(row.streams, batch.streams):
+        assert_streams_identical(batch_stream, row_stream)
+
+
+class TestScanParity:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(script=workload)
+    def test_solo_lazy_summaries_on(self, script):
+        run_scan_worlds(script, summaries=True, mode="lazy", group=False)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(script=workload)
+    def test_solo_eager_summaries_off_optimized(self, script):
+        run_scan_worlds(
+            script, summaries=False, mode="eager", group=False, opt=True
+        )
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(script=workload)
+    def test_group_lazy_summaries_on_delta(self, script):
+        run_scan_worlds(
+            script, summaries=True, mode="lazy", group=True, delta=True
+        )
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(script=workload)
+    def test_group_eager_summaries_off(self, script):
+        run_scan_worlds(script, summaries=False, mode="eager", group=True)
