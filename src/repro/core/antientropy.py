@@ -1,0 +1,379 @@
+"""Hash-bisection anti-entropy: repair a drifted snapshot cheaply.
+
+The refresh protocol is exact as long as every epoch either applies or
+aborts; drift appears when the invariants outside the protocol break —
+a receiver restored from an old backup, a lost epoch the sender believes
+committed, operator surgery on the snapshot's storage.  Re-running a
+full refresh would fix any of it, but at the cost of retransmitting the
+whole restriction.  Anti-entropy finds *where* the two sides disagree
+first, at logarithmic hash cost, and retransmits only that.
+
+The divide-and-conquer checksum scheme:
+
+1. Segment the base address space by heap page: a segment is a half-open
+   page interval ``[lo, hi)``.
+2. Both sides compute an order-sensitive digest of their entries in the
+   segment — the sender over the *current restriction of the base table*
+   (what the snapshot should contain), the receiver over its
+   :class:`~repro.core.snapshot.SnapshotTable` contents — and exchange
+   them as a :class:`~repro.core.messages.SegmentHashRequestMessage` /
+   :class:`~repro.core.messages.SegmentHashResponseMessage` pair.
+3. Matching digests prune the whole segment; a mismatched segment wider
+   than ``leaf_pages`` is bisected and both halves are compared
+   recursively.
+4. A mismatched *leaf* is diffed row by row: the receiver enumerates
+   short per-row digests for each dirty page
+   (:class:`~repro.core.messages.RowDigestsMessage`), the sender
+   compares them against its own rows, and only the rows that actually
+   differ are shipped — upserts for missing or stale rows, deletes for
+   receiver rows the base no longer qualifies.  All repairs ride one
+   receiver epoch, so the repaired receiver state is exactly the
+   restriction of the base over every compared segment, whatever the
+   drift was.
+
+Repair deliberately does **not** send a new ``SnapTime``: anti-entropy
+restores the invariant "snapshot = restriction of base as of some scan"
+only where it checked, it performs no scan of change annotations, so it
+must not advance the snapshot's coverage time.  The next differential
+refresh runs from the old ``SnapTime`` and is correct over the repaired
+state because upserts are idempotent.
+
+The digests use :func:`hashlib.blake2b` — keyed by nothing,
+deterministic across processes, unlike the builtin ``hash``.  Segment
+digests are 8 bytes (a false match prunes a whole subtree); per-row
+digests are 4 bytes (a false match survives only until the next
+resync's segment hash catches the page again).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from bisect import bisect_left
+from typing import Callable, Optional
+
+from repro.core.messages import (
+    DeleteMessage,
+    RefreshBeginMessage,
+    RefreshCommitMessage,
+    RefreshMessage,
+    RowDigestsMessage,
+    SegmentHashRequestMessage,
+    SegmentHashResponseMessage,
+    UpsertMessage,
+)
+from repro.core.snapshot import SnapshotTable
+from repro.errors import SnapshotError
+from repro.expr.predicate import Projection, Restriction
+from repro.relation.row import encode_row
+from repro.storage.rid import Rid
+from repro.table import Table
+
+Send = Callable[[RefreshMessage], None]
+
+#: Address prefix mixed into the digest ahead of each entry's bytes.
+_ADDR_PACK = struct.Struct("<II")
+_LEN_PACK = struct.Struct("<I")
+
+_DIGEST_SIZE = 8
+_ROW_DIGEST_SIZE = 4
+
+
+class AntiEntropyStats:
+    """Counters from one verify or resync session."""
+
+    __slots__ = (
+        "in_sync",
+        "rounds",
+        "segments_hashed",
+        "segments_mismatched",
+        "leaves_repaired",
+        "pages_repaired",
+        "rows_repaired",
+        "rows_deleted",
+        "bytes_hashes",
+        "bytes_repair",
+        "messages_sent",
+        "epochs",
+    )
+
+    def __init__(self) -> None:
+        #: Whether the two sides agreed (after repair: always True).
+        self.in_sync = True
+        #: Bisection rounds (tree levels visited).
+        self.rounds = 0
+        #: Segments whose digests were exchanged.
+        self.segments_hashed = 0
+        #: Segments whose digests disagreed.
+        self.segments_mismatched = 0
+        #: Mismatched leaf segments repaired.
+        self.leaves_repaired = 0
+        #: Pages covered by repaired leaves.
+        self.pages_repaired = 0
+        #: Rows retransmitted (upserts) during repair.
+        self.rows_repaired = 0
+        #: Receiver rows deleted by repairs (stale surplus rows).
+        self.rows_deleted = 0
+        #: Hash-exchange traffic: segment requests + responses plus the
+        #: per-row digest lists for dirty leaves (modeled bytes).
+        self.bytes_hashes = 0
+        #: Repair traffic (epoch control + upserts + deletes).
+        self.bytes_repair = 0
+        #: Repair messages shipped (excluding the hash exchange).
+        self.messages_sent = 0
+        #: Receiver epochs opened for repairs.
+        self.epochs = 0
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_hashes + self.bytes_repair
+
+    def __repr__(self) -> str:
+        return (
+            f"AntiEntropyStats(in_sync={self.in_sync}, "
+            f"hashed={self.segments_hashed}, "
+            f"mismatched={self.segments_mismatched}, "
+            f"repaired={self.rows_repaired} rows / "
+            f"{self.pages_repaired} pages, "
+            f"bytes={self.bytes_hashes}+{self.bytes_repair})"
+        )
+
+
+def _digest_slice(
+    addrs: "list[Rid]", blobs: "list[bytes]", lo: int, hi: int
+) -> "tuple[bytes, int]":
+    """Digest + count of the entries whose page falls in ``[lo, hi)``.
+
+    ``addrs`` is address-ordered, so the slice is found by bisection on
+    the page component and the digest is order-sensitive for free.
+    """
+    start = bisect_left(addrs, Rid(lo, 0))
+    stop = bisect_left(addrs, Rid(hi, 0))
+    hasher = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    for index in range(start, stop):
+        addr = addrs[index]
+        blob = blobs[index]
+        hasher.update(_ADDR_PACK.pack(addr.page_no, addr.slot_no))
+        hasher.update(_LEN_PACK.pack(len(blob)))
+        hasher.update(blob)
+    return hasher.digest(), stop - start
+
+
+class AntiEntropySession:
+    """One sender/receiver comparison over a snapshot's address space.
+
+    Materializes both sides once — the sender's view is the current
+    restriction+projection of the base table encoded in the snapshot's
+    value schema, the receiver's its visible entries in the same
+    encoding — then drives the hash-bisection protocol over them.
+    ``send`` carries repair messages to the receiver (defaults to
+    applying directly, the site-local channel); the hash exchange
+    itself is accounted by message ``wire_size`` without riding the
+    repair channel, since responses flow receiver→sender.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        restriction: Restriction,
+        projection: Projection,
+        snapshot: SnapshotTable,
+        send: Optional[Send] = None,
+        leaf_pages: int = 1,
+    ) -> None:
+        if leaf_pages < 1:
+            raise SnapshotError("anti-entropy leaf must cover >= 1 page")
+        self.table = table
+        self.restriction = restriction
+        self.projection = projection
+        self.snapshot = snapshot
+        self.send: Send = send if send is not None else snapshot.apply
+        self.leaf_pages = leaf_pages
+        self.value_schema = projection.schema
+        self.stats = AntiEntropyStats()
+        #: The (single, lazily opened) repair epoch and its data count.
+        self._epoch: "Optional[int]" = None
+        self._sent = 0
+
+        # Sender truth: address-ordered qualifying rows of the base.
+        self._sender_addrs: "list[Rid]" = []
+        self._sender_blobs: "list[bytes]" = []
+        self._sender_rows: "dict[Rid, tuple]" = {}
+        for rid, row in table.scan_full():
+            if not restriction(list(row.values)):
+                continue
+            projected = projection(row)
+            self._sender_addrs.append(rid)
+            self._sender_blobs.append(
+                encode_row(self.value_schema, projected)
+            )
+            self._sender_rows[rid] = projected.values
+
+        # Receiver state: its visible entries, same encoding.
+        self._receiver_addrs: "list[Rid]" = []
+        self._receiver_blobs: "list[bytes]" = []
+        for addr, row in snapshot.entries():
+            self._receiver_addrs.append(addr)
+            self._receiver_blobs.append(encode_row(self.value_schema, row))
+
+        highest = 0
+        if self._sender_addrs:
+            highest = self._sender_addrs[-1].page_no
+        if self._receiver_addrs:
+            highest = max(highest, self._receiver_addrs[-1].page_no)
+        #: The root segment [0, span) covering both sides' addresses.
+        self.span = max(highest + 1, 1)
+
+    # -- the protocol --------------------------------------------------------
+
+    def _compare(self, lo: int, hi: int) -> bool:
+        """Exchange digests over ``[lo, hi)``; True when they match."""
+        stats = self.stats
+        stats.segments_hashed += 1
+        request = SegmentHashRequestMessage(lo, hi)
+        theirs, their_count = _digest_slice(
+            self._receiver_addrs, self._receiver_blobs, lo, hi
+        )
+        response = SegmentHashResponseMessage(lo, hi, theirs, their_count)
+        stats.bytes_hashes += request.wire_size() + response.wire_size()
+        ours, _ = _digest_slice(self._sender_addrs, self._sender_blobs, lo, hi)
+        if ours == theirs:
+            return True
+        stats.segments_mismatched += 1
+        return False
+
+    def verify(self) -> bool:
+        """One root-segment exchange: are the two sides identical?"""
+        self.stats.rounds += 1
+        in_sync = self._compare(0, self.span)
+        self.stats.in_sync = in_sync
+        return in_sync
+
+    def resync(self) -> AntiEntropyStats:
+        """Bisect to the drifted leaves and repair each one.
+
+        Breadth-first over the segment tree: every mismatched segment
+        wider than ``leaf_pages`` splits in half; a mismatched leaf is
+        diffed row by row and only the differing rows are shipped.  All
+        repairs ride a single receiver epoch, opened lazily at the
+        first dirty leaf.  Returns the session stats; the receiver
+        afterwards equals the restriction of the base over every
+        compared segment.
+        """
+        stats = self.stats
+        frontier = [(0, self.span)]
+        while frontier:
+            stats.rounds += 1
+            next_frontier: "list[tuple[int, int]]" = []
+            for lo, hi in frontier:
+                if self._compare(lo, hi):
+                    continue
+                if hi - lo <= self.leaf_pages:
+                    self._repair_leaf(lo, hi)
+                    continue
+                mid = lo + (hi - lo) // 2
+                next_frontier.append((lo, mid))
+                next_frontier.append((mid, hi))
+            frontier = next_frontier
+        if self._epoch is not None:
+            commit = RefreshCommitMessage(self._epoch, self._sent)
+            stats.bytes_repair += commit.wire_size()
+            self.send(commit)
+        stats.in_sync = True
+        return stats
+
+    def _ship(self, message: RefreshMessage) -> None:
+        """Send one repair data message, counting epoch and traffic."""
+        self.send(message)
+        self._sent += 1
+        self.stats.messages_sent += 1
+        self.stats.bytes_repair += message.wire_size()
+
+    def _repair_leaf(self, lo: int, hi: int) -> None:
+        """Row-diff one drifted leaf and ship the minimal repairs.
+
+        Per dirty page, the receiver's ``(slot, digest)`` list crosses
+        the wire (accounted into ``bytes_hashes`` — it is metadata, not
+        repair); the sender upserts rows whose digest is missing or
+        different and deletes receiver rows it no longer has.  Upserts
+        and absent-address deletes are both idempotent, so a duplicated
+        repair stream converges to the same state.
+        """
+        stats = self.stats
+        stats.leaves_repaired += 1
+        stats.pages_repaired += hi - lo
+        if self._epoch is None:
+            self._epoch = self.table.db.clock.tick()
+            stats.epochs += 1
+            begin = RefreshBeginMessage(self._epoch)
+            stats.bytes_repair += begin.wire_size()
+            self.send(begin)
+        for page_no in range(lo, hi):
+            self._repair_page(page_no)
+
+    def _repair_page(self, page_no: int) -> None:
+        """Diff one page's rows by short digest; ship only the drift."""
+        stats = self.stats
+        floor, ceiling = Rid(page_no, 0), Rid(page_no + 1, 0)
+
+        # Receiver -> sender: its per-row digests for the page.
+        start = bisect_left(self._receiver_addrs, floor)
+        stop = bisect_left(self._receiver_addrs, ceiling)
+        entries: "list[tuple[int, bytes]]" = []
+        theirs: "dict[Rid, bytes]" = {}
+        for index in range(start, stop):
+            addr = self._receiver_addrs[index]
+            digest = hashlib.blake2b(
+                self._receiver_blobs[index], digest_size=_ROW_DIGEST_SIZE
+            ).digest()
+            entries.append((addr.slot_no, digest))
+            theirs[addr] = digest
+        stats.bytes_hashes += RowDigestsMessage(
+            page_no, tuple(entries)
+        ).wire_size()
+
+        # Sender -> receiver: upserts for missing/stale rows, deletes
+        # for rows the restriction no longer contains.
+        mine: "set[Rid]" = set()
+        start = bisect_left(self._sender_addrs, floor)
+        stop = bisect_left(self._sender_addrs, ceiling)
+        for index in range(start, stop):
+            addr = self._sender_addrs[index]
+            mine.add(addr)
+            blob = self._sender_blobs[index]
+            digest = hashlib.blake2b(
+                blob, digest_size=_ROW_DIGEST_SIZE
+            ).digest()
+            if theirs.get(addr) == digest:
+                continue
+            self._ship(UpsertMessage(addr, self._sender_rows[addr], len(blob)))
+            stats.rows_repaired += 1
+        for addr in theirs:
+            if addr not in mine:
+                self._ship(DeleteMessage(addr))
+                stats.rows_deleted += 1
+
+    def repaired_pages(self) -> "dict[int, dict[Rid, tuple]]":
+        """``{page: {rid: values}}`` for every page a repair covered.
+
+        The sender-side mirror of what repairs left at the receiver —
+        exactly what a delta-updates value cache must adopt for those
+        pages so later column deltas merge against the repaired rows.
+        """
+        pages: "dict[int, dict[Rid, tuple]]" = {}
+        if not self.stats.leaves_repaired:
+            return pages
+        for addr, values in self._sender_rows.items():
+            pages.setdefault(addr.page_no, {})[addr] = values
+        return pages
+
+
+def verify_snapshot_table(
+    table: Table,
+    restriction: Restriction,
+    projection: Projection,
+    snapshot: SnapshotTable,
+) -> "tuple[bool, AntiEntropyStats]":
+    """Root-hash comparison of a snapshot against its base restriction."""
+    session = AntiEntropySession(table, restriction, projection, snapshot)
+    return session.verify(), session.stats

@@ -67,12 +67,14 @@ from typing import Callable, Optional, Sequence
 
 from repro import sanitize
 from repro.core.messages import (
+    DeleteMessage,
     DeleteRangeMessage,
     EndOfScanMessage,
     EntryMessage,
     RefreshMessage,
     SnapTimeMessage,
     UpdateDeltaMessage,
+    UpsertMessage,
 )
 from repro.errors import ChannelError, RefreshMethodError
 from repro.expr.predicate import Projection, Restriction
@@ -89,6 +91,7 @@ from repro.relation.types import NULL
 from repro.storage.rid import Rid
 from repro.storage.summary import PageQualInfo
 from repro.table import PREVADDR, TIMESTAMP, Table
+from repro.txn.clock import WatermarkBracket
 
 Send = Callable[[RefreshMessage], None]
 
@@ -181,6 +184,9 @@ class RefreshResult:
         "pages_batch_decoded",
         "batches_reused",
         "rows_materialized",
+        "chunks_scanned",
+        "interleaved_writes",
+        "pages_repaired",
     )
 
     def __init__(self) -> None:
@@ -226,6 +232,15 @@ class RefreshResult:
         #: path's analogue of ``rows_decoded``, which it leaves at the
         #: per-row path's count so the decode saving stays visible.
         self.rows_materialized = 0
+        #: Watermark-bracketed chunks a chunked scan ran (0 = monolithic).
+        self.chunks_scanned = 0
+        #: Committed writes observed while the scan had the table lock
+        #: released at a chunk boundary.
+        self.interleaved_writes = 0
+        #: Already-scanned pages re-read and repaired at the end of a
+        #: chunked scan because a writer touched them after their chunk's
+        #: high watermark.
+        self.pages_repaired = 0
 
     @property
     def buffer_hit_rate(self) -> float:
@@ -579,6 +594,379 @@ class RefreshCursor:
         )
 
 
+class _ScanPass:
+    """The shared machinery of one combined fix-up + refresh pass.
+
+    Owns the per-pass scan state — the fix-up's ``ExpectPrev`` /
+    ``last_addr``, the probe layout, the pass-level counters, the
+    fix-up timestamp — so the page loop can be driven either in one
+    sweep (:func:`run_refresh_scan`) or in watermark-bracketed chunks
+    with the table lock released in between
+    (:func:`run_chunked_refresh_scan`).  ``scan_pages`` serves a
+    half-open page range and leaves the state positioned for the next
+    range; behavior over ``[0, page_count)`` in one call is exactly the
+    historical monolithic scan.
+    """
+
+    __slots__ = (
+        "table",
+        "schema",
+        "heap",
+        "summaries",
+        "fixup",
+        "batch_mode",
+        "isolate_failures",
+        "probe_positions",
+        "probe_prev",
+        "probe_ts",
+        "width",
+        "stats",
+        "fixup_time",
+        "expect_prev",
+        "last_addr",
+        "completed",
+        "_hits_before",
+        "_misses_before",
+    )
+
+    def __init__(
+        self,
+        table: Table,
+        cursors: "Sequence[RefreshCursor]",
+        fixup: Optional[bool],
+        use_page_summaries: bool,
+        isolate_failures: bool,
+        batch_mode: bool,
+    ) -> None:
+        if fixup is None:
+            fixup = table.annotation_mode == "lazy"
+        self.table = table
+        self.fixup = fixup
+        self.isolate_failures = isolate_failures
+        schema = table.schema
+        self.schema = schema
+        # The batch extractor reads annotations as a fixed record tail; a
+        # schema without that layout always takes the per-row path.
+        self.batch_mode = batch_mode and table._ann_trailing
+        prev_pos = schema.position(PREVADDR)
+        ts_pos = schema.position(TIMESTAMP)
+
+        self.heap = table.heap
+        self.summaries = self.heap.summaries if use_page_summaries else None
+
+        # One decode_fields probe per entry covers the annotations plus
+        # the union of every cursor's restriction columns; the full row
+        # is decoded only when some cursor actually transmits.
+        restr_positions: "set[int]" = set()
+        for cursor in cursors:
+            restr_positions.update(
+                schema.position(name)
+                for name in cursor.restriction.expr.columns()
+            )
+        self.probe_positions = tuple(
+            sorted(restr_positions | {prev_pos, ts_pos})
+        )
+        self.probe_prev = self.probe_positions.index(prev_pos)
+        self.probe_ts = self.probe_positions.index(ts_pos)
+        self.width = len(schema)
+
+        self.stats = RefreshResult()
+        self.stats.group_cursors = len(cursors)
+        pool_stats = self.heap.pool.stats
+        self._hits_before = pool_stats.hits
+        self._misses_before = pool_stats.misses
+        self.fixup_time = table.db.clock.tick()
+
+        self.expect_prev = Rid.BEGIN  # last non-newly-inserted entry
+        self.last_addr = Rid.BEGIN  # last entry of any kind (fix-up)
+        self.completed = True  # whether the pass reached the heap's end
+
+    def scan_pages(
+        self, cursors: "Sequence[RefreshCursor]", start: int, stop: int
+    ) -> None:
+        """Serve every cursor over heap pages ``[start, stop)``."""
+        table = self.table
+        schema = self.schema
+        heap = self.heap
+        summaries = self.summaries
+        fixup = self.fixup
+        isolate_failures = self.isolate_failures
+        probe_positions = self.probe_positions
+        probe_prev = self.probe_prev
+        probe_ts = self.probe_ts
+        width = self.width
+        stats = self.stats
+        fixup_time = self.fixup_time
+        expect_prev = self.expect_prev
+        last_addr = self.last_addr
+
+        for page_no in range(start, stop):
+            live = [cursor for cursor in cursors if not cursor.failed]
+            if not live:
+                self.completed = False
+                break  # every output failed; nothing left to serve
+
+            scanning: "list[RefreshCursor]" = []
+            skipping: "list[tuple[RefreshCursor, PageQualInfo]]" = []
+            summary = summaries.get(page_no) if summaries is not None else None
+            for cursor in live:
+                if (
+                    summary is not None
+                    and not cursor.deletion
+                    and summary.skippable(cursor.snap_time)
+                ):
+                    info = (
+                        cursor.cache.get(page_no)
+                        if cursor.cache is not None
+                        else None
+                    )
+                    if (
+                        info is not None
+                        and info.page_version == summary.page_version
+                        and (
+                            not fixup
+                            # At the boundary the scan state must look
+                            # exactly like it did when the cache was
+                            # filled: a trailing pure insert
+                            # (last_addr != expect_prev) would need this
+                            # page's first PrevAddr repointed, and a
+                            # first_prev mismatch is precisely a deletion
+                            # anomaly hiding on this page.
+                            or (
+                                last_addr == expect_prev
+                                and (
+                                    info.first_prev is None
+                                    or info.first_prev == expect_prev
+                                )
+                            )
+                        )
+                    ):
+                        skipping.append((cursor, info))
+                        continue
+                scanning.append(cursor)
+
+            for cursor, info in skipping:
+                cursor.fast_forward(page_no, info)
+            if not scanning:
+                # Every live cursor proved the page unchanged for itself:
+                # never read it.  Any valid skip implies the page needs
+                # no fix-up, so the shared fix-up state advances exactly
+                # as a scan would have left it.
+                stats.pages_skipped += 1
+                info = skipping[0][1]
+                if info.last_live is not None:
+                    last_addr = info.last_live
+                    expect_prev = info.last_live
+                continue
+
+            stats.pages_scanned += 1
+            for cursor in scanning:
+                cursor.begin_page()
+
+            if self.batch_mode and heap.summaries is not None:
+                # A summary reporting NULL slots dooms eligibility before
+                # extraction; don't build (and cache) a batch the fix-up
+                # pass is about to invalidate anyway.
+                if heap.summaries.get_or_create(page_no).null_slots:
+                    looked = None
+                else:
+                    looked = heap.page_batch(page_no, schema)
+                if looked is not None:
+                    batch, reused = looked
+                    if not batch.has_nulls and (
+                        not fixup
+                        or (
+                            batch.chain_ok
+                            and last_addr == expect_prev
+                            and (
+                                batch.count == 0
+                                or batch.first_prev == expect_prev
+                            )
+                        )
+                    ):
+                        # The batch proves the scan writes nothing here
+                        # and detects no anomaly: serve every cursor
+                        # columnar.
+                        stats.pages_batch_decoded += 1
+                        if reused:
+                            stats.batches_reused += 1
+                        stats.scanned += batch.count
+                        decodes_before = batch.materializations
+                        for cursor in scanning:
+                            if cursor.failed:
+                                continue
+                            if isolate_failures:
+                                try:
+                                    cursor.serve_batch(batch)
+                                except ChannelError as error:
+                                    cursor.fail(error)
+                            else:
+                                cursor.serve_batch(batch)
+                        stats.rows_materialized += (
+                            batch.materializations - decodes_before
+                        )
+                        last = batch.last_rid()
+                        if last is not None:
+                            last_addr = last
+                            expect_prev = last
+                        if summaries is not None:
+                            for cursor in scanning:
+                                if cursor.failed or cursor.cache is None:
+                                    continue
+                                cursor.record_page(
+                                    page_no,
+                                    batch.version,
+                                    batch.first_prev,
+                                    last,
+                                )
+                        continue
+
+            page_first_prev: "Optional[Rid]" = None
+            page_last_live: "Optional[Rid]" = None
+            first_on_page = True
+
+            for slot_no, body in heap.page_entries(page_no):
+                rid = Rid(page_no, slot_no)
+                stats.scanned += 1
+                stats.rows_decoded += 1
+                probed = decode_fields(schema, body, probe_positions)
+                prev = probed[probe_prev]
+                ts = probed[probe_ts]
+                orig_ts = ts
+                final_prev = prev
+                pure_insert = False
+                anomaly = False
+                if fixup:
+                    if prev is NULL:
+                        # Inserted since the last fix-up.
+                        pure_insert = True
+                        final_prev = last_addr
+                        table.set_annotations(
+                            rid, prev=last_addr, ts=fixup_time
+                        )
+                        stats.fixup_writes += 1
+                    else:
+                        new_prev: "Optional[Rid]" = None
+                        stamp = False
+                        if ts is NULL:
+                            # Updated since the last fix-up.
+                            stamp = True
+                        if prev != expect_prev:
+                            # Deletion(s) detected before this entry.
+                            new_prev = last_addr
+                            stamp = True
+                            anomaly = True
+                            stats.deletions_detected += 1
+                        elif prev != last_addr:
+                            # Insertions (only) before this entry.
+                            new_prev = last_addr
+                        if new_prev is not None or stamp:
+                            fields: "dict[str, object]" = {}
+                            if new_prev is not None:
+                                fields["prev"] = new_prev
+                                final_prev = new_prev
+                            if stamp:
+                                fields["ts"] = fixup_time
+                            table.set_annotations(rid, **fields)
+                            stats.fixup_writes += 1
+                        expect_prev = rid
+                else:
+                    if ts is NULL:
+                        raise RefreshMethodError(
+                            f"entry {rid} has a NULL timestamp but fix-up "
+                            f"is disabled; run base_fixup first or use a "
+                            f"lazy table"
+                        )
+                last_addr = rid
+                if first_on_page:
+                    page_first_prev = final_prev
+                    first_on_page = False
+                page_last_live = rid
+
+                # Decode once, decide per cursor (Figure 3 per snapshot).
+                sparse: "list[object]" = [None] * width
+                for position, value in zip(probe_positions, probed):
+                    sparse[position] = value
+                entry = _LazyEntry(schema, body)
+                for cursor in scanning:
+                    if cursor.failed:
+                        continue
+                    if isolate_failures:
+                        try:
+                            cursor.observe(
+                                rid,
+                                entry,
+                                sparse,
+                                orig_ts,
+                                pure_insert,
+                                anomaly,
+                            )
+                        except ChannelError as error:
+                            cursor.fail(error)
+                    else:
+                        cursor.observe(
+                            rid, entry, sparse, orig_ts, pure_insert, anomaly
+                        )
+
+            if summaries is not None:
+                # Version read after the fix-up writes above, so the
+                # cache entry describes the page bytes as this scan left
+                # them.
+                version: Optional[int] = None
+                for cursor in scanning:
+                    if cursor.failed or cursor.cache is None:
+                        continue
+                    if version is None:
+                        version = summaries.get_or_create(
+                            page_no
+                        ).page_version
+                    cursor.record_page(
+                        page_no, version, page_first_prev, page_last_live
+                    )
+
+        self.expect_prev = expect_prev
+        self.last_addr = last_addr
+
+    def finish_cursors(self, cursors: "Sequence[RefreshCursor]") -> None:
+        """The quiescent finish: EndOfScan + SnapTime per live cursor."""
+        for cursor in cursors:
+            if cursor.failed:
+                continue
+            if self.isolate_failures:
+                try:
+                    cursor.finish(self.fixup_time)
+                except ChannelError as error:
+                    cursor.fail(error)
+            else:
+                cursor.finish(self.fixup_time)
+
+    def seal(self, cursors: "Sequence[RefreshCursor]") -> RefreshResult:
+        """Finalize pass-level counters and run the sanitizer hook."""
+        stats = self.stats
+        stats.new_snap_time = self.fixup_time
+        pool_stats = self.heap.pool.stats
+        stats.buffer_hits = pool_stats.hits - self._hits_before
+        stats.buffer_misses = pool_stats.misses - self._misses_before
+        if self.completed and sanitize.enabled():
+            if stats.interleaved_writes:
+                # Writes that committed inside a chunk boundary
+                # legitimately leave NULL annotations (a torn chain)
+                # until the next fix-up pass; summary dominance must
+                # still hold.
+                sanitize.check_page_summaries(self.table)
+            else:
+                sanitize.check_after_refresh_scan(self.table, self.fixup)
+        for cursor in cursors:
+            result = cursor.result
+            stats.qualified += result.qualified
+            stats.entries_sent += result.entries_sent
+            stats.messages_sent += result.messages_sent
+            stats.bytes_sent += result.bytes_sent
+            stats.entries_evaluated += result.entries_evaluated
+            stats.pages_fast_forwarded += result.pages_fast_forwarded
+        return stats
+
+
 def run_refresh_scan(
     table: Table,
     cursors: "Sequence[RefreshCursor]",
@@ -623,275 +1011,191 @@ def run_refresh_scan(
     for the rest; otherwise (the solo path) the error propagates.  The
     caller is responsible for holding the table-level lock.
     """
-    if fixup is None:
-        fixup = table.annotation_mode == "lazy"
-    schema = table.schema
-    # The batch extractor reads annotations as a fixed record tail; a
-    # schema without that layout always takes the per-row path.
-    batch_mode = batch_mode and table._ann_trailing
-    prev_pos = schema.position(PREVADDR)
-    ts_pos = schema.position(TIMESTAMP)
+    scan = _ScanPass(
+        table, cursors, fixup, use_page_summaries, isolate_failures, batch_mode
+    )
+    scan.scan_pages(cursors, 0, scan.heap.page_count)
+    scan.finish_cursors(cursors)
+    return scan.seal(cursors)
 
-    heap = table.heap
-    summaries = heap.summaries if use_page_summaries else None
 
-    # One decode_fields probe per entry covers the annotations plus the
-    # union of every cursor's restriction columns; the full row is
-    # decoded only when some cursor actually transmits.
-    restr_positions: "set[int]" = set()
-    for cursor in cursors:
-        restr_positions.update(
-            schema.position(name) for name in cursor.restriction.expr.columns()
+def _repair_page(
+    scan: _ScanPass, cursor: RefreshCursor, page_no: int
+) -> None:
+    """Re-transmit one interleave-dirtied page for one cursor.
+
+    The receiver's image of the page is wiped — the open-interval
+    delete excludes both endpoints, so slot 0 gets its own delete —
+    and every *currently* qualifying live row is upserted back, so the
+    committed page equals the base restriction at commit time no matter
+    what sequence of inserts/updates/deletes interleaved after the
+    chunk's high watermark.  The cursor's staged value mirror is
+    repointed to the repaired truth, since later per-column deltas
+    merge against whatever this repair left at the receiver.
+    """
+    lo = Rid(page_no, 0)
+    hi = Rid(page_no + 1, 0)
+    cursor.transmit(DeleteRangeMessage(lo, hi))
+    cursor.transmit(DeleteMessage(lo))
+    page_values: "dict[Rid, tuple]" = {}
+    for slot_no, body in scan.heap.page_entries(page_no):
+        rid = Rid(page_no, slot_no)
+        row = decode_row(scan.schema, body)
+        if not cursor.restriction(row.values):
+            continue
+        projected = cursor.projection(row)
+        value_bytes = len(encode_row(cursor.value_schema, projected))
+        cursor.transmit(
+            UpsertMessage(rid, projected.values, value_bytes)
         )
-    probe_positions = tuple(sorted(restr_positions | {prev_pos, ts_pos}))
-    probe_prev = probe_positions.index(prev_pos)
-    probe_ts = probe_positions.index(ts_pos)
-    width = len(schema)
-
-    stats = RefreshResult()
-    stats.group_cursors = len(cursors)
-    pool_stats = heap.pool.stats
-    hits_before = pool_stats.hits
-    misses_before = pool_stats.misses
-    fixup_time = table.db.clock.tick()
-
-    expect_prev = Rid.BEGIN  # last non-newly-inserted entry (fix-up)
-    last_addr = Rid.BEGIN  # last entry of any kind (fix-up)
-    completed = True  # whether the pass reached the end of the heap
-
-    for page_no in range(heap.page_count):
-        live = [cursor for cursor in cursors if not cursor.failed]
-        if not live:
-            completed = False
-            break  # every output failed; nothing left to serve
-
-        scanning: "list[RefreshCursor]" = []
-        skipping: "list[tuple[RefreshCursor, PageQualInfo]]" = []
-        summary = summaries.get(page_no) if summaries is not None else None
-        for cursor in live:
-            if (
-                summary is not None
-                and not cursor.deletion
-                and summary.skippable(cursor.snap_time)
-            ):
-                info = (
-                    cursor.cache.get(page_no)
-                    if cursor.cache is not None
-                    else None
-                )
-                if (
-                    info is not None
-                    and info.page_version == summary.page_version
-                    and (
-                        not fixup
-                        # At the boundary the scan state must look exactly
-                        # like it did when the cache was filled: a trailing
-                        # pure insert (last_addr != expect_prev) would need
-                        # this page's first PrevAddr repointed, and a
-                        # first_prev mismatch is precisely a deletion
-                        # anomaly hiding on this page.
-                        or (
-                            last_addr == expect_prev
-                            and (
-                                info.first_prev is None
-                                or info.first_prev == expect_prev
-                            )
-                        )
-                    )
-                ):
-                    skipping.append((cursor, info))
-                    continue
-            scanning.append(cursor)
-
-        for cursor, info in skipping:
-            cursor.fast_forward(page_no, info)
-        if not scanning:
-            # Every live cursor proved the page unchanged for itself:
-            # never read it.  Any valid skip implies the page needs no
-            # fix-up, so the shared fix-up state advances exactly as a
-            # scan would have left it.
-            stats.pages_skipped += 1
-            info = skipping[0][1]
-            if info.last_live is not None:
-                last_addr = info.last_live
-                expect_prev = info.last_live
-            continue
-
-        stats.pages_scanned += 1
-        for cursor in scanning:
-            cursor.begin_page()
-
-        if batch_mode and heap.summaries is not None:
-            # A summary reporting NULL slots dooms eligibility before
-            # extraction; don't build (and cache) a batch the fix-up
-            # pass is about to invalidate anyway.
-            if heap.summaries.get_or_create(page_no).null_slots:
-                looked = None
-            else:
-                looked = heap.page_batch(page_no, schema)
-            if looked is not None:
-                batch, reused = looked
-                if not batch.has_nulls and (
-                    not fixup
-                    or (
-                        batch.chain_ok
-                        and last_addr == expect_prev
-                        and (
-                            batch.count == 0
-                            or batch.first_prev == expect_prev
-                        )
-                    )
-                ):
-                    # The batch proves the scan writes nothing here and
-                    # detects no anomaly: serve every cursor columnar.
-                    stats.pages_batch_decoded += 1
-                    if reused:
-                        stats.batches_reused += 1
-                    stats.scanned += batch.count
-                    decodes_before = batch.materializations
-                    for cursor in scanning:
-                        if cursor.failed:
-                            continue
-                        if isolate_failures:
-                            try:
-                                cursor.serve_batch(batch)
-                            except ChannelError as error:
-                                cursor.fail(error)
-                        else:
-                            cursor.serve_batch(batch)
-                    stats.rows_materialized += (
-                        batch.materializations - decodes_before
-                    )
-                    last = batch.last_rid()
-                    if last is not None:
-                        last_addr = last
-                        expect_prev = last
-                    if summaries is not None:
-                        for cursor in scanning:
-                            if cursor.failed or cursor.cache is None:
-                                continue
-                            cursor.record_page(
-                                page_no, batch.version, batch.first_prev, last
-                            )
-                    continue
-
-        page_first_prev: "Optional[Rid]" = None
-        page_last_live: "Optional[Rid]" = None
-        first_on_page = True
-
-        for slot_no, body in heap.page_entries(page_no):
-            rid = Rid(page_no, slot_no)
-            stats.scanned += 1
-            stats.rows_decoded += 1
-            probed = decode_fields(schema, body, probe_positions)
-            prev = probed[probe_prev]
-            ts = probed[probe_ts]
-            orig_ts = ts
-            final_prev = prev
-            pure_insert = False
-            anomaly = False
-            if fixup:
-                if prev is NULL:
-                    # Inserted since the last fix-up.
-                    pure_insert = True
-                    final_prev = last_addr
-                    table.set_annotations(rid, prev=last_addr, ts=fixup_time)
-                    stats.fixup_writes += 1
-                else:
-                    new_prev: "Optional[Rid]" = None
-                    stamp = False
-                    if ts is NULL:
-                        # Updated since the last fix-up.
-                        stamp = True
-                    if prev != expect_prev:
-                        # Deletion(s) detected before this entry.
-                        new_prev = last_addr
-                        stamp = True
-                        anomaly = True
-                        stats.deletions_detected += 1
-                    elif prev != last_addr:
-                        # Insertions (only) before this entry.
-                        new_prev = last_addr
-                    if new_prev is not None or stamp:
-                        fields: "dict[str, object]" = {}
-                        if new_prev is not None:
-                            fields["prev"] = new_prev
-                            final_prev = new_prev
-                        if stamp:
-                            fields["ts"] = fixup_time
-                        table.set_annotations(rid, **fields)
-                        stats.fixup_writes += 1
-                    expect_prev = rid
-            else:
-                if ts is NULL:
-                    raise RefreshMethodError(
-                        f"entry {rid} has a NULL timestamp but fix-up is "
-                        f"disabled; run base_fixup first or use a lazy table"
-                    )
-            last_addr = rid
-            if first_on_page:
-                page_first_prev = final_prev
-                first_on_page = False
-            page_last_live = rid
-
-            # Decode once, decide per cursor (Figure 3 per snapshot).
-            sparse: "list[object]" = [None] * width
-            for position, value in zip(probe_positions, probed):
-                sparse[position] = value
-            entry = _LazyEntry(schema, body)
-            for cursor in scanning:
-                if cursor.failed:
-                    continue
-                if isolate_failures:
-                    try:
-                        cursor.observe(
-                            rid, entry, sparse, orig_ts, pure_insert, anomaly
-                        )
-                    except ChannelError as error:
-                        cursor.fail(error)
-                else:
-                    cursor.observe(
-                        rid, entry, sparse, orig_ts, pure_insert, anomaly
-                    )
-
-        if summaries is not None:
-            # Version read after the fix-up writes above, so the cache
-            # entry describes the page bytes as this scan left them.
-            version: Optional[int] = None
-            for cursor in scanning:
-                if cursor.failed or cursor.cache is None:
-                    continue
-                if version is None:
-                    version = summaries.get_or_create(page_no).page_version
-                cursor.record_page(
-                    page_no, version, page_first_prev, page_last_live
-                )
-
-    for cursor in cursors:
-        if cursor.failed:
-            continue
-        if isolate_failures:
-            try:
-                cursor.finish(fixup_time)
-            except ChannelError as error:
-                cursor.fail(error)
+        page_values[rid] = projected.values
+    if cursor._staged_values is not None:
+        if page_values:
+            cursor._staged_values[page_no] = page_values
         else:
-            cursor.finish(fixup_time)
+            cursor._staged_values.pop(page_no, None)
 
-    stats.new_snap_time = fixup_time
-    stats.buffer_hits = pool_stats.hits - hits_before
-    stats.buffer_misses = pool_stats.misses - misses_before
-    if completed and sanitize.enabled():
-        sanitize.check_after_refresh_scan(table, fixup)
-    for cursor in cursors:
-        result = cursor.result
-        stats.qualified += result.qualified
-        stats.entries_sent += result.entries_sent
-        stats.messages_sent += result.messages_sent
-        stats.bytes_sent += result.bytes_sent
-        stats.entries_evaluated += result.entries_evaluated
-        stats.pages_fast_forwarded += result.pages_fast_forwarded
-    return stats
+
+def run_chunked_refresh_scan(
+    table: Table,
+    cursors: "Sequence[RefreshCursor]",
+    fixup: Optional[bool] = None,
+    use_page_summaries: bool = False,
+    isolate_failures: bool = False,
+    batch_mode: bool = False,
+    chunk_pages: int = 4,
+    on_chunk_boundary: "Optional[Callable[[int], None]]" = None,
+    acquire: "Optional[Callable[[], None]]" = None,
+    release: "Optional[Callable[[], None]]" = None,
+) -> RefreshResult:
+    """Writer-concurrent refresh: the scan in watermark-bracketed chunks.
+
+    The DBLog "virtual cuts" construction over the paper's scan: the
+    address-order pass runs ``chunk_pages`` heap pages at a time, each
+    chunk bracketed by low/high readings of a monotone write watermark
+    (a :class:`~repro.txn.clock.WatermarkBracket` over the heap
+    write-observer's sequence number).  Between chunks the table lock is
+    *released* — ``release()`` / ``on_chunk_boundary(next_chunk)`` /
+    ``acquire()`` — so committed writers proceed while the refresh is in
+    flight; the deterministic simulation drives the "racing writer"
+    through the boundary callback, which is where a concurrent thread's
+    commits would land.
+
+    Every write is recorded against its page with the sequence number
+    it happened at; after a chunk completes, its pages' *scanned*
+    watermark is recorded (after the chunk, so the scan's own fix-up
+    writes never count as interleave).  A page whose last write
+    sequence exceeds its scanned watermark was modified **after** the
+    scan read it — the interleave buffer.  Under the final lock hold
+    those dirty pages are merged into the differential stream: per
+    cursor, after ``EndOfScan``, each dirty page is wiped and its
+    currently-qualifying rows re-upserted (:func:`_repair_page`), so
+    the committed receiver state is identical to what a quiescent scan
+    of the final base table would have produced.  With no interleaved
+    writes the emitted stream is byte-for-byte the monolithic scan's.
+
+    Returns with the table lock *held* (via ``acquire``): the caller
+    sends ``RefreshCommit`` under that hold so no write can slip
+    between the repair and the commit, then releases.  Writes observed
+    while the lock was released are counted in
+    ``RefreshResult.interleaved_writes``; repaired pages in
+    ``pages_repaired``; chunks in ``chunks_scanned``.
+    """
+    if chunk_pages < 1:
+        raise RefreshMethodError("chunk_pages must be at least 1")
+    heap = table.heap
+
+    # The write watermark: one monotone sequence number per physical
+    # record write, with the latest sequence seen per heap page.
+    seq = [0]
+    last_write_seq: "dict[int, int]" = {}
+    in_window = [False]
+    interleaved = [0]
+
+    def watch(kind: str, rid: Rid) -> None:
+        seq[0] += 1
+        last_write_seq[rid.page_no] = seq[0]
+        if in_window[0]:
+            interleaved[0] += 1
+
+    unsubscribe = heap.observe_writes(watch)
+    if acquire is not None:
+        acquire()
+    try:
+        scan = _ScanPass(
+            table,
+            cursors,
+            fixup,
+            use_page_summaries,
+            isolate_failures,
+            batch_mode,
+        )
+        stats = scan.stats
+        scanned_seq: "dict[int, int]" = {}
+        next_page = 0
+        chunk_index = 0
+        while True:
+            # Re-read under the lock: pages appended by interleaved
+            # inserts extend the scan instead of escaping it.
+            page_count = heap.page_count
+            if next_page >= page_count:
+                break
+            stop = min(next_page + chunk_pages, page_count)
+            bracket = WatermarkBracket(chunk_index, seq[0])
+            scan.scan_pages(cursors, next_page, stop)
+            bracket.close(seq[0])
+            for page_no in range(next_page, stop):
+                # Recorded after the chunk: the chunk's own fix-up
+                # writes fall at or below the high watermark and are
+                # covered, not interleaved.
+                scanned_seq[page_no] = bracket.high
+            next_page = stop
+            chunk_index += 1
+            stats.chunks_scanned += 1
+            if not any(not cursor.failed for cursor in cursors):
+                break
+            if next_page >= heap.page_count:
+                break  # final chunk: keep the lock, no writer window
+            if release is not None:
+                release()
+            in_window[0] = True
+            try:
+                if on_chunk_boundary is not None:
+                    on_chunk_boundary(chunk_index)
+            finally:
+                in_window[0] = False
+                if acquire is not None:
+                    acquire()
+        stats.interleaved_writes = interleaved[0]
+
+        # The interleave buffer: pages written after their chunk's high
+        # watermark (deletes included — an empty dirty page still wipes
+        # its stale receiver image).
+        dirty = sorted(
+            page_no
+            for page_no, written in last_write_seq.items()
+            if written > scanned_seq.get(page_no, 0)
+        )
+        stats.pages_repaired = len(dirty)
+
+        for cursor in cursors:
+            if cursor.failed:
+                continue
+            try:
+                cursor.transmit(EndOfScanMessage(cursor.last_qual))
+                for page_no in dirty:
+                    _repair_page(scan, cursor, page_no)
+                cursor.transmit(SnapTimeMessage(scan.fixup_time))
+                cursor.result.new_snap_time = scan.fixup_time
+                if cursor.value_cache is not None:
+                    cursor.value_cache.stage(cursor._staged_values)
+            except ChannelError as error:
+                if not isolate_failures:
+                    raise
+                cursor.fail(error)
+        return scan.seal(cursors)
+    finally:
+        unsubscribe()
 
 
 class DifferentialRefresher:
@@ -995,6 +1299,75 @@ class DifferentialRefresher:
         )
         if own_value_cache:
             value_cache.commit()
+        return self._fold_pass(cursor, stats)
+
+    def refresh_chunked(
+        self,
+        snap_time: int,
+        restriction: Restriction,
+        projection: Projection,
+        send: Send,
+        fixup: Optional[bool] = None,
+        cache: "Optional[dict[int, PageQualInfo]]" = None,
+        value_cache: "Optional[ValueCache]" = None,
+        chunk_pages: int = 4,
+        on_chunk_boundary: "Optional[Callable[[int], None]]" = None,
+        acquire: "Optional[Callable[[], None]]" = None,
+        release: "Optional[Callable[[], None]]" = None,
+    ) -> RefreshResult:
+        """A writer-concurrent refresh scan (chunked watermark scan).
+
+        Same contract as :meth:`refresh` except the table lock is
+        *managed here* through the ``acquire``/``release`` closures: the
+        scan holds it per chunk, releases it at each chunk boundary
+        (running ``on_chunk_boundary`` while writers may proceed), and
+        returns with it held so the caller can commit the epoch before
+        releasing.  See
+        :func:`~repro.core.differential.run_chunked_refresh_scan`.
+        """
+        table = self.table
+        if self.use_page_summaries and cache is None or (
+            self.delta_updates and value_cache is None
+        ):
+            if self._cache_restriction != restriction.text:
+                self._page_cache.clear()
+                self._value_cache = ValueCache()
+                self._cache_restriction = restriction.text
+        if self.use_page_summaries and cache is None:
+            cache = self._page_cache
+        own_value_cache = False
+        if self.delta_updates and value_cache is None:
+            value_cache = self._value_cache
+            own_value_cache = True
+
+        cursor = RefreshCursor(
+            snap_time,
+            restriction,
+            projection,
+            send,
+            cache=cache,
+            optimize_deletes=self.optimize_deletes,
+            suppress_pure_inserts=self.suppress_pure_inserts,
+            value_cache=value_cache if self.delta_updates else None,
+        )
+        stats = run_chunked_refresh_scan(
+            table,
+            (cursor,),
+            fixup=fixup,
+            use_page_summaries=self.use_page_summaries,
+            batch_mode=self.batch_mode,
+            chunk_pages=chunk_pages,
+            on_chunk_boundary=on_chunk_boundary,
+            acquire=acquire,
+            release=release,
+        )
+        if own_value_cache:
+            value_cache.commit()
+        return self._fold_pass(cursor, stats)
+
+    def _fold_pass(
+        self, cursor: RefreshCursor, stats: RefreshResult
+    ) -> RefreshResult:
         # A solo refresh owns its whole pass: fold the pass-level scan
         # costs into the cursor's result (per-cursor fields are already
         # there, and equal the pass totals for one cursor).
@@ -1007,6 +1380,9 @@ class DifferentialRefresher:
         result.pages_batch_decoded = stats.pages_batch_decoded
         result.batches_reused = stats.batches_reused
         result.rows_materialized = stats.rows_materialized
+        result.chunks_scanned = stats.chunks_scanned
+        result.interleaved_writes = stats.interleaved_writes
+        result.pages_repaired = stats.pages_repaired
         return result
 
 

@@ -42,11 +42,12 @@ coalescing window batches almost-due snapshots onto one pass.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.differential import (
     RefreshCursor,
     RefreshResult,
+    run_chunked_refresh_scan,
     run_refresh_scan,
 )
 from repro.errors import RefreshMethodError
@@ -149,6 +150,47 @@ class GroupRefresher:
             isolate_failures=True,
             batch_mode=self.batch_mode,
         )
+        return self._fold(outcome, cursors)
+
+    def refresh_group_chunked(
+        self,
+        cursors: "Sequence[RefreshCursor]",
+        fixup: Optional[bool] = None,
+        chunk_pages: int = 4,
+        on_chunk_boundary: "Optional[Callable[[int], None]]" = None,
+        acquire: "Optional[Callable[[], None]]" = None,
+        release: "Optional[Callable[[], None]]" = None,
+    ) -> GroupRefreshResult:
+        """A writer-concurrent shared-scan pass (chunked watermark scan).
+
+        Same cursor semantics as :meth:`refresh_group`, but the scan
+        runs in watermark-bracketed chunks with the table lock released
+        at chunk boundaries (see
+        :func:`~repro.core.differential.run_chunked_refresh_scan`).
+        Returns with the lock *held* via ``acquire`` so the caller can
+        commit each cursor's epoch before any further write lands.
+        """
+        outcome = GroupRefreshResult()
+        if not cursors:
+            return outcome
+        outcome.pass_result = run_chunked_refresh_scan(
+            self.table,
+            list(cursors),
+            fixup=fixup,
+            use_page_summaries=self.use_page_summaries,
+            isolate_failures=True,
+            batch_mode=self.batch_mode,
+            chunk_pages=chunk_pages,
+            on_chunk_boundary=on_chunk_boundary,
+            acquire=acquire,
+            release=release,
+        )
+        return self._fold(outcome, cursors)
+
+    def _fold(
+        self, outcome: GroupRefreshResult, cursors: "Sequence[RefreshCursor]"
+    ) -> GroupRefreshResult:
+        """Copy pass-level costs onto every cursor's own result."""
         stats = outcome.pass_result
         for index, cursor in enumerate(cursors):
             name = cursor.name if cursor.name is not None else str(index)
@@ -165,6 +207,9 @@ class GroupRefresher:
             result.pages_batch_decoded = stats.pages_batch_decoded
             result.batches_reused = stats.batches_reused
             result.rows_materialized = stats.rows_materialized
+            result.chunks_scanned = stats.chunks_scanned
+            result.interleaved_writes = stats.interleaved_writes
+            result.pages_repaired = stats.pages_repaired
             if cursor.failed:
                 outcome.errors[name] = cursor.error
             else:

@@ -16,7 +16,7 @@ claim, measured by the A6 benchmark).
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Callable, Optional, Sequence, Union
 
 from repro import sanitize
 from repro.catalog.catalog import SnapshotInfo
@@ -377,11 +377,17 @@ class SnapshotManager:
                         f"attempts: {error}"
                     ) from error
                 delay = policy.delay(attempts, self.db.clock.read())
-                if policy.budget is not None and waited + delay > policy.budget:
-                    raise RetryExhaustedError(
-                        f"refresh of {name!r} exceeded its retry budget "
-                        f"({policy.budget}) after {attempts} attempts"
-                    ) from error
+                if policy.budget is not None:
+                    remaining = policy.budget - waited
+                    if remaining <= 0.0:
+                        raise RetryExhaustedError(
+                            f"refresh of {name!r} exhausted its retry budget "
+                            f"({policy.budget}) after {attempts} attempts"
+                        ) from error
+                    # The last backoff is clamped to what is left of the
+                    # budget instead of overshooting it: the budget is a
+                    # cap on total waiting, not a per-delay admission test.
+                    delay = min(delay, remaining)
                 waited += policy.pause(delay)
                 handle.retries += 1
                 continue
@@ -473,6 +479,176 @@ class SnapshotManager:
         handle.channel.abort()
         handle.value_cache.abort()
         handle.info.snapshot_table.abort_epoch()
+
+    # -- writer-concurrent refresh -------------------------------------------
+
+    def refresh_online(
+        self,
+        name: str,
+        chunk_pages: int = 4,
+        on_chunk_boundary: "Optional[Callable[[int], None]]" = None,
+    ) -> RefreshResult:
+        """Refresh a differential snapshot without locking out writers.
+
+        The scan runs in watermark-bracketed chunks of ``chunk_pages``
+        heap pages; between chunks the base-table X lock is released and
+        ``on_chunk_boundary(next_chunk)`` runs — the deterministic
+        simulation's stand-in for concurrent writer commits.  Writes
+        landing in those windows are detected by the heap's write
+        watermark and merged into the differential stream before the
+        epoch commits, so the committed snapshot equals what a quiescent
+        refresh of the final base table would have produced (see
+        :func:`~repro.core.differential.run_chunked_refresh_scan`).
+        """
+        handle = self.snapshot(name)
+        info = handle.info
+        refresher = handle.refresher
+        if not isinstance(refresher, DifferentialRefresher):
+            raise SnapshotError(
+                f"snapshot {name!r} uses {info.plan.method.value!r} refresh; "
+                f"online (chunked) refresh requires the differential method"
+            )
+        owner = ("refresh", info.name)
+        resource = ("table", info.base_table)
+        locks = self.db.locks
+        held = [False]
+
+        def acquire() -> None:
+            if not held[0]:
+                locks.acquire(owner, resource, LockMode.X)
+                held[0] = True
+
+        def release() -> None:
+            if held[0]:
+                locks.release(owner, resource)
+                held[0] = False
+
+        epoch = self.db.clock.tick()
+        sent = 0
+
+        def send(message: Any) -> None:
+            nonlocal sent
+            handle.channel.send(message)
+            sent += 1
+
+        plan = info.plan
+        try:
+            try:
+                handle.channel.send(RefreshBeginMessage(epoch))
+                result = refresher.refresh_chunked(
+                    info.snap_time,
+                    plan.restriction,
+                    plan.projection,
+                    send,
+                    cache=handle.page_cache,
+                    value_cache=(
+                        handle.value_cache if refresher.delta_updates else None
+                    ),
+                    chunk_pages=chunk_pages,
+                    on_chunk_boundary=on_chunk_boundary,
+                    acquire=acquire,
+                    release=release,
+                )
+                # The scan returns with the lock held: the commit goes
+                # out before any further write can land, so the epoch's
+                # contents are exactly the repaired stream.
+                handle.channel.send(RefreshCommitMessage(epoch, sent))
+                handle.channel.flush()
+            except Exception:
+                self._abort_attempt(handle)
+                raise
+            if info.snapshot_table.last_committed_epoch != epoch:
+                self._abort_attempt(handle)
+                raise EpochError(
+                    f"snapshot {info.name!r}: epoch {epoch} was never "
+                    f"committed at the receiver (stream lost in transit)"
+                )
+            if handle.value_cache.commit() and sanitize.enabled():
+                sanitize.check_value_cache(
+                    handle.value_cache, info.snapshot_table
+                )
+            info.last_refresh_lsn = self.db.wal.next_lsn
+        finally:
+            release()
+        info.snap_time = result.new_snap_time
+        info.refresh_count += 1
+        return result
+
+    # -- anti-entropy --------------------------------------------------------
+
+    def verify_snapshot(self, name: str) -> "tuple[bool, Any]":
+        """Root-hash comparison of a snapshot against its base restriction.
+
+        One :class:`~repro.core.messages.SegmentHashRequestMessage` /
+        response exchange over the whole address space: a match proves
+        (to digest strength) the snapshot equals the current restriction
+        of its base; a mismatch reports drift without locating it.
+        Returns ``(in_sync, stats)``.
+        """
+        from repro.core.antientropy import AntiEntropySession
+
+        handle = self.snapshot(name)
+        info = handle.info
+        owner = ("antientropy", info.name)
+        resource = ("table", info.base_table)
+        with self.db.locks.locking(owner, resource, LockMode.S):
+            session = AntiEntropySession(
+                self.db.table(info.base_table),
+                handle.restriction,
+                handle.projection,
+                info.snapshot_table,
+            )
+            in_sync = session.verify()
+        return in_sync, session.stats
+
+    def resync_snapshot(self, name: str, leaf_pages: int = 1) -> Any:
+        """Hash-bisection repair of a drifted snapshot.
+
+        Bisects the address space down to ``leaf_pages``-wide segments,
+        repairing only mismatched leaves over the snapshot's channel —
+        the minimal-traffic alternative to re-running a full refresh
+        when the receiver drifted outside the protocol (restored backup,
+        lost epoch, operator surgery).  The snapshot's ``SnapTime`` is
+        deliberately left unchanged: repair restores state, it performs
+        no change scan.  Returns the session's stats.
+        """
+        from repro.core.antientropy import AntiEntropySession
+
+        handle = self.snapshot(name)
+        info = handle.info
+        owner = ("antientropy", info.name)
+        resource = ("table", info.base_table)
+        with self.db.locks.locking(owner, resource, LockMode.X):
+            def ship(message: Any) -> None:
+                handle.channel.send(message)
+
+            session = AntiEntropySession(
+                self.db.table(info.base_table),
+                handle.restriction,
+                handle.projection,
+                info.snapshot_table,
+                send=ship,
+                leaf_pages=leaf_pages,
+            )
+            stats = session.resync()
+            handle.channel.flush()
+            if stats.leaves_repaired:
+                # Repairs rewrote receiver rows; the delta-updates value
+                # mirror must describe the repaired truth or later
+                # column deltas would merge against rows the receiver no
+                # longer holds.  After a converged resync the receiver
+                # equals the sender's restriction everywhere, so the
+                # session's full mirror is exact.
+                handle.value_cache.pages = session.repaired_pages()
+                handle.value_cache.staged = None
+            if sanitize.enabled():
+                sanitize.check_anti_entropy(
+                    self.db.table(info.base_table),
+                    handle.restriction,
+                    handle.projection,
+                    info.snapshot_table,
+                )
+        return stats
 
     # -- group refresh -----------------------------------------------------------
 
@@ -658,13 +834,24 @@ class SnapshotManager:
     # -- DROP SNAPSHOT --------------------------------------------------------------
 
     def drop_snapshot(self, name: str) -> None:
-        """Remove the snapshot from the catalog and detach its channel."""
+        """Remove the snapshot: catalog entry, channel, and its storage.
+
+        The receiver's hidden storage table (``$SNAP$<name>``) is
+        dropped too, which discards its buffered frames and cached
+        batches — before this, a dropped snapshot leaked its pages in
+        the receiver site's buffer pool forever.
+        """
         handle = self.snapshot(name)
         self.db.catalog.drop_snapshot(name)
         del self._handles[name]
         channel = handle.channel
         inner = channel.inner if isinstance(channel, BlockingChannel) else channel
         inner.detach()
+        snapshot_table = handle.info.snapshot_table
+        site = snapshot_table.db
+        storage_name = snapshot_table.storage.name
+        if site.has_table(storage_name):
+            site.drop_table(storage_name)
 
     def snapshots(self) -> "list[Snapshot]":
         return list(self._handles.values())

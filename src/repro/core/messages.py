@@ -21,6 +21,8 @@ from repro.storage.rid import Rid
 _TYPE_BYTE = 1
 _ADDR_BYTES = Rid.WIRE_SIZE
 _TIME_BYTES = 8
+#: Segment bounds are bare page numbers — half a Rid on the wire.
+_PAGE_BYTES = 4
 
 
 class RefreshMessage:
@@ -290,3 +292,90 @@ class FullRowMessage(RefreshMessage):
 
     def __repr__(self) -> str:
         return f"FullRowMessage({self.addr}, {self.values})"
+
+
+class SegmentHashRequestMessage(RefreshMessage):
+    """Anti-entropy: ask for the receiver's hash over a page segment.
+
+    ``[lo, hi)`` is a half-open *page* interval of the base address
+    space.  The receiver answers with a
+    :class:`SegmentHashResponseMessage` digesting every snapshot entry
+    whose address falls in the segment; a mismatch against the sender's
+    own digest recurses by bisection, so only drifted segments are ever
+    enumerated.
+    """
+
+    counts_as_entry = False
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        self.lo = lo
+        self.hi = hi
+
+    def wire_size(self) -> int:
+        return _TYPE_BYTE + 2 * _PAGE_BYTES
+
+    def __repr__(self) -> str:
+        return f"SegmentHashRequestMessage([{self.lo}, {self.hi}))"
+
+
+class SegmentHashResponseMessage(RefreshMessage):
+    """Anti-entropy: one side's digest and entry count over a segment.
+
+    ``digest`` is an order-sensitive hash (addresses and encoded values)
+    of the segment's entries; ``count`` rides along so an empty-vs-empty
+    comparison is free and mismatch diagnostics are cheap.
+    """
+
+    counts_as_entry = False
+
+    __slots__ = ("lo", "hi", "digest", "count")
+
+    def __init__(self, lo: int, hi: int, digest: bytes, count: int) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.digest = digest
+        self.count = count
+
+    def wire_size(self) -> int:
+        return _TYPE_BYTE + 2 * _PAGE_BYTES + len(self.digest) + 4
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentHashResponseMessage([{self.lo}, {self.hi}), "
+            f"digest={self.digest.hex()}, count={self.count})"
+        )
+
+
+class RowDigestsMessage(RefreshMessage):
+    """Anti-entropy: the receiver's per-row digests for one dirty page.
+
+    Once bisection has narrowed a mismatch to a leaf, re-shipping the
+    whole leaf wastes bytes proportional to the page, not the drift.
+    Instead the receiver enumerates ``(slot, digest)`` for its entries
+    on the page; the sender diffs against its own rows and ships only
+    the upserts and deletes that actually differ.  Slots are small
+    (bounded by rows-per-page), so each entry costs one slot byte plus
+    the short row digest.
+    """
+
+    counts_as_entry = False
+
+    __slots__ = ("page_no", "entries")
+
+    def __init__(
+        self, page_no: int, entries: "Tuple[Tuple[int, bytes], ...]"
+    ) -> None:
+        self.page_no = page_no
+        self.entries = tuple(entries)
+
+    def wire_size(self) -> int:
+        body = sum(1 + len(digest) for _, digest in self.entries)
+        return _TYPE_BYTE + _PAGE_BYTES + 2 + body
+
+    def __repr__(self) -> str:
+        return (
+            f"RowDigestsMessage(page={self.page_no}, "
+            f"entries={len(self.entries)})"
+        )

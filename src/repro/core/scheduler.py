@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.core.differential import RefreshResult
 from repro.core.manager import Snapshot, SnapshotManager
 from repro.errors import ChannelError, RetryExhaustedError, SnapshotError
 from repro.txn.transactions import Transaction
@@ -64,7 +65,7 @@ class ScheduleEntry:
         #: and were skipped; ``pending`` is kept so the next period — or
         #: :meth:`RefreshScheduler.flush` — retries.
         self.failed_refreshes = 0
-        self.last_failure: "Exception | None" = None
+        self.last_failure: "BaseException | None" = None
 
     @property
     def average_staleness(self) -> float:
@@ -99,6 +100,8 @@ class RefreshScheduler:
         self.group_passes = 0
         #: Refreshes that rode another snapshot's pass early.
         self.coalesced_refreshes = 0
+        #: Group-pass casualties immediately re-armed solo (and healed).
+        self.rearmed_solo = 0
         self._listener = self._on_commit
         manager.db.txns.on_commit(self._listener)
 
@@ -168,7 +171,19 @@ class RefreshScheduler:
                 group.append(other)
         return group
 
-    def _record_failure(self, entry: ScheduleEntry, error: Exception) -> None:
+    def _rearm_solo(
+        self, member: ScheduleEntry, group_error: "BaseException | None"
+    ) -> "RefreshResult | None":
+        """One immediate solo attempt for a member its group pass failed."""
+        try:
+            return self.manager.refresh(member.snapshot.name)
+        except (ChannelError, RetryExhaustedError) as error:
+            self._record_failure(member, group_error or error)
+            return None
+
+    def _record_failure(
+        self, entry: ScheduleEntry, error: "BaseException | None"
+    ) -> None:
         # A down link must not propagate out of the commit hook and
         # fail the writer's transaction.  Record the failure, keep
         # `pending` so the next period (or flush()) retries.
@@ -196,10 +211,20 @@ class RefreshScheduler:
         for member in group:
             result = results.get(member.snapshot.name)
             if result is None:
-                self._record_failure(
+                # The shared pass failed for this member.  A rider was
+                # pulled in *ahead* of its own deadline, so leaving it
+                # with its pre-ride counter after a failed pass lets it
+                # coast past the window it was about to hit and its
+                # staleness area quietly under-reports the miss.
+                # Re-arm it solo right now; only if that attempt also
+                # fails do we record the failure (keeping ``pending``
+                # so the next period or flush() retries).
+                result = self._rearm_solo(
                     member, results.errors.get(member.snapshot.name)
                 )
-                continue
+                if result is None:
+                    continue
+                self.rearmed_solo += 1
             member.refreshes += 1
             member.entries_shipped += result.entries_sent
             member.pending = 0

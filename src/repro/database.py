@@ -89,7 +89,15 @@ class Database:
         return self.catalog.table(name).table
 
     def drop_table(self, name: str) -> None:
-        """Remove a table (its pages are abandoned, not reclaimed)."""
+        """Remove a table (its pages are abandoned, not reclaimed).
+
+        The buffer pool forgets the abandoned pages first — frames are
+        dropped without writeback and cached :class:`PageBatch` entries
+        are evicted, so a long-lived pool cannot keep serving (or
+        leaking) storage that no longer has an owner.
+        """
+        table = self.catalog.table(name).table
+        table.heap.discard_cached()
         self.catalog.drop_table(name)
 
     def has_table(self, name: str) -> bool:

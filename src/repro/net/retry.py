@@ -71,20 +71,21 @@ class RetryPolicy:
         """Backoff before retry ``attempt`` (1-based), jittered by ``now``.
 
         Deterministic: the same (attempt, clock reading) always yields
-        the same delay.  Jitter only ever *shortens* the raw exponential
-        delay (full-jitter style, scaled by the ``jitter`` fraction), so
-        ``max_delay`` stays an upper bound.
+        the same delay.  Jitter is applied to the *uncapped* exponential
+        and the result is clamped to ``max_delay`` last, so the cap is a
+        hard upper bound no matter what the jitter hash produces —
+        jittering a capped value and capping a jittered value agree
+        whenever the exponential is below the cap, but only the latter
+        keeps ``max_delay`` an invariant of the policy.
         """
         if attempt < 1:
             raise ReproError("attempt numbers are 1-based")
-        raw = min(
-            self.base_delay * self.multiplier ** (attempt - 1), self.max_delay
-        )
-        if self.jitter == 0.0 or raw == 0.0:
-            return raw
-        mixed = (now * _MIX_A + attempt * _MIX_B) % _MIX_MOD
-        fraction = mixed / (_MIX_MOD - 1)
-        return raw * (1.0 - self.jitter * fraction)
+        raw = self.base_delay * self.multiplier ** (attempt - 1)
+        if self.jitter != 0.0 and raw != 0.0:
+            mixed = (now * _MIX_A + attempt * _MIX_B) % _MIX_MOD
+            fraction = mixed / (_MIX_MOD - 1)
+            raw *= 1.0 - self.jitter * fraction
+        return min(raw, self.max_delay)
 
     def pause(self, delay: float) -> float:
         """Wait out one computed delay (via the sleeper hook) and log it."""

@@ -312,6 +312,9 @@ _TAG_DELETE = 8
 _TAG_CLEAR = 9
 _TAG_FULL_ROW = 10
 _TAG_UPDATE_DELTA = 11
+_TAG_SEGMENT_HASH_REQUEST = 12
+_TAG_SEGMENT_HASH_RESPONSE = 13
+_TAG_ROW_DIGESTS = 14
 
 
 class WireFrame:
@@ -419,6 +422,25 @@ class WireCodec:
             out.append(_TAG_FULL_ROW)
             _encode_addr(out, message.addr, state)
             _encode_fields(out, schema, self._all_positions, message.values)
+        elif isinstance(message, msg.SegmentHashRequestMessage):
+            out.append(_TAG_SEGMENT_HASH_REQUEST)
+            write_uvarint(out, message.lo)
+            write_uvarint(out, message.hi)
+        elif isinstance(message, msg.SegmentHashResponseMessage):
+            out.append(_TAG_SEGMENT_HASH_RESPONSE)
+            write_uvarint(out, message.lo)
+            write_uvarint(out, message.hi)
+            write_uvarint(out, len(message.digest))
+            out.extend(message.digest)
+            write_uvarint(out, message.count)
+        elif isinstance(message, msg.RowDigestsMessage):
+            out.append(_TAG_ROW_DIGESTS)
+            write_uvarint(out, message.page_no)
+            write_uvarint(out, len(message.entries))
+            for slot, digest in message.entries:
+                write_uvarint(out, slot)
+                write_uvarint(out, len(digest))
+                out.extend(digest)
         else:
             raise WireError(f"no wire encoding for {message!r}")
 
@@ -493,6 +515,33 @@ class WireCodec:
             )
             value_bytes = encoded_fields_size(schema, self._all_positions, values)
             return msg.FullRowMessage(addr, values, value_bytes), offset
+        if tag == _TAG_SEGMENT_HASH_REQUEST:
+            lo, offset = read_uvarint(data, offset)
+            hi, offset = read_uvarint(data, offset)
+            return msg.SegmentHashRequestMessage(lo, hi), offset
+        if tag == _TAG_SEGMENT_HASH_RESPONSE:
+            lo, offset = read_uvarint(data, offset)
+            hi, offset = read_uvarint(data, offset)
+            length, offset = read_uvarint(data, offset)
+            digest = bytes(data[offset : offset + length])
+            if len(digest) != length:
+                raise WireError("truncated frame: segment digest cut short")
+            offset += length
+            count, offset = read_uvarint(data, offset)
+            return msg.SegmentHashResponseMessage(lo, hi, digest, count), offset
+        if tag == _TAG_ROW_DIGESTS:
+            page_no, offset = read_uvarint(data, offset)
+            count, offset = read_uvarint(data, offset)
+            entries: "list[tuple[int, bytes]]" = []
+            for _ in range(count):
+                slot, offset = read_uvarint(data, offset)
+                length, offset = read_uvarint(data, offset)
+                digest = bytes(data[offset : offset + length])
+                if len(digest) != length:
+                    raise WireError("truncated frame: row digest cut short")
+                offset += length
+                entries.append((slot, digest))
+            return msg.RowDigestsMessage(page_no, tuple(entries)), offset
         raise WireError(f"unknown message tag {tag}")
 
     # -- whole frames --------------------------------------------------------

@@ -168,6 +168,7 @@ def check_after_refresh_scan(table: Any, fixup_ran: bool) -> None:
     if fixup_ran:
         check_annotation_chain(table)
     check_page_summaries(table)
+    check_buffer_bounds(table.heap.pool)
 
 
 # -- snapshot epoch isolation -------------------------------------------------
@@ -229,3 +230,66 @@ def check_value_cache(cache: Any, snapshot: Any) -> None:
                     f"{values!r} for {rid} but the receiver holds "
                     f"{tuple(row.values)!r}; the mirror diverged"
                 )
+
+
+# -- buffer-pool cache bounds -------------------------------------------------
+
+
+def check_buffer_bounds(pool: Any) -> None:
+    """Both pool caches respect the configured frame capacity.
+
+    The frame LRU is bounded by eviction and the batch cache by its
+    store-time trim, but retention bugs (dropped tables whose entries
+    were never evicted) inflate either side silently — the pool keeps
+    "working" while holding storage nobody can ever hit again.
+    """
+    capacity = pool.capacity
+    if len(pool) > capacity:
+        raise SanitizerError(
+            f"buffer pool holds {len(pool)} frames over its capacity "
+            f"of {capacity}; eviction is leaking frames"
+        )
+    batches = pool.batch_entries()
+    if batches > capacity:
+        raise SanitizerError(
+            f"buffer pool holds {batches} cached page batches over its "
+            f"capacity of {capacity}; batch retention is leaking entries"
+        )
+
+
+# -- anti-entropy convergence -------------------------------------------------
+
+
+def check_anti_entropy(
+    table: Any, restriction: Any, projection: Any, snapshot: Any
+) -> None:
+    """After a resync, the receiver equals the restriction of the base.
+
+    The whole point of the hash-bisection protocol is that repairing
+    only mismatched leaves still converges the *entire* snapshot; a
+    digest collision or a slicing bug would leave silent drift exactly
+    where the protocol claims to have proven agreement.
+    """
+    with _StatsGuard(table.heap):
+        expected = {}
+        for rid, row in table.scan_full():
+            if restriction(list(row.values)):
+                expected[rid] = tuple(projection(row).values)
+    actual = {
+        addr: tuple(values) for addr, values in snapshot.as_map().items()
+    }
+    if actual == expected:
+        return
+    missing = sorted(set(expected) - set(actual))
+    surplus = sorted(set(actual) - set(expected))
+    stale = sorted(
+        addr
+        for addr in set(actual) & set(expected)
+        if actual[addr] != expected[addr]
+    )
+    raise SanitizerError(
+        f"snapshot {snapshot.name!r} diverges from its base restriction "
+        f"after anti-entropy: {len(missing)} missing, {len(surplus)} "
+        f"surplus, {len(stale)} stale (first: "
+        f"{(missing or surplus or stale)[:3]})"
+    )

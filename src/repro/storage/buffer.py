@@ -18,6 +18,7 @@ eviction or on :meth:`BufferPool.flush_all`.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Iterable
 
 from repro.errors import BufferPoolError
 from repro.storage.pager import Pager
@@ -177,6 +178,49 @@ class BufferPool:
         self._batches.move_to_end(page_no)
         while len(self._batches) > self._capacity:
             self._batches.popitem(last=False)
+
+    def discard_pages(self, page_nos: "Iterable[int]") -> int:
+        """Forget cached state for abandoned pages; return entries dropped.
+
+        Used when a table is dropped or truncated: its frames are
+        discarded *without* writeback (the pages are garbage — writing
+        them back would be wasted I/O and would resurrect stale bytes
+        if the pager ever reuses the page), and its columnar batch
+        entries are removed so the batch cache cannot keep serving a
+        page whose owner is gone.  Pinned frames are an error: nobody
+        may hold a pin into storage that is being abandoned.
+        """
+        dropped = 0
+        for page_no in page_nos:
+            frame = self._frames.get(page_no)
+            if frame is not None:
+                if frame.pin_count > 0:
+                    raise BufferPoolError(
+                        f"page {page_no} is pinned and cannot be discarded"
+                    )
+                del self._frames[page_no]
+                dropped += 1
+            if self._batches.pop(page_no, None) is not None:
+                dropped += 1
+        return dropped
+
+    def discard_batches(self, page_nos: "Iterable[int]") -> int:
+        """Evict cached batches for specific pages; frames stay put.
+
+        Used on truncate: the pages remain owned (and possibly dirty in
+        their frames), but every cached batch for them is definitionally
+        stale — version self-invalidation would already refuse to serve
+        them, so all the stale entries do is squat in the LRU bound.
+        """
+        dropped = 0
+        for page_no in page_nos:
+            if self._batches.pop(page_no, None) is not None:
+                dropped += 1
+        return dropped
+
+    def batch_entries(self) -> int:
+        """Number of cached batch entries (diagnostic / sanitizer)."""
+        return len(self._batches)
 
     def pinned_pages(self) -> "list[int]":
         """Page numbers currently pinned (diagnostic)."""

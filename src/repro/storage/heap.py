@@ -83,6 +83,30 @@ class HeapFile:
         #: every record write (attached by the table layer once the
         #: annotation columns exist, since summaries decode them).
         self.summaries = None
+        # Write observers: callbacks invoked as ``callback(kind, rid)``
+        # after every physical record write (kind is "insert", "update"
+        # or "delete").  This is a *separate* mechanism from the page
+        # summaries above — summaries decode annotation bytes and keep
+        # per-page change state; an observer just watches the write
+        # stream (the chunked refresh scan brackets its chunks with the
+        # observer's sequence numbers).
+        self._write_observers: "list[Callable[[str, Rid], None]]" = []
+
+    def observe_writes(
+        self, callback: "Callable[[str, Rid], None]"
+    ) -> "Callable[[], None]":
+        """Register a write observer; returns an unsubscribe closure."""
+        self._write_observers.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._write_observers:
+                self._write_observers.remove(callback)
+
+        return unsubscribe
+
+    def _notify_write(self, kind: str, rid: Rid) -> None:
+        for callback in self._write_observers:
+            callback(kind, rid)
 
     def attach_summaries(self, summaries) -> None:
         """Attach a summary map and build it from current contents."""
@@ -127,6 +151,14 @@ class HeapFile:
     def record_count(self) -> int:
         return self._record_count
 
+    def physical_pages(self) -> "list[int]":
+        """The pager page numbers this heap owns, in address order."""
+        return list(self._pages)
+
+    def discard_cached(self) -> int:
+        """Drop this heap's pages from the buffer/batch caches (no I/O)."""
+        return self._pool.discard_pages(self._pages)
+
     # -- record operations ---------------------------------------------------
 
     def insert(self, record: bytes) -> Rid:
@@ -153,6 +185,8 @@ class HeapFile:
                 self._unpin(heap_page, dirty=True)
                 self._record_count += 1
                 self.writes.inserts += 1
+                if self._write_observers:
+                    self._notify_write("insert", rid)
                 return rid
             self._free_hint[heap_page] = page.contiguous_free() + page.reclaimable()
             self._unpin(heap_page, dirty=False)
@@ -166,6 +200,8 @@ class HeapFile:
         self._unpin(heap_page, dirty=True)
         self._record_count += 1
         self.writes.inserts += 1
+        if self._write_observers:
+            self._notify_write("insert", rid)
         return rid
 
     def insert_at(self, rid: Rid, record: bytes) -> None:
@@ -190,6 +226,8 @@ class HeapFile:
             self._unpin(rid.page_no, dirty=True)
         self._record_count += 1
         self.writes.inserts += 1
+        if self._write_observers:
+            self._notify_write("insert", rid)
 
     def read(self, rid: Rid) -> bytes:
         """Return the record at ``rid`` (raises if the address is empty)."""
@@ -225,6 +263,8 @@ class HeapFile:
         finally:
             self._unpin(rid.page_no, dirty=True)
         self.writes.updates += 1
+        if self._write_observers:
+            self._notify_write("update", rid)
 
     def delete(self, rid: Rid) -> None:
         """Free the address ``rid`` for reuse."""
@@ -240,6 +280,8 @@ class HeapFile:
             self._unpin(rid.page_no, dirty=True)
         self._record_count -= 1
         self.writes.deletes += 1
+        if self._write_observers:
+            self._notify_write("delete", rid)
 
     # -- scans ---------------------------------------------------------------
 

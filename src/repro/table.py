@@ -618,6 +618,24 @@ class Table(UndoInterface):
             self.stats.inserts += 1
         return rids
 
+    def truncate(self) -> int:
+        """Delete every row (no logging); keeps schema, storage and caches
+        honest.
+
+        Rows are removed through the heap (so page summaries and the
+        live index stay maintained) and every cached columnar batch for
+        the table's pages is evicted from the buffer pool — the entries
+        are definitionally stale after a truncate, and leaving them in
+        the bounded batch cache just squats LRU slots until unrelated
+        traffic pushes them out.
+        """
+        removed = 0
+        for rid in list(self.heap.scan_rids()):
+            self.system_delete(rid)
+            removed += 1
+        self.heap.pool.discard_batches(self.heap.physical_pages())
+        return removed
+
     # -- reads -------------------------------------------------------------------
 
     def read(self, rid: Rid, visible: bool = True) -> Row:

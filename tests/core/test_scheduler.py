@@ -114,6 +114,61 @@ class TestFailedRefreshes:
             rid: row.values for rid, row in table.scan(visible=True)
         }
 
+    def _coalesce_world(self, db):
+        from repro.net.faults import FaultyLink
+
+        table = db.create_table("t", [("v", "int")])
+        rids = table.bulk_load([[i] for i in range(10)])
+        manager = SnapshotManager(db)
+        manager.create_snapshot("lead", "t", method="differential")
+        link = FaultyLink()
+        manager.create_snapshot(
+            "rider", "t", method="differential", channel=link
+        )
+        scheduler = RefreshScheduler(manager, coalesce_window=3)
+        lead = scheduler.schedule("lead", every_ops=4)
+        rider = scheduler.schedule("rider", every_ops=6)
+        return table, rids, manager, link, scheduler, lead, rider
+
+    def test_failed_rider_is_rearmed_solo(self, db):
+        # Regression: a rider pulled into a shared pass ahead of its own
+        # deadline used to keep its pre-ride counter when the pass failed
+        # for it, coasting past the window it was about to hit.  The
+        # scheduler now re-arms the casualty solo inside the same hook.
+        table, rids, manager, link, scheduler, lead, rider = (
+            self._coalesce_world(db)
+        )
+        for i in range(3):
+            table.update(rids[i], {"v": 100 + i})
+        link.fail_at(0, 1)  # the group pass dies on the rider's Begin
+        table.update(rids[3], {"v": 103})  # 4th op: lead due, rider rides
+        assert lead.refreshes == 1 and lead.pending == 0
+        assert rider.refreshes == 1 and rider.pending == 0
+        assert rider.failed_refreshes == 0
+        assert scheduler.rearmed_solo == 1
+        assert scheduler.coalesced_refreshes == 1
+        assert scheduler.failed_refreshes == 0
+        snap = manager.snapshot("rider")
+        assert snap.as_map() == {
+            rid: row.values for rid, row in table.scan(visible=True)
+        }
+
+    def test_rider_rearm_failure_keeps_pending(self, db):
+        table, rids, manager, link, scheduler, lead, rider = (
+            self._coalesce_world(db)
+        )
+        for i in range(3):
+            table.update(rids[i], {"v": 100 + i})
+        link.fail_at(0, 10**9)  # both the pass and the solo re-arm die
+        table.update(rids[3], {"v": 103})
+        assert lead.refreshes == 1
+        assert rider.refreshes == 0
+        assert rider.failed_refreshes == 1
+        assert rider.pending == 4  # kept, so the next period retries
+        assert rider.last_failure is not None
+        assert scheduler.rearmed_solo == 0
+        assert scheduler.failed_refreshes == 1
+
     def test_retries_exhausted_also_skips(self, db):
         from repro.net.faults import FaultyLink
         from repro.net.retry import RetryPolicy

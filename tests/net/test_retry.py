@@ -35,6 +35,35 @@ class TestBackoffMath:
                 d = policy.delay(attempt, now)
                 assert raw * 0.5 <= d <= raw
 
+    def test_jitter_never_exceeds_max_delay(self):
+        # Regression: jitter used to apply after the cap, so any jitter
+        # shortfall recovered by the hash could not push past max_delay
+        # only by luck.  The cap is now applied last and is absolute.
+        policy = RetryPolicy(
+            base_delay=8.0, multiplier=4.0, max_delay=20.0, jitter=0.3
+        )
+        for attempt in range(1, 8):
+            for now in range(40):
+                assert policy.delay(attempt, now) <= 20.0
+
+    def test_exact_jittered_sequence_is_pinned(self):
+        # The jitter hash is a fixed multiplicative mix of (now, attempt);
+        # pin the exact delays so any change to the math is loud.
+        policy = RetryPolicy(
+            base_delay=2.0, multiplier=2.0, max_delay=9.0, jitter=0.5
+        )
+        observed = [policy.delay(n, now=7) for n in (1, 2, 3, 4)]
+        expected = []
+        for attempt in (1, 2, 3, 4):
+            raw = 2.0 * 2.0 ** (attempt - 1)
+            mixed = (7 * 2654435761 + attempt * 0x9E3779B1) % 2**32
+            fraction = mixed / (2**32 - 1)
+            expected.append(min(raw * (1.0 - 0.5 * fraction), 9.0))
+        assert observed == expected
+        # The capped tail really is the cap when the jitter draw is high
+        # enough to stay above it (attempt 4: raw 16 jittered >= 8 > 9?).
+        assert observed[3] <= 9.0
+
     def test_pause_records_and_invokes_sleeper(self):
         slept = []
         policy = RetryPolicy(sleeper=slept.append)
@@ -119,8 +148,24 @@ class TestManagerRetry:
         )
         with pytest.raises(RetryExhaustedError, match="budget"):
             manager.refresh("s", retry=policy)
-        # 1 + 2 fits in 5.0; the third delay (4) would blow it.
-        assert policy.total_waited == 3.0
+        # 1 + 2, then the third delay (4) is clamped to the remaining 2.0
+        # instead of overshooting — the budget is spent exactly, never
+        # exceeded, and the next attempt finds nothing left and gives up.
+        assert policy.total_waited == 5.0
+
+    def test_final_delay_clamped_to_remaining_budget(self):
+        link = FaultyLink(outages=[(0, 10**9)])
+        hq, emp, rids, manager, snap = build_world(link, initial_refresh=False)
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=50, base_delay=2.0, multiplier=2.0,
+            jitter=0.0, budget=7.0, sleeper=slept.append,
+        )
+        with pytest.raises(RetryExhaustedError, match="budget"):
+            manager.refresh("s", retry=policy)
+        # Exact deterministic sequence: 2, 4, then 8 clamped to 1.0 left.
+        assert slept == [2.0, 4.0, 1.0]
+        assert policy.total_waited == 7.0
 
     def test_no_policy_means_failures_propagate(self):
         from repro.errors import LinkDownError

@@ -123,6 +123,39 @@ class TestMessageRoundTrip:
         assert decoded[0].values == (3, NULL, NULL)
         assert decoded[0].values[1] is NULL
 
+    def test_segment_hash_pair_roundtrip(self):
+        digest = bytes(range(8))
+        stream = [
+            msg.SegmentHashRequestMessage(0, 128),
+            msg.SegmentHashResponseMessage(64, 128, digest, 977),
+        ]
+        decoded = self.round_trip(stream)
+        request, response = decoded
+        assert isinstance(request, msg.SegmentHashRequestMessage)
+        assert (request.lo, request.hi) == (0, 128)
+        assert isinstance(response, msg.SegmentHashResponseMessage)
+        assert (response.lo, response.hi) == (64, 128)
+        assert response.digest == digest
+        assert response.count == 977
+        for original, copy in zip(stream, decoded):
+            assert copy.wire_size() == original.wire_size()
+            assert not copy.counts_as_entry
+
+    def test_row_digests_roundtrip(self):
+        entries = ((0, b"\x01\x02\x03\x04"), (7, b"\xaa\xbb\xcc\xdd"))
+        stream = [msg.RowDigestsMessage(42, entries)]
+        (decoded,) = self.round_trip(stream)
+        assert isinstance(decoded, msg.RowDigestsMessage)
+        assert decoded.page_no == 42
+        assert decoded.entries == entries
+        assert decoded.wire_size() == stream[0].wire_size()
+        assert not decoded.counts_as_entry
+
+    def test_empty_row_digests_roundtrip(self):
+        (decoded,) = self.round_trip([msg.RowDigestsMessage(3, ())])
+        assert decoded.page_no == 3
+        assert decoded.entries == ()
+
     def test_sequential_addresses_encode_small(self):
         # Address-order scan: same-page successors should cost ~2 bytes
         # for addr + prev together, not 16.

@@ -1,0 +1,237 @@
+"""Writer-concurrent chunked refresh: the convergence property.
+
+Two invariants of :func:`~repro.core.differential.run_chunked_refresh_scan`:
+
+1. **Quiescent byte-identity** — with no writer at the boundaries, the
+   chunked scan's output stream is byte-for-byte the monolithic scan's,
+   for ANY base history, page summaries on or off, batch mode on or
+   off, solo or group.
+2. **Racing-writer convergence** — with ANY committed writes applied at
+   ANY chunk boundaries, the committed receiver state equals the
+   restriction of the FINAL base table (what a quiescent refresh after
+   the last write would produce), across the same configurations.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.differential import DifferentialRefresher, RefreshCursor
+from repro.core.group import GroupRefresher
+from repro.core.snapshot import SnapshotTable
+from repro.database import Database
+from repro.expr.predicate import Projection, Restriction
+
+PREDICATE = "v < 50"
+GROUP_PREDICATES = ("v < 50", "v >= 20")
+
+# One mutation: (op, target index, value).
+mutations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete"]),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=99),
+    ),
+    max_size=40,
+)
+
+
+class _World:
+    def __init__(self, name: str, summaries: bool, batch: bool) -> None:
+        self.db = Database(name)
+        self.table = self.db.create_table(
+            "t", [("v", "int")], annotations="lazy"
+        )
+        self.summaries = summaries
+        self.batch = batch
+        self.projection = Projection(self.table.schema)
+        self.restriction = Restriction.parse(PREDICATE, self.table.schema)
+        self.refresher = DifferentialRefresher(
+            self.table, use_page_summaries=summaries, batch_mode=batch
+        )
+        self.cache: dict = {}
+        self.snap_time = 0
+        self.receiver = SnapshotTable(
+            Database(name + "-site"), "s", self.projection.schema
+        )
+        self.live = [self.table.insert([v]) for v in range(0, 200, 3)]
+
+    def apply_op(self, op) -> None:
+        kind, index, value = op
+        if kind == "insert":
+            self.live.append(self.table.insert([value]))
+        elif kind == "update" and self.live:
+            self.table.update(self.live[index % len(self.live)], {"v": value})
+        elif kind == "delete" and self.live:
+            self.table.delete(self.live.pop(index % len(self.live)))
+
+    def refresh(self, chunked: bool, boundary=None, chunk_pages: int = 1):
+        messages: "list[object]" = []
+
+        def deliver(message) -> None:
+            messages.append(message)
+            self.receiver.apply(message)
+
+        if chunked:
+            result = self.refresher.refresh_chunked(
+                self.snap_time,
+                self.restriction,
+                self.projection,
+                deliver,
+                cache=self.cache,
+                chunk_pages=chunk_pages,
+                on_chunk_boundary=boundary,
+            )
+        else:
+            result = self.refresher.refresh(
+                self.snap_time,
+                self.restriction,
+                self.projection,
+                deliver,
+                cache=self.cache,
+            )
+        self.snap_time = result.new_snap_time
+        return messages, result
+
+    def truth(self) -> dict:
+        return {
+            rid: row.values
+            for rid, row in self.table.scan(visible=True)
+            if self.restriction(row)
+        }
+
+
+def _configs():
+    return [(False, False), (True, False), (False, True), (True, True)]
+
+
+class TestQuiescentByteIdentity:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(script=mutations, chunk_pages=st.integers(1, 3))
+    def test_chunked_stream_equals_monolithic(self, script, chunk_pages):
+        for summaries, batch in _configs():
+            chunked = _World("prop-oc", summaries, batch)
+            for op in script:
+                chunked.apply_op(op)
+            chunked_stream, result = chunked.refresh(
+                True, chunk_pages=chunk_pages
+            )
+            assert result.interleaved_writes == 0
+            assert result.pages_repaired == 0
+
+            mono = _World("prop-om", summaries, batch)
+            for op in script:
+                mono.apply_op(op)
+            mono_stream, _ = mono.refresh(False)
+
+            assert [repr(m) for m in chunked_stream] == [
+                repr(m) for m in mono_stream
+            ], f"streams diverged (summaries={summaries}, batch={batch})"
+            assert sum(m.wire_size() for m in chunked_stream) == sum(
+                m.wire_size() for m in mono_stream
+            )
+            assert chunked.receiver.as_map() == chunked.truth()
+
+
+class TestRacingWriterConvergence:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        prefix=mutations,
+        interleaved=mutations,
+        chunk_pages=st.integers(1, 2),
+    )
+    def test_converges_to_final_base(self, prefix, interleaved, chunk_pages):
+        for summaries, batch in _configs():
+            world = _World("prop-or", summaries, batch)
+            for op in prefix:
+                world.apply_op(op)
+            world.refresh(False)  # an initial population pass
+            for op in prefix[::2]:
+                world.apply_op(op)
+            queue = list(interleaved)
+
+            def writer(chunk, world=world, queue=queue) -> None:
+                # A committed writer burst at every chunk boundary.
+                for op in queue[:3]:
+                    world.apply_op(op)
+                del queue[:3]
+
+            world.refresh(True, boundary=writer, chunk_pages=chunk_pages)
+            assert world.receiver.as_map() == world.truth(), (
+                f"diverged (summaries={summaries}, batch={batch})"
+            )
+
+            # The next (quiescent) refresh must also be exact: the
+            # chunked pass may not corrupt annotations or caches.
+            for op in queue[:5]:
+                world.apply_op(op)
+            world.refresh(False)
+            assert world.receiver.as_map() == world.truth()
+
+
+class TestGroupChunked:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(prefix=mutations, interleaved=mutations)
+    def test_group_pass_converges_every_cursor(self, prefix, interleaved):
+        db = Database("prop-og")
+        table = db.create_table("t", [("v", "int")], annotations="lazy")
+        projection = Projection(table.schema)
+        restrictions = [
+            Restriction.parse(p, table.schema) for p in GROUP_PREDICATES
+        ]
+        receivers = [
+            SnapshotTable(Database(f"site{i}"), f"s{i}", projection.schema)
+            for i in range(len(restrictions))
+        ]
+        live = [table.insert([v]) for v in range(0, 200, 3)]
+
+        def apply_op(op) -> None:
+            kind, index, value = op
+            if kind == "insert":
+                live.append(table.insert([value]))
+            elif kind == "update" and live:
+                table.update(live[index % len(live)], {"v": value})
+            elif kind == "delete" and live:
+                table.delete(live.pop(index % len(live)))
+
+        for op in prefix:
+            apply_op(op)
+
+        cursors = []
+        for i, restriction in enumerate(restrictions):
+
+            def deliver(message, i=i) -> None:
+                receivers[i].apply(message)
+
+            cursors.append(
+                RefreshCursor(0, restriction, projection, deliver, name=str(i))
+            )
+        queue = list(interleaved)
+
+        def writer(chunk) -> None:
+            for op in queue[:3]:
+                apply_op(op)
+            del queue[:3]
+
+        outcome = GroupRefresher(table).refresh_group_chunked(
+            cursors, chunk_pages=1, on_chunk_boundary=writer
+        )
+        assert not outcome.errors
+        for i, restriction in enumerate(restrictions):
+            want = {
+                rid: row.values
+                for rid, row in table.scan(visible=True)
+                if restriction(row)
+            }
+            assert receivers[i].as_map() == want, f"cursor {i} diverged"

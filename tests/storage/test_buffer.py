@@ -102,3 +102,56 @@ class TestFlush:
         pool.pin(page_no)
         pool.unpin(page_no)
         assert pool.stats.hit_rate == 0.5
+
+
+class _FakeBatch:
+    def __init__(self, version=1):
+        self.version = version
+
+
+class TestDiscard:
+    def test_discard_pages_drops_frames_without_writeback(self, pool):
+        pages = _fill(pool, 2)
+        for page_no in pages:
+            frame = pool.pin(page_no)
+            frame[0] = 0xAB
+            pool.unpin(page_no, dirty=True)
+        writebacks_before = pool.stats.writebacks
+        dropped = pool.discard_pages(pages)
+        assert dropped == 2
+        assert len(pool) == 0
+        # Abandoned pages are never written back.
+        assert pool.stats.writebacks == writebacks_before
+
+    def test_discard_pages_also_drops_batches(self, pool):
+        page_no = pool.allocate_page()
+        pool.batch_store(page_no, _FakeBatch())
+        assert pool.batch_entries() == 1
+        pool.discard_pages([page_no])
+        assert pool.batch_entries() == 0
+
+    def test_discard_pinned_page_raises(self, pool):
+        page_no = pool.allocate_page()
+        pool.pin(page_no)
+        with pytest.raises(BufferPoolError):
+            pool.discard_pages([page_no])
+        pool.unpin(page_no)
+
+    def test_discard_batches_leaves_frames(self, pool):
+        page_no = pool.allocate_page()
+        frame = pool.pin(page_no)
+        frame[0] = 0xCD
+        pool.unpin(page_no, dirty=True)
+        pool.batch_store(page_no, _FakeBatch())
+        dropped = pool.discard_batches([page_no])
+        assert dropped == 1
+        assert pool.batch_entries() == 0
+        # The dirty frame survives (truncate must not lose buffered writes).
+        assert len(pool) == 1
+        pool.flush_all()
+        assert pool.pager.read_page(page_no)[0] == 0xCD
+
+    def test_batch_cache_stays_within_capacity(self, pool):
+        for _ in range(10):
+            pool.batch_store(pool.allocate_page(), _FakeBatch())
+        assert pool.batch_entries() <= pool.capacity
