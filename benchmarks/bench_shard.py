@@ -1,0 +1,227 @@
+"""A19 — sharded parallel refresh: critical-path speedup and merge cost.
+
+The sharded pass splits the combined fix-up + refresh scan across
+RID-range workers and pays a strictly sequential merge at the end.  On
+this single-core, GIL-bound harness the workers cannot *actually*
+overlap, so the bench measures what sharding buys an N-core deployment
+the way queueing analyses do: each worker's wall time is clocked
+individually (``SerialShardExecutor`` + an injected timer keeps the
+measurements contention-free), and
+
+    critical_path_speedup = T_monolithic / (max worker wall + merge wall)
+
+i.e. the pass finishes when its slowest worker does, plus the merge
+that cannot be parallelized.  The sweep covers shard counts 1–8 against
+uniform and clustered update activity at two rates; the headline floor
+asserts >= 1.8x at 4 shards on the uniform workload (merge cost and
+shard skew are what eat the ideal 4x, and both are reported).
+
+Byte-identity is asserted in passing — the sharded stream must carry
+exactly the monolithic stream's messages and bytes.
+
+Runs as a pytest benchmark and as a plain script; ``SHARD_N`` overrides
+the table size (CI smoke-runs it small).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+
+if __package__ in (None, ""):  # script mode: `python benchmarks/bench_shard.py`
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.core.differential import (
+    DifferentialRefresher,
+    RefreshCursor,
+    run_refresh_scan,
+)
+from repro.core.shard import SerialShardExecutor, run_sharded_refresh_scan
+from repro.database import Database
+from repro.expr.predicate import Projection, Restriction
+from repro.txn.clock import wall_timer
+
+from benchmarks._util import emit, emit_json
+
+N = int(os.environ.get("SHARD_N", "8000"))
+SHARD_COUNTS = (1, 2, 4, 8)
+#: (activity fraction, clustered?) — uniform activity is the headline
+#: case (balanced shards); a clustered burst stresses the weighted plan.
+WORKLOADS = ((0.05, False), (0.05, True), (0.25, False))
+FLOOR_SHARDS = 4
+FLOOR_SPEEDUP = 1.8
+SEED = 1986
+
+
+class _World:
+    """One deterministic refresh state: table, primed cursor inputs."""
+
+    def __init__(self, n: int, fraction: float, clustered: bool) -> None:
+        self.db = Database("bench-shard", buffer_capacity=1024)
+        self.table = self.db.create_table(
+            "t", [("v", "int")], annotations="lazy"
+        )
+        self.rids = self.table.bulk_load([[i] for i in range(n)])
+        self.projection = Projection(self.table.schema)
+        self.restriction = Restriction.parse(
+            f"v < {3 * n // 4}", self.table.schema
+        )
+        self.cache: dict = {}
+        refresher = DifferentialRefresher(self.table, use_page_summaries=True)
+        result = refresher.refresh(
+            0,
+            self.restriction,
+            self.projection,
+            lambda m: None,
+            cache=self.cache,
+        )
+        self.snap_time = result.new_snap_time
+        rng = random.Random(SEED)
+        count = max(1, int(n * fraction))
+        if clustered:
+            start = rng.randrange(0, n - count + 1)
+            victims = self.rids[start : start + count]
+        else:
+            victims = rng.sample(self.rids, count)
+        for rid in victims:
+            self.table.update(rid, {"v": rng.randrange(n)})
+
+    def cursor(self, sink: "list[object]") -> RefreshCursor:
+        return RefreshCursor(
+            self.snap_time,
+            self.restriction,
+            self.projection,
+            sink.append,
+            cache=self.cache,
+        )
+
+
+def _measure(n: int, shards: int, fraction: float, clustered: bool):
+    timer = wall_timer()
+
+    # World A: the monolithic single-scan pass, clocked end to end.
+    mono = _World(n, fraction, clustered)
+    mono_stream: "list[object]" = []
+    begin = timer()
+    mono_stats = run_refresh_scan(
+        mono.table, [mono.cursor(mono_stream)], use_page_summaries=True
+    )
+    t_mono = timer() - begin
+
+    # World B: the identical state split across shard workers.  The
+    # serial executor runs them back to back so each worker's injected
+    # timer reads contention-free wall time.
+    sharded = _World(n, fraction, clustered)
+    sharded_stream: "list[object]" = []
+    stats = run_sharded_refresh_scan(
+        sharded.table,
+        [sharded.cursor(sharded_stream)],
+        shards=shards,
+        use_page_summaries=True,
+        executor=SerialShardExecutor(),
+        timer=timer,
+    )
+
+    # Identical state, identical predicate: byte-identical streams.
+    assert [repr(m) for m in sharded_stream] == [repr(m) for m in mono_stream]
+    assert stats.bytes_sent == mono_stats.bytes_sent
+
+    if stats.shards >= 2:
+        slowest = max(s.wall for s in stats.shard_stats)
+        critical = slowest + stats.merge_wall
+    else:  # plan collapsed (tiny table) — the pass IS the monolithic one
+        slowest = t_mono
+        critical = t_mono
+    return {
+        "n": n,
+        "shards_requested": shards,
+        "shards_effective": stats.shards,
+        "fraction": fraction,
+        "clustered": clustered,
+        "seconds_monolithic": t_mono,
+        "seconds_slowest_shard": slowest,
+        "seconds_merge": stats.merge_wall,
+        "seconds_critical_path": critical,
+        "critical_path_speedup": t_mono / critical if critical else 1.0,
+        "shard_skew": stats.shard_skew,
+        "pages_scanned": stats.pages_scanned,
+        "pages_skipped": stats.pages_skipped,
+        "entries_sent": stats.entries_sent,
+        "bytes_sent": stats.bytes_sent,
+    }
+
+
+def _check(samples) -> None:
+    floor = [
+        s
+        for s in samples
+        if s["shards_requested"] == FLOOR_SHARDS
+        and not s["clustered"]
+        and s["shards_effective"] >= 2
+    ]
+    for sample in floor:
+        assert sample["critical_path_speedup"] >= FLOOR_SPEEDUP, sample
+
+
+def run(n: int = N):
+    rows = []
+    samples = []
+    for fraction, clustered in WORKLOADS:
+        for shards in SHARD_COUNTS:
+            sample = _measure(n, shards, fraction, clustered)
+            samples.append(sample)
+            rows.append(
+                [
+                    shards,
+                    f"{fraction:.2f}",
+                    "clustered" if clustered else "uniform",
+                    f"{1000 * sample['seconds_monolithic']:.2f}",
+                    f"{1000 * sample['seconds_slowest_shard']:.2f}",
+                    f"{1000 * sample['seconds_merge']:.2f}",
+                    f"{sample['critical_path_speedup']:.2f}x",
+                    f"{sample['shard_skew']:.2f}",
+                ]
+            )
+    emit(
+        "shard_refresh",
+        f"A19: sharded refresh critical-path speedup (N={n})",
+        [
+            "shards",
+            "activity",
+            "pattern",
+            "mono ms",
+            "slowest shard ms",
+            "merge ms",
+            "speedup",
+            "skew",
+        ],
+        rows,
+    )
+    emit_json(
+        "shard_refresh",
+        {
+            "samples": samples,
+            "floor": {
+                "shards": FLOOR_SHARDS,
+                "workload": "uniform",
+                "min_critical_path_speedup": FLOOR_SPEEDUP,
+                "measured": [
+                    s["critical_path_speedup"]
+                    for s in samples
+                    if s["shards_requested"] == FLOOR_SHARDS
+                    and not s["clustered"]
+                ],
+            },
+        },
+    )
+    _check(samples)
+    return samples
+
+
+def test_shard_refresh_sweep():
+    run(N)
+
+
+if __name__ == "__main__":
+    run(N)

@@ -1,0 +1,891 @@
+"""Sharded parallel refresh: RID-partitioned workers, deterministic merge.
+
+One scan thread caps refresh throughput.  This module partitions the RID
+address space into contiguous page-range **shards**, runs the combined
+fix-up + refresh scan for each shard in a worker, and merges the
+per-shard differential streams into a single epoch-consistent commit
+that is **byte-identical** to the monolithic scan.
+
+The construction rests on a small observation about Figure 3: almost
+all of the scan's per-entry work depends only on state *local to the
+shard*.  The carried-in unknowns are exactly four —
+
+- the fix-up's ``ExpectPrev`` / ``last_addr`` (they matter only until
+  the shard's first non-insert entry, whose anomaly verdict and at most
+  two chain-link writes are deferred to the merge);
+- each cursor's ``LastQual`` (it matters only until the shard's first
+  qualified entry, whose transmission gets a deferred placeholder);
+- each cursor's pending ``Deletion`` flag (tracked *symbolically* over
+  the two unknown bits — the carried flag and the deferred anomaly
+  verdict — until a qualified entry resets it to a known ``False``).
+
+So a worker runs the **real** scan loop (:class:`_ScanPass` over its
+page range) driving :class:`_ShardCursor` clones that buffer messages
+instead of sending: everything decidable locally is built verbatim, and
+the bounded residue (a handful of placeholders and at most two fix-up
+writes per shard) is resolved by a cheap, strictly sequential merge
+that replays each buffer through the real cursors in shard order.
+Message order — hence wire frames, delta state, and epochs — is
+identical to the monolithic scan under *any* worker scheduling, because
+nothing is transmitted until the single-threaded merge.
+
+Workers communicate **only** through their returned per-shard outcome:
+they never touch :class:`~repro.core.manager.SnapshotManager` or
+scheduler state (replint L403 enforces this statically), and they never
+send on a channel, so a worker failure aborts the epoch before a single
+message has left the sender.
+"""
+
+from __future__ import annotations
+
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+
+from repro.core.differential import (
+    RefreshCursor,
+    RefreshResult,
+    _LazyEntry,
+    _ScanPass,
+    run_refresh_scan,
+)
+from repro.core.messages import DeleteRangeMessage, RefreshMessage
+from repro.errors import ChannelError, InternalError, RefreshMethodError
+from repro.relation.row import Row
+from repro.relation.types import NULL
+from repro.storage.batch import PageBatch
+from repro.storage.rid import Rid
+from repro.storage.summary import PageQualInfo
+from repro.table import Table
+
+#: Relative scan cost of a page the plan cannot prove clean — dirty
+#: pages are decoded row by row (or batch-extracted) while clean pages
+#: are skipped from the summary cache, so they weigh more when
+#: balancing shards.
+DIRTY_PAGE_WEIGHT = 4
+
+Timer = Optional[Callable[[], float]]
+
+
+class _Carry:
+    """A symbolic Deletion-flag value over the shard-boundary unknowns.
+
+    The flag's value is always one of ``False``/``True`` (known) or a
+    monotone OR over two unknown bits: the carried-in flag and the
+    deferred anomaly verdict.  Singletons below cover the three mixed
+    states; identity comparison is the whole algebra.
+    """
+
+    __slots__ = ("token",)
+
+    def __init__(self, token: str) -> None:
+        self.token = token
+
+    def __repr__(self) -> str:
+        return f"<deletion {self.token}>"
+
+
+#: The carried-in Deletion flag, still unresolved.
+CARRIED = _Carry("carried")
+#: The deferred boundary anomaly verdict.
+ANOMALY = _Carry("anomaly")
+#: Either of the two.
+CARRIED_OR_ANOMALY = _Carry("carried|anomaly")
+
+
+def _arm_if_anomaly(state: object) -> object:
+    """OR the deferred anomaly verdict into a symbolic Deletion state."""
+    if state is True or state is ANOMALY or state is CARRIED_OR_ANOMALY:
+        return state
+    if state is CARRIED:
+        return CARRIED_OR_ANOMALY
+    return ANOMALY  # state is False
+
+
+def _resolve(state: object, carried: bool, anomaly: bool) -> bool:
+    """Collapse a symbolic Deletion state once the unknowns are known."""
+    if state is CARRIED:
+        return carried
+    if state is ANOMALY:
+        return anomaly
+    if state is CARRIED_OR_ANOMALY:
+        return carried or anomaly
+    return bool(state)
+
+
+class _DeferredQual:
+    """A qualified entry whose transmission awaits the merge.
+
+    Buffered in stream position by a worker when the transmit decision
+    (``changed or anomaly or Deletion``) or the message's ``prev_qual``
+    depends on carried state.  ``load`` materializes the full row only
+    if the resolution actually transmits; ``prev_qual`` is ``None`` for
+    the shard's first qualified entry (use the carried ``LastQual``).
+    """
+
+    __slots__ = ("rid", "load", "changed", "anomaly", "deletion", "prev_qual")
+
+    def __init__(
+        self,
+        rid: Rid,
+        load: Callable[[], Row],
+        changed: bool,
+        anomaly: Optional[bool],
+        deletion: object,
+        prev_qual: Optional[Rid],
+    ) -> None:
+        self.rid = rid
+        self.load = load
+        self.changed = changed
+        self.anomaly = anomaly
+        self.deletion = deletion
+        self.prev_qual = prev_qual
+
+
+class _ShardCursor(RefreshCursor):
+    """Worker-side clone of one :class:`RefreshCursor` for one shard.
+
+    Shares the base cursor's read-only state (restriction, projection,
+    committed value mirror, page-qual cache) but buffers its output and
+    writes cache updates to a private fragment; ``qual_known`` tracks
+    whether ``last_qual`` is the clone's own (post-first-qual) or still
+    the carried-in unknown.  For shard 0 everything is known up front
+    and the clone behaves exactly like the base cursor.
+    """
+
+    __slots__ = ("buffer", "cache_writes", "qual_known")
+
+    def __init__(self, base: RefreshCursor, known: bool) -> None:
+        buffer: "List[object]" = []
+        super().__init__(
+            base.snap_time,
+            base.restriction,
+            base.projection,
+            buffer.append,
+            cache=base.cache,
+            optimize_deletes=base.optimize_deletes,
+            suppress_pure_inserts=base.suppress_pure_inserts,
+            name=base.name,
+            value_cache=base.value_cache,
+        )
+        self.buffer = buffer
+        self.cache_writes: "dict[int, PageQualInfo]" = {}
+        self.qual_known = known
+        if not known:
+            self.deletion = CARRIED
+
+    @property
+    def skip_blocked(self) -> bool:
+        # An unknown carried flag blocks the skip: the page is scanned
+        # and any first-qual decision deferred, instead of silently
+        # dropping a deletion pending from the previous shard.
+        return self.deletion is not False
+
+    def record_page(
+        self,
+        page_no: int,
+        page_version: int,
+        first_prev: Optional[Rid],
+        last_live: Optional[Rid],
+    ) -> None:
+        # The shared cache is read-only during the parallel phase;
+        # fresh entries land in the fragment and merge adopts them.
+        self.cache_writes[page_no] = PageQualInfo(
+            page_version,
+            first_prev,
+            self._page_first_qual,
+            self._page_last_qual,
+            self._page_qual_count,
+            last_live,
+        )
+
+    def fast_forward(self, page_no: int, info: PageQualInfo) -> None:
+        super().fast_forward(page_no, info)
+        if info.qual_count:
+            self.qual_known = True
+
+    def observe(
+        self,
+        rid: Rid,
+        entry: _LazyEntry,
+        sparse: "list[object]",
+        orig_ts: object,
+        pure_insert: bool,
+        anomaly: "Optional[bool]",
+    ) -> None:
+        if (
+            self.qual_known
+            and isinstance(self.deletion, bool)
+            and anomaly is not None
+        ):
+            super().observe(rid, entry, sparse, orig_ts, pure_insert, anomaly)
+            return
+        result = self.result
+        result.scanned += 1
+        result.entries_evaluated += 1
+        if pure_insert or orig_ts is NULL:
+            value_changed = True
+        else:
+            value_changed = orig_ts > self.snap_time
+        if self.restriction(sparse):
+            result.qualified += 1
+            self._page_qual_count += 1
+            if self._page_first_qual is None:
+                self._page_first_qual = rid
+            self._page_last_qual = rid
+            self._emit_qual(rid, value_changed, anomaly, entry.row)
+            self.last_qual = rid
+            self.qual_known = True
+            self.deletion = False
+        else:
+            if value_changed or anomaly is True:
+                if not (self.suppress_pure_inserts and pure_insert):
+                    self.deletion = True
+            elif anomaly is None:
+                # The boundary entry: a deletion "may have qualified
+                # before" exactly when the deferred verdict resolves.
+                self.deletion = _arm_if_anomaly(self.deletion)
+
+    def serve_batch(self, batch: PageBatch) -> None:
+        if self.qual_known and isinstance(self.deletion, bool):
+            super().serve_batch(batch)
+            return
+        # Symbolic replica of the base per-entry loop.  Batch-eligible
+        # pages are proven anomaly-free, so the only unknowns are the
+        # carried LastQual/Deletion — resolved at the first qual.
+        result = self.result
+        count = batch.count
+        result.scanned += count
+        result.entries_evaluated += count
+        qual = batch.qualifying(self.restriction)
+        nqual = len(qual)
+        snap_time = self.snap_time
+        ts = batch.ts
+        if not nqual:
+            if self.deletion is not True and batch.max_live_ts > snap_time:
+                self.deletion = True
+            return
+        result.qualified += nqual
+        page_no = batch.page_no
+        slots = batch.slots
+        self._page_qual_count += nqual
+        if self._page_first_qual is None:
+            self._page_first_qual = Rid(page_no, slots[qual[0]])
+        last_qual_rid = Rid(page_no, slots[qual[nqual - 1]])
+        self._page_last_qual = last_qual_rid
+        qi = 0
+        next_qual = qual[0]
+        for index in range(count):
+            changed = ts[index] > snap_time
+            if index == next_qual:
+                rid = Rid(page_no, slots[index])
+                self._emit_qual(
+                    rid, changed, False, _bind_row(batch.row, index)
+                )
+                self.last_qual = rid
+                self.qual_known = True
+                self.deletion = False
+                qi += 1
+                next_qual = qual[qi] if qi < nqual else -1
+            elif changed:
+                self.deletion = True
+
+    def _emit_qual(
+        self,
+        rid: Rid,
+        changed: bool,
+        anomaly: Optional[bool],
+        load: Callable[[], Row],
+    ) -> None:
+        """Transmit, carry, or defer one qualified entry."""
+        deletion = self.deletion
+        transmit_certain = changed or anomaly is True or deletion is True
+        decision_known = anomaly is not None and isinstance(deletion, bool)
+        if transmit_certain and self.qual_known:
+            if self.optimize_deletes and not changed:
+                self.transmit(DeleteRangeMessage(self.last_qual, rid))
+                self._carry_value(rid)
+            else:
+                projected = self.projection(load())
+                self.transmit(self._value_message(rid, projected))
+                if self._staged_values is not None:
+                    self._staged_values.setdefault(rid.page_no, {})[
+                        rid
+                    ] = projected.values
+        elif decision_known and not transmit_certain:
+            # Known no-transmit needs no prev_qual.
+            self._carry_value(rid)
+        else:
+            self.buffer.append(
+                _DeferredQual(
+                    rid,
+                    load,
+                    changed,
+                    anomaly,
+                    deletion,
+                    self.last_qual if self.qual_known else None,
+                )
+            )
+
+
+def _bind_row(row_of: Callable[[int], Row], index: int) -> Callable[[], Row]:
+    def load() -> Row:
+        return row_of(index)
+
+    return load
+
+
+class ShardRange:
+    """One contiguous page range of a shard plan."""
+
+    __slots__ = ("index", "start", "stop", "weight")
+
+    def __init__(self, index: int, start: int, stop: int, weight: int) -> None:
+        self.index = index
+        self.start = start
+        self.stop = stop
+        self.weight = weight
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRange(#{self.index}, [{self.start}, {self.stop}), "
+            f"weight={self.weight})"
+        )
+
+
+class ShardStats:
+    """Per-shard roll-up reported on :class:`RefreshResult`."""
+
+    __slots__ = (
+        "index",
+        "start",
+        "stop",
+        "weight",
+        "pages_scanned",
+        "pages_skipped",
+        "entries",
+        "messages",
+        "wall",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        start: int,
+        stop: int,
+        weight: int,
+        pages_scanned: int,
+        pages_skipped: int,
+        entries: int,
+        messages: int,
+        wall: float,
+    ) -> None:
+        self.index = index
+        self.start = start
+        self.stop = stop
+        self.weight = weight
+        self.pages_scanned = pages_scanned
+        self.pages_skipped = pages_skipped
+        self.entries = entries
+        self.messages = messages
+        self.wall = wall
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardStats(#{self.index}, [{self.start}, {self.stop}), "
+            f"pages={self.pages_scanned}+{self.pages_skipped}skip, "
+            f"entries={self.entries}, wall={self.wall:.4f})"
+        )
+
+
+class ShardPlan:
+    """A summary-aware contiguous partition of the heap's page space.
+
+    Pages the summaries prove clean since the oldest cursor's
+    ``SnapTime`` weigh 1; pages that must be decoded weigh
+    :data:`DIRTY_PAGE_WEIGHT` — so a clustered write burst lands spread
+    across shards instead of serializing on one unlucky worker.
+    """
+
+    __slots__ = ("ranges", "page_count", "total_weight")
+
+    def __init__(
+        self, ranges: "List[ShardRange]", page_count: int, total_weight: int
+    ) -> None:
+        self.ranges = ranges
+        self.page_count = page_count
+        self.total_weight = total_weight
+
+    @classmethod
+    def build(
+        cls,
+        table: Table,
+        shards: int,
+        use_page_summaries: bool,
+        snap_time: int,
+    ) -> "ShardPlan":
+        if shards < 1:
+            raise RefreshMethodError("shard plan needs at least one shard")
+        heap = table.heap
+        page_count = heap.page_count
+        summaries = heap.summaries if use_page_summaries else None
+        weights: "List[int]" = []
+        for page_no in range(page_count):
+            weight = DIRTY_PAGE_WEIGHT
+            if summaries is not None:
+                summary = summaries.get(page_no)
+                if summary is not None and summary.skippable(snap_time):
+                    weight = 1
+            weights.append(weight)
+        total = sum(weights)
+        boundaries: "List[int]" = [0]
+        acc = 0
+        next_target = 1
+        for page_no, weight in enumerate(weights):
+            acc += weight
+            if (
+                next_target < shards
+                and acc * shards >= next_target * total
+                and page_no + 1 < page_count
+            ):
+                boundaries.append(page_no + 1)
+                next_target += 1
+        boundaries.append(page_count)
+        ranges: "List[ShardRange]" = []
+        for start, stop in zip(boundaries, boundaries[1:]):
+            if start >= stop:
+                continue
+            ranges.append(
+                ShardRange(
+                    len(ranges), start, stop, sum(weights[start:stop])
+                )
+            )
+        return cls(ranges, page_count, total)
+
+
+class _ShardOutcome:
+    """Everything one worker hands back: its pass, clones, and timing."""
+
+    __slots__ = ("shard", "scan", "clones", "wall")
+
+    def __init__(
+        self,
+        shard: ShardRange,
+        scan: _ScanPass,
+        clones: "List[_ShardCursor]",
+        wall: float,
+    ) -> None:
+        self.shard = shard
+        self.scan = scan
+        self.clones = clones
+        self.wall = wall
+
+
+def _scan_shard(
+    table: Table,
+    cursors: "Sequence[RefreshCursor]",
+    shard: ShardRange,
+    fixup: bool,
+    use_page_summaries: bool,
+    batch_mode: bool,
+    fixup_time: int,
+    timer: Timer,
+) -> _ShardOutcome:
+    """The worker body: scan one shard's pages into buffered clones.
+
+    Never sends, never touches manager or scheduler state; its only
+    output is the returned outcome (replint L403).
+    """
+    known = shard.index == 0
+    clones = [_ShardCursor(cursor, known) for cursor in cursors]
+    scan = _ScanPass(
+        table,
+        clones,
+        fixup,
+        use_page_summaries,
+        False,
+        batch_mode,
+        fixup_time=fixup_time,
+        boundary_known=known,
+    )
+    start = timer() if timer is not None else 0.0
+    scan.scan_pages(clones, shard.start, shard.stop)
+    wall = (timer() - start) if timer is not None else 0.0
+    for clone in clones:
+        for page_no in scan.deferred_pages:
+            clone.cache_writes.pop(page_no, None)
+    return _ShardOutcome(shard, scan, clones, wall)
+
+
+class ShardExecutor(Protocol):
+    """The executor seam: anything that runs shard tasks to completion.
+
+    ``run`` must return one outcome per task, in task order, and must
+    not return until every task has finished (the merge reads all of
+    them); a task failure must propagate *after* the still-running
+    tasks can no longer interleave with the merge.  Satisfied
+    structurally — a ``multiprocessing``-backed executor plugs in here
+    without touching the scan."""
+
+    def run(
+        self, tasks: "Sequence[Callable[[], _ShardOutcome]]"
+    ) -> "List[_ShardOutcome]":
+        """Execute every task and return their outcomes in order."""
+        ...
+
+    def close(self) -> None:
+        """Release any worker resources held between refreshes."""
+        ...
+
+
+class SerialShardExecutor:
+    """Runs shard tasks inline, in order — tests, benchmarks, modeling."""
+
+    def run(
+        self, tasks: "Sequence[Callable[[], _ShardOutcome]]"
+    ) -> "List[_ShardOutcome]":
+        return [task() for task in tasks]
+
+    def close(self) -> None:
+        return None
+
+
+class PoolShardExecutor:
+    """A reusable thread pool behind the shard-executor seam.
+
+    Threads first (the workers are I/O- and C-call-heavy: page reads,
+    struct decodes); the seam exists so a ``multiprocessing`` executor
+    with shared buffer-pool segments can land later without touching
+    the scan.  The pool is created lazily, grown when a plan needs more
+    workers, reused across refreshes, and shut down by ``close()`` or
+    garbage collection.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self._max_workers = max_workers
+        self._pool: "Optional[ThreadPoolExecutor]" = None
+        self._size = 0
+        self._finalizer: "Optional[weakref.finalize]" = None
+
+    def _ensure(self, workers: int) -> ThreadPoolExecutor:
+        if self._max_workers is not None:
+            workers = min(workers, self._max_workers)
+        workers = max(workers, 1)
+        if self._pool is None or self._size < workers:
+            self.close()
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-shard"
+            )
+            self._pool = pool
+            self._size = workers
+            self._finalizer = weakref.finalize(self, pool.shutdown, False)
+        if self._pool is None:  # pragma: no cover - for the type checker
+            raise InternalError("shard pool failed to initialize")
+        return self._pool
+
+    def run(
+        self, tasks: "Sequence[Callable[[], _ShardOutcome]]"
+    ) -> "List[_ShardOutcome]":
+        if len(tasks) <= 1:
+            return [task() for task in tasks]
+        pool = self._ensure(len(tasks))
+        futures = [pool.submit(task) for task in tasks]
+        outcomes: "List[_ShardOutcome]" = []
+        failure: "Optional[BaseException]" = None
+        for future in futures:
+            if failure is not None:
+                future.cancel()
+                continue
+            try:
+                outcomes.append(future.result())
+            except BaseException as error:  # noqa: B036 - re-raised below
+                failure = error
+        if failure is not None:
+            raise failure
+        return outcomes
+
+    def close(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._size = 0
+
+
+_default_pool: "Optional[PoolShardExecutor]" = None
+
+
+def default_shard_executor() -> PoolShardExecutor:
+    """The process-wide shared worker pool (lazily created)."""
+    global _default_pool
+    if _default_pool is None:
+        _default_pool = PoolShardExecutor()
+    return _default_pool
+
+
+#: Pass-level counters summed from worker passes into the master pass.
+_PASS_FIELDS = (
+    "scanned",
+    "rows_decoded",
+    "pages_scanned",
+    "pages_skipped",
+    "pages_batch_decoded",
+    "batches_reused",
+    "rows_materialized",
+    "fixup_writes",
+    "deletions_detected",
+)
+
+#: Per-cursor counters folded from each clone into its real cursor
+#: (message/byte counters are recounted when the merge replays).
+_CURSOR_FIELDS = (
+    "scanned",
+    "qualified",
+    "entries_evaluated",
+    "pages_scanned",
+    "pages_skipped",
+    "pages_fast_forwarded",
+)
+
+
+def _require(value: "Optional[Rid]", what: str) -> Rid:
+    if value is None:
+        raise InternalError(f"sharded merge lost the carried {what}")
+    return value
+
+
+def _replay(
+    real: RefreshCursor,
+    clone: _ShardCursor,
+    carried_deletion: bool,
+    anomaly: bool,
+) -> None:
+    """Replay one clone's buffered stream through its real cursor."""
+    for item in clone.buffer:
+        if isinstance(item, _DeferredQual):
+            if item.prev_qual is not None:
+                real.last_qual = item.prev_qual
+            verdict = anomaly if item.anomaly is None else item.anomaly
+            deletion = _resolve(item.deletion, carried_deletion, anomaly)
+            if item.changed or verdict or deletion:
+                if real.optimize_deletes and not item.changed:
+                    real.transmit(
+                        DeleteRangeMessage(real.last_qual, item.rid)
+                    )
+                    real._carry_value(item.rid)
+                else:
+                    projected = real.projection(item.load())
+                    real.transmit(real._value_message(item.rid, projected))
+                    if real._staged_values is not None:
+                        real._staged_values.setdefault(
+                            item.rid.page_no, {}
+                        )[item.rid] = projected.values
+            else:
+                real._carry_value(item.rid)
+            real.last_qual = item.rid
+        elif isinstance(item, RefreshMessage):
+            real.transmit(item)
+        else:  # pragma: no cover - buffer holds only the two kinds
+            raise InternalError(f"unknown shard stream item {item!r}")
+
+
+def _merge_outcome(
+    table: Table,
+    master: _ScanPass,
+    cursors: "Sequence[RefreshCursor]",
+    outcome: _ShardOutcome,
+    isolate_failures: bool,
+) -> None:
+    """Fold one shard into the master pass, in shard order."""
+    scan = outcome.scan
+    stats = master.stats
+    for field in _PASS_FIELDS:
+        setattr(
+            stats,
+            field,
+            getattr(stats, field) + getattr(scan.stats, field),
+        )
+
+    # Deferred boundary fix-up: the first entry's insert chain link and
+    # the first non-insert entry's anomaly verdict, resolved against
+    # the carried state exactly as the monolithic scan would have.
+    anomaly = False
+    if master.fixup:
+        carried_last = _require(master.last_addr, "last_addr")
+        if scan.deferred_first_insert is not None:
+            table.set_annotations(
+                scan.deferred_first_insert,
+                prev=carried_last,
+                ts=master.fixup_time,
+            )
+            stats.fixup_writes += 1
+        if scan.deferred_d is not None:
+            rid, prev, ts_is_null, last_before = scan.deferred_d
+            last_addr = (
+                last_before if last_before is not None else carried_last
+            )
+            expect_prev = _require(master.expect_prev, "expect_prev")
+            new_prev: "Optional[Rid]" = None
+            stamp = ts_is_null
+            if prev != expect_prev:
+                new_prev = last_addr
+                stamp = True
+                anomaly = True
+                stats.deletions_detected += 1
+            elif prev != last_addr:
+                new_prev = last_addr
+            if new_prev is not None or stamp:
+                fields: "dict[str, object]" = {}
+                if new_prev is not None:
+                    fields["prev"] = new_prev
+                if stamp:
+                    fields["ts"] = master.fixup_time
+                table.set_annotations(rid, **fields)
+                stats.fixup_writes += 1
+
+    for real, clone in zip(cursors, outcome.clones):
+        if real.failed:
+            continue
+        carried_deletion = bool(real.deletion)
+        result = real.result
+        for field in _CURSOR_FIELDS:
+            setattr(
+                result,
+                field,
+                getattr(result, field) + getattr(clone.result, field),
+            )
+        if real._staged_values is not None and clone._staged_values:
+            real._staged_values.update(clone._staged_values)
+        if real.cache is not None and clone.cache_writes:
+            real.cache.update(clone.cache_writes)
+        try:
+            _replay(real, clone, carried_deletion, anomaly)
+        except ChannelError as error:
+            if not isolate_failures:
+                raise
+            real.fail(error)
+            continue
+        if clone.qual_known and clone.last_qual is not None:
+            real.last_qual = clone.last_qual
+        real.deletion = _resolve(clone.deletion, carried_deletion, anomaly)
+
+    if scan.expect_prev is not None:
+        master.expect_prev = scan.expect_prev
+    if scan.last_addr is not None:
+        master.last_addr = scan.last_addr
+    master.completed = master.completed and scan.completed
+
+
+def run_sharded_refresh_scan(
+    table: Table,
+    cursors: "Sequence[RefreshCursor]",
+    *,
+    shards: int,
+    fixup: Optional[bool] = None,
+    use_page_summaries: bool = False,
+    isolate_failures: bool = False,
+    batch_mode: bool = False,
+    executor: "Optional[ShardExecutor]" = None,
+    timer: Timer = None,
+) -> RefreshResult:
+    """A sharded combined fix-up + refresh pass serving every cursor.
+
+    Same contract as :func:`~repro.core.differential.run_refresh_scan`
+    — byte-identical per-cursor streams, caller holds the table lock —
+    with the page loop partitioned by a :class:`ShardPlan` and executed
+    by ``executor`` (default: the shared :class:`PoolShardExecutor`).
+    ``timer`` (see :func:`repro.txn.clock.wall_timer`) enables wall
+    clock stats on the per-shard and merge roll-ups; without it those
+    report 0.0 and the result stays deterministic.
+
+    A worker failure propagates *before* anything is transmitted (the
+    merge is what sends), so a half-scanned epoch can never reach the
+    receiver — the caller's normal abort path rolls back cleanly.
+    """
+    if shards < 1:
+        raise RefreshMethodError("sharded refresh needs at least one shard")
+    snap_floor = min(
+        (cursor.snap_time for cursor in cursors), default=0
+    )
+    plan = ShardPlan.build(table, shards, use_page_summaries, snap_floor)
+    if len(plan.ranges) <= 1:
+        return run_refresh_scan(
+            table,
+            cursors,
+            fixup=fixup,
+            use_page_summaries=use_page_summaries,
+            isolate_failures=isolate_failures,
+            batch_mode=batch_mode,
+        )
+
+    master = _ScanPass(
+        table, cursors, fixup, use_page_summaries, isolate_failures, batch_mode
+    )
+
+    def make_task(shard: ShardRange) -> "Callable[[], _ShardOutcome]":
+        def task() -> _ShardOutcome:
+            return _scan_shard(
+                table,
+                cursors,
+                shard,
+                master.fixup,
+                use_page_summaries,
+                batch_mode,
+                master.fixup_time,
+                timer,
+            )
+
+        return task
+
+    runner: ShardExecutor = (
+        executor if executor is not None else default_shard_executor()
+    )
+    outcomes = runner.run([make_task(shard) for shard in plan.ranges])
+
+    merge_start = timer() if timer is not None else 0.0
+    for outcome in outcomes:
+        _merge_outcome(table, master, cursors, outcome, isolate_failures)
+    master.finish_cursors(cursors)
+    merge_wall = (timer() - merge_start) if timer is not None else 0.0
+
+    stats = master.seal(cursors)
+    stats.shards = len(plan.ranges)
+    stats.merge_wall = merge_wall
+    shard_stats: "List[ShardStats]" = []
+    for outcome in outcomes:
+        messages = sum(
+            clone.result.messages_sent for clone in outcome.clones
+        )
+        shard_stats.append(
+            ShardStats(
+                outcome.shard.index,
+                outcome.shard.start,
+                outcome.shard.stop,
+                outcome.shard.weight,
+                outcome.scan.stats.pages_scanned,
+                outcome.scan.stats.pages_skipped,
+                outcome.scan.stats.scanned,
+                messages,
+                outcome.wall,
+            )
+        )
+    stats.shard_stats = tuple(shard_stats)
+    entries = [shard.entries for shard in shard_stats]
+    mean = sum(entries) / len(entries) if entries else 0.0
+    stats.shard_skew = (max(entries) / mean) if mean else 0.0
+    return stats
+
+
+__all__: "Tuple[str, ...]" = (
+    "DIRTY_PAGE_WEIGHT",
+    "PoolShardExecutor",
+    "ShardExecutor",
+    "SerialShardExecutor",
+    "ShardPlan",
+    "ShardRange",
+    "ShardStats",
+    "default_shard_executor",
+    "run_sharded_refresh_scan",
+)

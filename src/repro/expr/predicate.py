@@ -12,6 +12,7 @@ rows.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Sequence
 
 from repro.errors import EvaluationError, SchemaError
@@ -33,6 +34,10 @@ class Restriction:
     #: Compiled-restriction memo: (text, schema) -> Restriction.
     _parse_cache: "dict[tuple[str, Schema], Restriction]" = {}
     _parse_cache_limit = 512
+    #: Guards the memo and its hit counter: shard workers parse
+    #: concurrently, and an unguarded clear-then-insert could lose
+    #: entries or tear the hit count.
+    _parse_lock = threading.Lock()
     #: Cache hits (observable from tests and benchmarks).
     parse_cache_hits = 0
 
@@ -58,20 +63,25 @@ class Restriction:
     def parse(cls, text: str, schema: Schema) -> "Restriction":
         """Parse and compile ``text`` (e.g. ``"salary < 10"``), memoized."""
         key = (text, schema)
-        cached = cls._parse_cache.get(key)
-        if cached is not None:
-            cls.parse_cache_hits += 1
-            return cached
+        with cls._parse_lock:
+            cached = cls._parse_cache.get(key)
+            if cached is not None:
+                cls.parse_cache_hits += 1
+                return cached
+        # Compile outside the lock (parsing is pure); racing workers may
+        # both compile, and the second insert harmlessly wins.
         restriction = cls(parse_expression(text), schema)
-        if len(cls._parse_cache) >= cls._parse_cache_limit:
-            cls._parse_cache.clear()
-        cls._parse_cache[key] = restriction
+        with cls._parse_lock:
+            if len(cls._parse_cache) >= cls._parse_cache_limit:
+                cls._parse_cache.clear()
+            cls._parse_cache[key] = restriction
         return restriction
 
     @classmethod
     def clear_parse_cache(cls) -> None:
-        cls._parse_cache.clear()
-        cls.parse_cache_hits = 0
+        with cls._parse_lock:
+            cls._parse_cache.clear()
+            cls.parse_cache_hits = 0
 
     @classmethod
     def true(cls, schema: Schema) -> "Restriction":

@@ -34,9 +34,15 @@ sections behind them):
               leaking back in.  Cold fallbacks carry an explicit
               ``# replint: ignore[L305]``.
 
-**L4 — lock acquisition order**
+**L4 — concurrency discipline**
     ``L401``  Locks acquired against the global table-before-row order.
     ``L402``  Lock resource uses an unknown hierarchy level.
+    ``L403``  Shard-worker code (``core/shard.py``) references manager
+              or scheduler state.  Workers may communicate only through
+              their returned per-shard streams: a worker that reaches
+              into :class:`SnapshotManager` or the scheduler races the
+              very epoch state the deterministic merge exists to
+              serialize.
 
 **L5 — no bare ``assert`` for runtime checks**
     ``L501``  ``assert`` statement in library code (stripped under
@@ -51,8 +57,15 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set
 from repro.lint.engine import SourceFile, Violation
 
 #: Modules allowed to write the hidden annotation fields: the lazy/eager
-#: write hooks (table.py) and the Figure-7 fix-up passes.
-ANNOTATION_WRITERS = {"table.py", "core/fixup.py", "core/differential.py"}
+#: write hooks (table.py), the Figure-7 fix-up passes, and the sharded
+#: merge (which performs the at-most-two boundary fix-up writes each
+#: shard worker defers).
+ANNOTATION_WRITERS = {
+    "table.py",
+    "core/fixup.py",
+    "core/differential.py",
+    "core/shard.py",
+}
 
 #: The only module that may mutate PageSummary change state directly.
 SUMMARY_STATE_OWNER = {"storage/summary.py"}
@@ -97,6 +110,22 @@ DATETIME_NOW_CALLS = {"now", "utcnow", "today"}
 #: levels within one function body.
 LOCK_LEVELS = {"table": 0, "row": 1}
 
+#: Modules that run inside shard workers: they may not reach into the
+#: manager/scheduler layer (L403) — workers communicate only through
+#: the per-shard streams they return to the merge.
+SHARD_ISOLATED_MODULES = {"core/shard.py"}
+
+#: The manager/scheduler modules shard workers must not import.
+SHARD_FORBIDDEN_IMPORTS = {"repro.core.manager", "repro.core.scheduler"}
+
+#: Manager/scheduler names shard workers must not reference.
+SHARD_FORBIDDEN_NAMES = {
+    "SnapshotManager",
+    "RefreshScheduler",
+    "ScheduleEntry",
+    "Snapshot",
+}
+
 RULES = {
     "L101": "set_annotations call outside the annotation-writer whitelist",
     "L102": "PageSummary change state mutated outside storage/summary.py",
@@ -111,6 +140,7 @@ RULES = {
     "L305": "per-field codec call inside a designated batch-path module",
     "L401": "lock acquired against the global table-before-row order",
     "L402": "lock resource with an unknown hierarchy level",
+    "L403": "shard-worker module references manager/scheduler state",
     "L501": "bare assert in library code (stripped under python -O)",
 }
 
@@ -584,6 +614,72 @@ def _walk_shallow(func: ast.AST) -> "Iterator[ast.AST]":
         stack.extend(reversed(children))
 
 
+class ShardIsolationChecker(Checker):
+    """L403: shard-worker modules stay isolated from the manager layer.
+
+    The sharded refresh's correctness argument leans on one structural
+    fact: workers have **no side channel**.  Everything a worker learns
+    or decides travels in its returned per-shard outcome, and only the
+    single-threaded merge touches epoch state (channels, value caches,
+    the snapshot registry, scheduler bookkeeping).  An import of the
+    manager or scheduler — or any reference to their classes — inside
+    ``core/shard.py`` would let a worker mutate shared epoch state from
+    a pool thread, which no byte-identity test reliably catches (it
+    races).  So the boundary is enforced statically.
+    """
+
+    rules = ("L403",)
+
+    def check(self, source: SourceFile) -> "Iterator[Violation]":
+        if source.logical not in SHARD_ISOLATED_MODULES:
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in SHARD_FORBIDDEN_IMPORTS:
+                        yield Violation(
+                            "L403",
+                            source.path,
+                            node.lineno,
+                            node.col_offset,
+                            f"shard-worker module imports {alias.name}; "
+                            "workers communicate only via returned "
+                            "per-shard streams",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in SHARD_FORBIDDEN_IMPORTS:
+                    yield Violation(
+                        "L403",
+                        source.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"shard-worker module imports from {node.module}; "
+                        "workers communicate only via returned per-shard "
+                        "streams",
+                    )
+            elif isinstance(node, ast.Name):
+                if node.id in SHARD_FORBIDDEN_NAMES:
+                    yield Violation(
+                        "L403",
+                        source.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"shard-worker module references {node.id}; manager "
+                        "and scheduler state is off-limits to workers",
+                    )
+            elif isinstance(node, ast.Attribute):
+                if node.attr in SHARD_FORBIDDEN_NAMES:
+                    yield Violation(
+                        "L403",
+                        source.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"shard-worker module references .{node.attr}; "
+                        "manager and scheduler state is off-limits to "
+                        "workers",
+                    )
+
+
 class BareAssertChecker(Checker):
     """L5: runtime checks must survive ``python -O``."""
 
@@ -608,5 +704,6 @@ ALL_CHECKERS: "List[Checker]" = [
     CodecParityChecker(),
     BatchPathChecker(),
     LockOrderChecker(),
+    ShardIsolationChecker(),
     BareAssertChecker(),
 ]

@@ -21,6 +21,7 @@ Insert placement policies:
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterator, Optional
 
 from repro.errors import RecordNotFoundError, StorageError
@@ -91,6 +92,12 @@ class HeapFile:
         # stream (the chunked refresh scan brackets its chunks with the
         # observer's sequence numbers).
         self._write_observers: "list[Callable[[str, Rid], None]]" = []
+        # Guards the write counters, record count, and observer
+        # notification order: sharded refresh workers repair annotations
+        # on disjoint pages concurrently, and the read-modify-write
+        # counter bumps (and observer sequence numbering) must stay
+        # exact.  Leaf lock — never held across a pin or a table lock.
+        self._write_mutex = threading.Lock()
 
     def observe_writes(
         self, callback: "Callable[[str, Rid], None]"
@@ -183,10 +190,11 @@ class HeapFile:
                 if self.summaries is not None:
                     self.summaries.note_insert(rid, record)
                 self._unpin(heap_page, dirty=True)
-                self._record_count += 1
-                self.writes.inserts += 1
-                if self._write_observers:
-                    self._notify_write("insert", rid)
+                with self._write_mutex:
+                    self._record_count += 1
+                    self.writes.inserts += 1
+                    if self._write_observers:
+                        self._notify_write("insert", rid)
                 return rid
             self._free_hint[heap_page] = page.contiguous_free() + page.reclaimable()
             self._unpin(heap_page, dirty=False)
@@ -198,10 +206,11 @@ class HeapFile:
         if self.summaries is not None:
             self.summaries.note_insert(rid, record)
         self._unpin(heap_page, dirty=True)
-        self._record_count += 1
-        self.writes.inserts += 1
-        if self._write_observers:
-            self._notify_write("insert", rid)
+        with self._write_mutex:
+            self._record_count += 1
+            self.writes.inserts += 1
+            if self._write_observers:
+                self._notify_write("insert", rid)
         return rid
 
     def insert_at(self, rid: Rid, record: bytes) -> None:
@@ -224,10 +233,11 @@ class HeapFile:
                 self.summaries.note_insert(rid, record, structural=True)
         finally:
             self._unpin(rid.page_no, dirty=True)
-        self._record_count += 1
-        self.writes.inserts += 1
-        if self._write_observers:
-            self._notify_write("insert", rid)
+        with self._write_mutex:
+            self._record_count += 1
+            self.writes.inserts += 1
+            if self._write_observers:
+                self._notify_write("insert", rid)
 
     def read(self, rid: Rid) -> bytes:
         """Return the record at ``rid`` (raises if the address is empty)."""
@@ -262,9 +272,10 @@ class HeapFile:
                 self.summaries.note_update(rid, record)
         finally:
             self._unpin(rid.page_no, dirty=True)
-        self.writes.updates += 1
-        if self._write_observers:
-            self._notify_write("update", rid)
+        with self._write_mutex:
+            self.writes.updates += 1
+            if self._write_observers:
+                self._notify_write("update", rid)
 
     def delete(self, rid: Rid) -> None:
         """Free the address ``rid`` for reuse."""
@@ -278,10 +289,11 @@ class HeapFile:
                 self.summaries.note_delete(rid, page)
         finally:
             self._unpin(rid.page_no, dirty=True)
-        self._record_count -= 1
-        self.writes.deletes += 1
-        if self._write_observers:
-            self._notify_write("delete", rid)
+        with self._write_mutex:
+            self._record_count -= 1
+            self.writes.deletes += 1
+            if self._write_observers:
+                self._notify_write("delete", rid)
 
     # -- scans ---------------------------------------------------------------
 

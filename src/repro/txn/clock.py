@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 import time
+from typing import Callable
 
 from repro.errors import ReproError
 
@@ -108,6 +109,19 @@ class WatermarkBracket:
             f"WatermarkBracket(#{self.index}, low={self.low}, "
             f"high={self.high})"
         )
+
+
+def wall_timer() -> "Callable[[], float]":
+    """A wall-clock duration source for injection into core code.
+
+    Core modules are barred from reading wall time directly (replint
+    L201 keeps scans deterministic); code that genuinely needs to
+    *measure* durations — the sharded refresh's per-worker wall-clock
+    stats, benchmarks — takes an optional ``timer`` callable instead
+    and callers obtain one here, from the clock module the determinism
+    rule already exempts.
+    """
+    return time.perf_counter
 
 
 class WallClock:

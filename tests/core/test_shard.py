@@ -1,0 +1,264 @@
+"""Sharded parallel refresh: plan, executor, and orchestration units.
+
+Covers the machinery around :func:`~repro.core.shard.run_sharded_refresh_scan`:
+summary-aware shard planning, the executor seam (serial and pooled),
+the manager/group/scheduler wiring, and the per-shard statistics rolled
+into :class:`~repro.core.differential.RefreshResult`.  (The
+byte-identity property itself lives in
+``tests/properties/test_shard_props.py``.)
+"""
+
+import pytest
+
+from repro.core.differential import DifferentialRefresher
+from repro.core.group import GroupRefresher
+from repro.core.manager import SnapshotManager
+from repro.core.scheduler import RefreshScheduler
+from repro.core.shard import (
+    DIRTY_PAGE_WEIGHT,
+    PoolShardExecutor,
+    SerialShardExecutor,
+    ShardPlan,
+    default_shard_executor,
+    run_sharded_refresh_scan,
+)
+from repro.database import Database
+from repro.errors import RefreshMethodError, SnapshotError
+
+
+def build_table(rows=400, annotations="lazy"):
+    db = Database("shard-unit")
+    table = db.create_table(
+        "t", [("id", "int"), ("v", "int")], annotations=annotations
+    )
+    rids = [table.insert([i, i % 50]) for i in range(rows)]
+    return db, table, rids
+
+
+def churn(table, rids, fraction=3):
+    for i in range(0, len(rids), fraction):
+        table.update(rids[i], {"v": (i * 7) % 50})
+
+
+class TestShardPlan:
+    def test_uniform_weights_balance_page_counts(self):
+        db, table, rids = build_table(rows=600)
+        plan = ShardPlan.build(table, 4, False, 0)
+        assert len(plan.ranges) == 4
+        assert plan.page_count == table.heap.page_count
+        assert plan.total_weight == plan.page_count * DIRTY_PAGE_WEIGHT
+        # Contiguous, complete, non-overlapping cover of the page space.
+        assert plan.ranges[0].start == 0
+        assert plan.ranges[-1].stop == plan.page_count
+        for left, right in zip(plan.ranges, plan.ranges[1:]):
+            assert left.stop == right.start
+        sizes = [r.stop - r.start for r in plan.ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_pages_clamps(self):
+        db, table, rids = build_table(rows=20)
+        plan = ShardPlan.build(table, 16, False, 0)
+        assert 1 <= len(plan.ranges) <= table.heap.page_count
+        assert plan.ranges[-1].stop == plan.page_count
+        for shard in plan.ranges:
+            assert shard.stop > shard.start
+
+    def test_summary_weighting_spreads_dirty_burst(self):
+        """A clustered write burst lands spread across shards."""
+        db, table, rids = build_table(rows=600)
+        refresher = DifferentialRefresher(table, use_page_summaries=True)
+        # One full refresh so every page has a current summary.
+        from repro.expr.predicate import Projection, Restriction
+
+        restriction = Restriction.parse("v >= 0", table.schema)
+        projection = Projection(table.schema)
+        result = refresher.refresh(
+            0, restriction, projection, lambda m: None, cache={}
+        )
+        snap_time = result.new_snap_time
+        # Dirty a clustered prefix of the table only.
+        for rid in rids[: len(rids) // 4]:
+            table.update(rid, {"v": 7})
+        plan = ShardPlan.build(table, 4, True, snap_time)
+        clean = ShardPlan.build(table, 4, False, snap_time)
+        # Weighted plan: the dirty prefix costs DIRTY_PAGE_WEIGHT per
+        # page, the clean tail 1 — the first shard must span fewer
+        # pages than a page-uniform split would give it.
+        uniform_first = clean.ranges[0].stop - clean.ranges[0].start
+        weighted_first = plan.ranges[0].stop - plan.ranges[0].start
+        assert weighted_first < uniform_first
+        assert plan.total_weight < clean.total_weight
+
+    def test_zero_shards_rejected(self):
+        db, table, rids = build_table(rows=10)
+        with pytest.raises(RefreshMethodError):
+            ShardPlan.build(table, 0, False, 0)
+
+
+class TestExecutors:
+    def test_serial_runs_in_order(self):
+        order = []
+        executor = SerialShardExecutor()
+        outcomes = executor.run(
+            [lambda i=i: order.append(i) or i for i in range(5)]
+        )
+        assert outcomes == [0, 1, 2, 3, 4]
+        assert order == [0, 1, 2, 3, 4]
+        executor.close()
+
+    def test_pool_returns_in_submission_order(self):
+        executor = PoolShardExecutor(max_workers=4)
+        try:
+            outcomes = executor.run([lambda i=i: i * i for i in range(8)])
+            assert outcomes == [i * i for i in range(8)]
+        finally:
+            executor.close()
+
+    def test_pool_reuses_and_grows(self):
+        executor = PoolShardExecutor()
+        try:
+            assert executor.run([lambda: 1, lambda: 2]) == [1, 2]
+            first = executor._pool
+            assert executor.run([lambda: 3]) == [3]
+            assert executor._pool is first
+            assert executor.run([lambda i=i: i for i in range(6)]) == list(
+                range(6)
+            )
+        finally:
+            executor.close()
+
+    def test_pool_propagates_worker_failure(self):
+        executor = PoolShardExecutor(max_workers=2)
+        try:
+
+            def boom():
+                raise ValueError("worker died")
+
+            with pytest.raises(ValueError, match="worker died"):
+                executor.run([lambda: 1, boom, lambda: 3])
+        finally:
+            executor.close()
+
+    def test_default_executor_is_shared(self):
+        assert default_shard_executor() is default_shard_executor()
+
+
+class TestRefresherWiring:
+    def test_shards_validation(self):
+        db, table, rids = build_table(rows=10)
+        with pytest.raises(RefreshMethodError):
+            DifferentialRefresher(table, shards=0)
+        with pytest.raises(RefreshMethodError):
+            GroupRefresher(table, shards=0)
+        with pytest.raises(RefreshMethodError):
+            run_sharded_refresh_scan(table, [], shards=0)
+
+    def test_result_reports_shard_stats(self):
+        db, table, rids = build_table(rows=600)
+        churn(table, rids)
+        refresher = DifferentialRefresher(
+            table, shards=4, shard_executor=SerialShardExecutor()
+        )
+        from repro.expr.predicate import Projection, Restriction
+
+        result = refresher.refresh(
+            0,
+            Restriction.parse("v < 25", table.schema),
+            Projection(table.schema),
+            lambda m: None,
+        )
+        assert result.shards >= 2
+        assert len(result.shard_stats) == result.shards
+        assert sum(s.entries for s in result.shard_stats) == result.scanned
+        assert sum(s.pages_scanned for s in result.shard_stats) == (
+            result.pages_scanned
+        )
+        assert result.shard_skew >= 1.0
+        assert result.merge_wall >= 0.0
+        for stat in result.shard_stats:
+            assert stat.stop > stat.start
+            assert stat.weight > 0
+
+    def test_single_page_table_falls_back_to_monolithic(self):
+        db, table, rids = build_table(rows=5)
+        refresher = DifferentialRefresher(table, shards=8)
+        from repro.expr.predicate import Projection, Restriction
+
+        result = refresher.refresh(
+            0,
+            Restriction.parse("v >= 0", table.schema),
+            Projection(table.schema),
+            lambda m: None,
+        )
+        assert result.shards == 1
+        assert result.shard_stats == ()
+
+
+class TestManagerWiring:
+    def build_manager(self, rows=500, **snap_kwargs):
+        db, table, rids = build_table(rows=rows)
+        manager = SnapshotManager(db)
+        handle = manager.create_snapshot(
+            "s", "t", where="v < 25", **snap_kwargs
+        )
+        return db, table, rids, manager, handle
+
+    def test_create_snapshot_shards_flow_through(self):
+        db, table, rids, manager, handle = self.build_manager(shards=4)
+        churn(table, rids)
+        result = manager.refresh("s")
+        assert result.shards >= 2
+        assert handle.refresher.shards == 4
+        truth = {
+            rid: row.values
+            for rid, row in table.scan(visible=True)
+            if row.values[1] < 25
+        }
+        assert dict(handle.table.as_map()) == truth
+
+    def test_shards_require_differential_method(self):
+        db, table, rids = build_table(rows=50)
+        manager = SnapshotManager(db)
+        with pytest.raises(SnapshotError, match="shards"):
+            manager.create_snapshot(
+                "s", "t", where="v < 25", method="full", shards=4
+            )
+
+    def test_group_pass_uses_max_member_shards(self):
+        db, table, rids = build_table(rows=500)
+        manager = SnapshotManager(db)
+        manager.create_snapshot("a", "t", where="v < 25", shards=4)
+        manager.create_snapshot("b", "t", where="v >= 25")
+        churn(table, rids)
+        results = manager.refresh_many(["a", "b"])
+        assert not results.errors
+        # One shared pass served both; the sharded member's setting
+        # promotes the whole pass (byte streams are unchanged either
+        # way — that is the property suite's charter).
+        assert results["a"].shards >= 2
+        assert results["a"].shards == results["b"].shards
+
+
+class TestSchedulerTelemetry:
+    def test_sharded_passes_and_skew_recorded(self):
+        db, table, rids = build_table(rows=400)
+        manager = SnapshotManager(db)
+        manager.create_snapshot("s", "t", where="v < 25", shards=4)
+        scheduler = RefreshScheduler(manager)
+        scheduler.schedule("s", every_ops=40)
+        churn(table, rids, fraction=2)
+        assert scheduler.sharded_passes > 0
+        assert scheduler.average_shard_skew >= 1.0
+        assert scheduler.shard_skew_max >= scheduler.average_shard_skew
+        scheduler.close()
+
+    def test_monolithic_refreshes_record_nothing(self):
+        db, table, rids = build_table(rows=400)
+        manager = SnapshotManager(db)
+        manager.create_snapshot("s", "t", where="v < 25")
+        scheduler = RefreshScheduler(manager)
+        scheduler.schedule("s", every_ops=40)
+        churn(table, rids, fraction=2)
+        assert scheduler.sharded_passes == 0
+        assert scheduler.average_shard_skew == 0.0
+        scheduler.close()

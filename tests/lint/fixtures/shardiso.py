@@ -1,0 +1,14 @@
+"""Seeded L403 violations: a shard worker reaching into the manager."""
+import repro.core.manager
+from repro.core.scheduler import RefreshScheduler
+
+
+def rogue_worker(db):
+    manager = SnapshotManager(db)
+    entry = db.scheduler.ScheduleEntry
+    return manager, entry, RefreshScheduler
+
+
+def clean_worker(outcome):
+    # Returned streams are the only channel: no violation here.
+    return outcome.clones

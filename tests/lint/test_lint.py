@@ -97,6 +97,26 @@ class TestLockOrder:
         assert fired(violations) == [("L401", 6), ("L402", 10)]
 
 
+class TestShardIsolation:
+    def test_manager_references_fire_in_shard_module(self):
+        violations = lint_sources(
+            [fixture("shardiso.py", "core/shard.py")]
+        )
+        assert fired(violations) == [
+            ("L403", 2),
+            ("L403", 3),
+            ("L403", 7),
+            ("L403", 8),
+            ("L403", 9),
+        ]
+
+    def test_other_modules_are_exempt(self):
+        violations = lint_sources(
+            [fixture("shardiso.py", "core/manager.py")]
+        )
+        assert [v.rule for v in violations] == []
+
+
 class TestBareAssert:
     def test_assert_fires_and_suppressions_hold(self):
         violations = lint_sources([fixture("asserts.py", "core/checks.py")])
@@ -114,7 +134,7 @@ class TestEngine:
             "L101", "L102", "L103",
             "L201", "L202", "L203",
             "L301", "L302", "L303", "L304", "L305",
-            "L401", "L402",
+            "L401", "L402", "L403",
             "L501",
         }
 

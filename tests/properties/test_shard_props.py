@@ -1,0 +1,344 @@
+"""Sharded parallel refresh: the byte-identity property.
+
+The invariant that makes :func:`~repro.core.shard.run_sharded_refresh_scan`
+safe to ship: for ANY base-table history, ANY shard count, and ANY
+combination of page summaries, batch decoding, and fan-out, the merged
+per-cursor output stream of a sharded pass is **byte-identical** to the
+monolithic single-scan pass at the same ``SnapTime`` — messages and
+wire bytes — and the annotation fix-up writes leave the base table in
+the identical state.
+
+The check replays the same deterministic history into two worlds and
+refreshes one with ``shards=N`` and the other monolithically.  Shard
+boundaries land wherever the plan puts them (including mid-run of
+changed entries, which is exactly where the carried ``Deletion``/
+``LastQual``/fix-up state must resolve correctly), so random histories
+exercise the symbolic boundary machinery directly.
+
+A separate fault test drives the manager path with one shard worker
+dying mid-pass: the epoch must abort cleanly (no partial application at
+the receiver) and an un-faulted retry must succeed byte-identically.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.differential import DifferentialRefresher, RefreshCursor
+from repro.core.group import GroupRefresher
+from repro.core.manager import SnapshotManager
+from repro.core.snapshot import SnapshotTable
+from repro.core.shard import SerialShardExecutor
+from repro.database import Database
+from repro.expr.predicate import Projection, Restriction
+
+PREDICATES = ("v < 20", "v < 50", "v >= 50", "v < 80")
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete", "refresh"]),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=99),
+    ),
+    max_size=50,
+)
+
+shard_counts = st.sampled_from([2, 4, 7])
+
+
+class _World:
+    """One replayable world: a base table plus N snapshot cursors."""
+
+    def __init__(
+        self,
+        summaries: bool,
+        batch: bool,
+        shards: int,
+        fleet_size: int = 1,
+    ) -> None:
+        self.db = Database("prop-shard")
+        self.table = self.db.create_table(
+            "t", [("v", "int")], annotations="lazy"
+        )
+        self.summaries = summaries
+        self.batch = batch
+        self.shards = shards
+        self.projection = Projection(self.table.schema)
+        self.restrictions = [
+            Restriction.parse(PREDICATES[i], self.table.schema)
+            for i in range(fleet_size)
+        ]
+        self.refreshers = [
+            DifferentialRefresher(
+                self.table,
+                use_page_summaries=summaries,
+                batch_mode=batch,
+                shards=shards,
+                shard_executor=SerialShardExecutor(),
+            )
+            for _ in range(fleet_size)
+        ]
+        self.caches: "list[dict]" = [{} for _ in range(fleet_size)]
+        self.snap_times = [0] * fleet_size
+        self.receivers = [
+            SnapshotTable(Database("remote"), f"s{i}", self.projection.schema)
+            for i in range(fleet_size)
+        ]
+        self.live = [self.table.insert([v]) for v in range(0, 100, 7)]
+
+    def solo_refresh(self, index: int) -> "list[object]":
+        messages: "list[object]" = []
+
+        def deliver(message) -> None:
+            messages.append(message)
+            self.receivers[index].apply(message)
+
+        result = self.refreshers[index].refresh(
+            self.snap_times[index],
+            self.restrictions[index],
+            self.projection,
+            deliver,
+            cache=self.caches[index] if self.summaries else None,
+        )
+        self.snap_times[index] = result.new_snap_time
+        self.last_result = result
+        return messages
+
+    def replay(self, script) -> None:
+        fleet_size = len(self.restrictions)
+        for op, index, value in script:
+            if op == "insert":
+                self.live.append(self.table.insert([value]))
+            elif op == "update" and self.live:
+                self.table.update(
+                    self.live[index % len(self.live)], {"v": value}
+                )
+            elif op == "delete" and self.live:
+                self.table.delete(self.live.pop(index % len(self.live)))
+            elif op == "refresh":
+                self.solo_refresh(index % fleet_size)
+
+    def group_refresh(self):
+        streams: "list[list[object]]" = [[] for _ in self.restrictions]
+        cursors = []
+        for i in range(len(self.restrictions)):
+
+            def deliver(message, i=i) -> None:
+                streams[i].append(message)
+                self.receivers[i].apply(message)
+
+            cursors.append(
+                RefreshCursor(
+                    self.snap_times[i],
+                    self.restrictions[i],
+                    self.projection,
+                    deliver,
+                    cache=self.caches[i] if self.summaries else None,
+                    name=str(i),
+                )
+            )
+        outcome = GroupRefresher(
+            self.table,
+            use_page_summaries=self.summaries,
+            batch_mode=self.batch,
+            shards=self.shards,
+            shard_executor=SerialShardExecutor(),
+        ).refresh_group(cursors)
+        assert not outcome.errors
+        for i in range(len(self.restrictions)):
+            self.snap_times[i] = outcome.per_snapshot[str(i)].new_snap_time
+        return streams, outcome
+
+    def annotations(self) -> "list[tuple]":
+        """Every entry's full annotated state (fix-up result included)."""
+        return [
+            (rid, row.values, self.table.annotations(rid))
+            for rid, row in self.table.scan(visible=True)
+        ]
+
+    def truth(self, index: int) -> dict:
+        restriction = self.restrictions[index]
+        return {
+            rid: row.values
+            for rid, row in self.table.scan(visible=True)
+            if restriction(row)
+        }
+
+
+def run_solo(script, summaries: bool, batch: bool, shards: int) -> None:
+    sharded = _World(summaries, batch, shards)
+    sharded.replay(script)
+    sharded_stream = sharded.solo_refresh(0)
+
+    mono = _World(summaries, batch, 1)
+    mono.replay(script)
+    mono_stream = mono.solo_refresh(0)
+
+    assert [repr(m) for m in sharded_stream] == [
+        repr(m) for m in mono_stream
+    ], f"stream diverged (summaries={summaries}, batch={batch}, N={shards})"
+    assert sum(m.wire_size() for m in sharded_stream) == sum(
+        m.wire_size() for m in mono_stream
+    )
+    # Fix-up leaves the identical annotated base table behind.
+    assert sharded.annotations() == mono.annotations()
+    assert sharded.receivers[0].as_map() == sharded.truth(0)
+    if shards > 1:
+        # A small table may collapse to a single shard range (the plan
+        # drops empty ranges and falls back to the monolithic scan).
+        result = sharded.last_result
+        if result.shards >= 2:
+            assert sum(s.entries for s in result.shard_stats) == (
+                result.scanned
+            )
+
+
+def run_group(script, summaries: bool, batch: bool, shards: int) -> None:
+    fleet = 3
+    sharded = _World(summaries, batch, shards, fleet_size=fleet)
+    sharded.replay(script)
+    sharded_streams, _ = sharded.group_refresh()
+
+    mono = _World(summaries, batch, 1, fleet_size=fleet)
+    mono.replay(script)
+    mono_streams, _ = mono.group_refresh()
+
+    for i in range(fleet):
+        assert [repr(m) for m in sharded_streams[i]] == [
+            repr(m) for m in mono_streams[i]
+        ], f"cursor {i} diverged (summaries={summaries}, batch={batch})"
+        assert sharded.receivers[i].as_map() == sharded.truth(i)
+    assert sharded.annotations() == mono.annotations()
+
+
+class TestShardByteIdentity:
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(script=operations, shards=shard_counts)
+    def test_solo_summaries_on(self, script, shards):
+        run_solo(script, True, False, shards)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(script=operations, shards=shard_counts)
+    def test_solo_summaries_off(self, script, shards):
+        run_solo(script, False, False, shards)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(script=operations, shards=shard_counts)
+    def test_solo_batch_on(self, script, shards):
+        run_solo(script, False, True, shards)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(script=operations, shards=shard_counts)
+    def test_solo_summaries_and_batch(self, script, shards):
+        run_solo(script, True, True, shards)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(script=operations, shards=shard_counts)
+    def test_group_summaries_on(self, script, shards):
+        run_group(script, True, False, shards)
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(script=operations, shards=shard_counts)
+    def test_group_batch_on(self, script, shards):
+        run_group(script, False, True, shards)
+
+
+class TestShardFaultIsolation:
+    def _manager_world(self, shards: int = 4):
+        db = Database("fault")
+        table = db.create_table("base", [("id", "int"), ("v", "int")])
+        for i in range(300):
+            table.insert([i, i % 50])
+        manager = SnapshotManager(db)
+        handle = manager.create_snapshot(
+            "s", "base", where="v < 25", shards=shards
+        )
+        manager.refresh("s")
+        rows = list(table.scan())
+        for k, (rid, row) in enumerate(rows[:120]):
+            if k % 3 == 0:
+                table.update(rid, {"v": (row.values[1] + 7) % 50})
+            elif k % 3 == 1:
+                table.delete(rid)
+        return db, table, manager, handle
+
+    def test_failing_worker_aborts_epoch_cleanly(self, monkeypatch):
+        """One dead shard worker: no partial commit, clean retry."""
+        import repro.core.shard as shard_mod
+
+        db, table, manager, handle = self._manager_world()
+        before = dict(handle.table.as_map())
+        real_scan = shard_mod._scan_shard
+
+        def dying_scan(table, cursors, shard, *args, **kwargs):
+            if shard.index == 1:
+                raise RuntimeError("shard worker 1 died")
+            return real_scan(table, cursors, shard, *args, **kwargs)
+
+        monkeypatch.setattr(shard_mod, "_scan_shard", dying_scan)
+        with pytest.raises(RuntimeError, match="worker 1 died"):
+            manager.refresh("s")
+        # The receiver saw no partial epoch: contents exactly as before.
+        assert dict(handle.table.as_map()) == before
+        assert not handle.info.snapshot_table.epoch_open
+
+        # Un-faulted retry succeeds and matches a monolithic twin.
+        monkeypatch.setattr(shard_mod, "_scan_shard", real_scan)
+        result = manager.refresh("s")
+        assert result.new_snap_time > 0
+        truth = {
+            rid: row.values
+            for rid, row in table.scan(visible=True)
+            if row.values[1] < 25
+        }
+        assert dict(handle.table.as_map()) == truth
+
+    def test_worker_failure_before_any_send_leaves_channel_clean(
+        self, monkeypatch
+    ):
+        """Workers buffer; a fault fires before any message is sent."""
+        import repro.core.shard as shard_mod
+
+        db, table, manager, handle = self._manager_world()
+        sent: "list[object]" = []
+        original_send = handle.channel.send
+
+        def spy_send(message):
+            sent.append(message)
+            return original_send(message)
+
+        monkeypatch.setattr(handle.channel, "send", spy_send)
+
+        def dying_scan(table, cursors, shard, *args, **kwargs):
+            raise RuntimeError("all workers died")
+
+        monkeypatch.setattr(shard_mod, "_scan_shard", dying_scan)
+        with pytest.raises(RuntimeError):
+            manager.refresh("s")
+        # Only the epoch framing escaped before the fault: the merge
+        # (the only stage that transmits) never started.
+        assert [type(m).__name__ for m in sent] == ["RefreshBeginMessage"]
