@@ -41,10 +41,15 @@ from repro.core.messages import (
     SnapTimeMessage,
     UpsertMessage,
 )
+from repro.core.cohort import Cohort, CohortKey, cluster_due, staleness_band
+from repro.core.registry import CohortClaim, RegisteredSnapshot, SnapshotRegistry
 from repro.core.snapshot import SnapshotTable
 
 __all__ = [
     "ClearMessage",
+    "Cohort",
+    "CohortClaim",
+    "CohortKey",
     "DeleteMessage",
     "DeleteRangeMessage",
     "DifferentialRefresher",
@@ -57,9 +62,13 @@ __all__ = [
     "IdealRefresher",
     "RefreshCursor",
     "RefreshResult",
+    "RegisteredSnapshot",
     "Snapshot",
     "SnapshotManager",
+    "SnapshotRegistry",
     "SnapshotTable",
     "SnapTimeMessage",
     "UpsertMessage",
+    "cluster_due",
+    "staleness_band",
 ]

@@ -72,6 +72,11 @@ class GroupRefreshResult:
         self.pass_result = RefreshResult()
         self.per_snapshot: "dict[str, RefreshResult]" = {}
         self.errors: "dict[str, BaseException]" = {}
+        #: Spread between the oldest and newest SnapTime riding the pass
+        #: (0 for a solo pass).  Cohort clustering bounds this by banding
+        #: staleness: a tight spread means the riders skip and decode
+        #: nearly the same page set, which is what makes sharing cheap.
+        self.snap_time_spread = 0
 
     @property
     def cursors_served(self) -> int:
@@ -218,6 +223,10 @@ class GroupRefresher:
     ) -> GroupRefreshResult:
         """Copy pass-level costs onto every cursor's own result."""
         stats = outcome.pass_result
+        snap_times = [cursor.snap_time for cursor in cursors]
+        outcome.snap_time_spread = (
+            max(snap_times) - min(snap_times) if snap_times else 0
+        )
         for index, cursor in enumerate(cursors):
             name = cursor.name if cursor.name is not None else str(index)
             result = cursor.result

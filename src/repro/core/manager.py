@@ -16,6 +16,8 @@ claim, measured by the A6 benchmark).
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Optional, Sequence, Union
 
 from repro import sanitize
@@ -38,6 +40,7 @@ from repro.core.group import GroupRefresher
 from repro.core.ideal import IdealRefresher
 from repro.core.logbased import LogRefresher
 from repro.core.messages import RefreshBeginMessage, RefreshCommitMessage
+from repro.core.registry import CohortClaim, SnapshotRegistry
 from repro.core.snapshot import SnapshotTable
 from repro.database import Database
 from repro.errors import (
@@ -84,6 +87,40 @@ class RefreshAllResult(dict):
     def __repr__(self) -> str:
         return (
             f"RefreshAllResult(ok={list(self)}, failed={self.failed})"
+        )
+
+
+class FleetDrainResult:
+    """Outcome of one claim-protocol drain over a registry's due queue."""
+
+    __slots__ = (
+        "claims",
+        "cohorts",
+        "refreshed",
+        "errors",
+        "worker_errors",
+        "per_worker",
+    )
+
+    def __init__(self) -> None:
+        #: Claims issued to drain workers.
+        self.claims = 0
+        #: Claims completed (each one shared-scan cohort refresh).
+        self.cohorts = 0
+        #: Snapshots successfully refreshed.
+        self.refreshed = 0
+        #: Per-snapshot isolated failures (name -> error), requeued as due.
+        self.errors: "dict[str, BaseException]" = {}
+        #: Workers stopped by an unexpected error (worker -> error);
+        #: their claims were released back to the due pool.
+        self.worker_errors: "dict[str, BaseException]" = {}
+        #: Completed claims per worker.
+        self.per_worker: "dict[str, int]" = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetDrainResult(cohorts={self.cohorts}, "
+            f"refreshed={self.refreshed}, failed={list(self.errors)})"
         )
 
 
@@ -853,6 +890,92 @@ class SnapshotManager:
         """
         names = [info.name for info in self.db.catalog.snapshots(base_table)]
         return self.refresh_many(names, retry=retry, group=group)
+
+    # -- FLEET DRAIN (claim protocol) -----------------------------------------------
+
+    def refresh_cohort(
+        self, claim: CohortClaim, retry: Optional[RetryPolicy] = None
+    ) -> RefreshAllResult:
+        """Refresh the members of one claimed cohort.
+
+        The cohort shares a base table by construction, so the whole
+        membership rides one shared-scan pass (``refresh_many`` groups
+        them); per-member failures land in the result's ``errors`` map
+        exactly as the claim's :meth:`SnapshotRegistry.complete` expects.
+        """
+        return self.refresh_many(list(claim.cohort.members), retry=retry)
+
+    def drain_registry(
+        self,
+        registry: SnapshotRegistry,
+        workers: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        max_claims: Optional[int] = None,
+    ) -> "FleetDrainResult":
+        """Drain the registry's due queue through the claim protocol.
+
+        Each worker loops claim → refresh → complete until
+        :meth:`SnapshotRegistry.claim_cohort` finds nothing claimable.
+        ``workers > 1`` runs the loops on a thread pool; the registry's
+        one-live-claim-per-base-table rule keeps concurrent passes on
+        disjoint tables (the non-blocking lock manager would abort, not
+        queue, two passes on one base).  A worker hitting an unexpected
+        error releases its claim — members return to the due pool with
+        the failure recorded — and stops; a worker that dies without
+        releasing is covered by lease expiry instead.
+        """
+        if workers < 1:
+            raise SnapshotError("drain needs at least one worker")
+        drain = FleetDrainResult()
+        counter_lock = threading.Lock()
+
+        def claim_next(worker_name: str) -> "CohortClaim | None":
+            # Claim under the budget lock so N workers cannot overshoot
+            # max_claims between the check and the claim.
+            with counter_lock:
+                if max_claims is not None and drain.claims >= max_claims:
+                    return None
+                claim = registry.claim_cohort(worker_name)
+                if claim is not None:
+                    drain.claims += 1
+                return claim
+
+        def drain_one(worker_name: str) -> None:
+            while True:
+                claim = claim_next(worker_name)
+                if claim is None:
+                    return
+                try:
+                    outcomes = self.refresh_cohort(claim, retry=retry)
+                except Exception as error:  # noqa: BLE001 — isolate the worker
+                    registry.release(claim, error)
+                    with counter_lock:
+                        drain.worker_errors[worker_name] = error
+                    return
+                registry.complete(
+                    claim,
+                    shipped={
+                        name: result.entries_sent
+                        for name, result in outcomes.items()
+                    },
+                    failed=dict(outcomes.errors),
+                )
+                with counter_lock:
+                    drain.refreshed += len(outcomes)
+                    drain.cohorts += 1
+                    drain.errors.update(outcomes.errors)
+                    drain.per_worker[worker_name] = (
+                        drain.per_worker.get(worker_name, 0) + 1
+                    )
+
+        names = [f"worker-{i}" for i in range(workers)]
+        if workers == 1:
+            drain_one(names[0])
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for future in [pool.submit(drain_one, name) for name in names]:
+                    future.result()
+        return drain
 
     # -- DROP SNAPSHOT --------------------------------------------------------------
 

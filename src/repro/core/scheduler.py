@@ -16,6 +16,16 @@ refresh ships at most one message per entry regardless of how many times
 it changed) at the price of higher average staleness; benchmark A11
 sweeps the curve.
 
+**Registry-backed due-tracking.**  The original scheduler walked every
+``ScheduleEntry`` on every observed commit — O(fleet) per operation.
+Scheduling state now lives in a :class:`~repro.core.registry.
+SnapshotRegistry`: per-base deadline heaps make the per-op cost O(1)
+amortized regardless of fleet size, and the staleness integral is kept
+in closed form (byte-for-byte the numbers the eager walk produced; the
+10k-entry regression test in ``tests/core/test_scheduler.py`` pins
+both properties).  :class:`ScheduleEntry` remains the public face — a
+thin view over the registry record.
+
 **Coalescing window.**  With ``coalesce_window=W``, a snapshot coming
 due pulls every other scheduled snapshot of the same base table that is
 within ``W`` operations of its own deadline into the same refresh — and
@@ -27,52 +37,67 @@ already-paid base-table scan saves the entire second pass.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.differential import RefreshResult
 from repro.core.manager import Snapshot, SnapshotManager
+from repro.core.registry import RegisteredSnapshot, SnapshotRegistry
 from repro.errors import ChannelError, RetryExhaustedError, SnapshotError
 from repro.txn.transactions import Transaction
 
 
 class ScheduleEntry:
-    """Scheduling state for one snapshot."""
+    """Scheduling state for one snapshot (a view over its registry record)."""
 
-    __slots__ = (
-        "snapshot",
-        "every_ops",
-        "pending",
-        "ops_observed",
-        "staleness_area",
-        "refreshes",
-        "entries_shipped",
-        "failed_refreshes",
-        "last_failure",
-    )
+    __slots__ = ("snapshot", "record")
 
-    def __init__(self, snapshot: Snapshot, every_ops: int) -> None:
+    def __init__(self, snapshot: Snapshot, record: RegisteredSnapshot) -> None:
         self.snapshot = snapshot
-        self.every_ops = every_ops
-        #: Committed base-table changes not yet reflected.
-        self.pending = 0
-        #: Total base-table operations observed while scheduled.
-        self.ops_observed = 0
-        #: Sum of `pending` sampled after every operation.
-        self.staleness_area = 0
-        self.refreshes = 0
-        self.entries_shipped = 0
-        #: Scheduled refreshes that failed (link down, retries exhausted)
-        #: and were skipped; ``pending`` is kept so the next period — or
-        #: :meth:`RefreshScheduler.flush` — retries.
-        self.failed_refreshes = 0
-        self.last_failure: "BaseException | None" = None
+        #: The registry record holding the live counters.
+        self.record = record
+
+    @property
+    def every_ops(self) -> int:
+        return self.record.every_ops
+
+    @property
+    def pending(self) -> int:
+        """Committed base-table changes not yet reflected."""
+        return self.record.pending
+
+    @property
+    def ops_observed(self) -> int:
+        """Total base-table operations observed while scheduled."""
+        return self.record.ops_observed
+
+    @property
+    def staleness_area(self) -> int:
+        """Sum of `pending` sampled after every operation."""
+        return self.record.staleness_area
+
+    @property
+    def refreshes(self) -> int:
+        return self.record.refreshes
+
+    @property
+    def entries_shipped(self) -> int:
+        return self.record.entries_shipped
+
+    @property
+    def failed_refreshes(self) -> int:
+        """Scheduled refreshes that failed (link down, retries exhausted)
+        and were skipped; ``pending`` is kept so the next period — or
+        :meth:`RefreshScheduler.flush` — retries."""
+        return self.record.failed_refreshes
+
+    @property
+    def last_failure(self) -> "BaseException | None":
+        return self.record.last_failure
 
     @property
     def average_staleness(self) -> float:
         """Mean number of unseen changes over the operation stream."""
-        if self.ops_observed == 0:
-            return 0.0
-        return self.staleness_area / self.ops_observed
+        return self.record.average_staleness
 
     def __repr__(self) -> str:
         return (
@@ -85,7 +110,10 @@ class RefreshScheduler:
     """Drives periodic refreshes off the commit stream."""
 
     def __init__(
-        self, manager: SnapshotManager, coalesce_window: int = 0
+        self,
+        manager: SnapshotManager,
+        coalesce_window: int = 0,
+        registry: Optional[SnapshotRegistry] = None,
     ) -> None:
         if coalesce_window < 0:
             raise SnapshotError("coalesce window must be non-negative")
@@ -93,6 +121,13 @@ class RefreshScheduler:
         #: Snapshots within this many operations of their own deadline
         #: ride a due snapshot's shared-scan pass (0 = no coalescing).
         self.coalesce_window = coalesce_window
+        #: Deadline buckets + staleness accounting (shared with any
+        #: claim-protocol workers draining the same fleet).
+        self.registry = (
+            registry
+            if registry is not None
+            else SnapshotRegistry(clock=manager.db.clock)
+        )
         self._entries: "Dict[str, ScheduleEntry]" = {}
         #: Scheduled refreshes skipped because the refresh failed.
         self.failed_refreshes = 0
@@ -121,12 +156,19 @@ class RefreshScheduler:
         if every_ops < 1:
             raise SnapshotError("refresh period must be at least 1 operation")
         handle = self.manager.snapshot(snapshot_name)
-        entry = ScheduleEntry(handle, every_ops)
+        record = self.registry.register(
+            snapshot_name,
+            handle.info.base_table,
+            every_ops,
+            restriction=handle.restriction,
+        )
+        entry = ScheduleEntry(handle, record)
         self._entries[snapshot_name] = entry
         return entry
 
     def unschedule(self, snapshot_name: str) -> None:
         del self._entries[snapshot_name]
+        self.registry.unregister(snapshot_name)
 
     def entry(self, snapshot_name: str) -> ScheduleEntry:
         return self._entries[snapshot_name]
@@ -137,30 +179,24 @@ class RefreshScheduler:
     # -- commit hook ---------------------------------------------------------
 
     def _on_commit(self, txn: Transaction) -> None:
-        due = []
-        for entry in self._entries.values():
-            base = entry.snapshot.info.base_table
-            relevant = sum(
-                1 for record in txn.data_records if record.table == base
-            )
-            if relevant == 0:
-                continue
-            # Staleness is the area under the pending-changes curve over
-            # the *operation* stream, so accumulate it per operation: a
-            # K-op transaction contributes pending+1, pending+2, ...,
-            # pending+K — not one sample of the final value.
-            for _ in range(relevant):
-                entry.pending += 1
-                entry.staleness_area += entry.pending
-            entry.ops_observed += relevant
-            if entry.pending >= entry.every_ops:
-                due.append(entry)
+        # One pass over the commit's records — O(records), independent
+        # of fleet size; the registry charges each touched base's ops to
+        # its members lazily and surfaces only deadline crossings.
+        counts: "Dict[str, int]" = {}
+        for record in txn.data_records:
+            counts[record.table] = counts.get(record.table, 0) + 1
+        due: "list[str]" = []
+        for base_table, ops in counts.items():
+            for record_due in self.registry.observe(base_table, ops):
+                if record_due.name in self._entries:
+                    due.append(record_due.name)
         # Accumulate for the whole fleet first, then fire: a refresh
         # reads the base table *after* this commit, so every sibling it
         # coalesces has genuinely seen these operations — firing
         # mid-loop would re-charge a rider for ops its pass covered.
-        for entry in due:
-            if entry.pending >= entry.every_ops:
+        for name in due:
+            entry = self._entries.get(name)
+            if entry is not None and entry.pending >= entry.every_ops:
                 self._refresh(entry)
 
     def _coalesce_group(self, entry: ScheduleEntry) -> "list[ScheduleEntry]":
@@ -169,13 +205,12 @@ class RefreshScheduler:
         if self.coalesce_window == 0:
             return group
         base = entry.snapshot.info.base_table
-        for other in self._entries.values():
-            if other is entry or other.pending == 0:
-                continue
-            if other.snapshot.info.base_table != base:
-                continue
-            if other.pending + self.coalesce_window >= other.every_ops:
-                group.append(other)
+        for record in self.registry.near_due(
+            base, self.coalesce_window, exclude=(entry.snapshot.name,)
+        ):
+            sibling = self._entries.get(record.name)
+            if sibling is not None:
+                group.append(sibling)
         return group
 
     def _rearm_solo(
@@ -209,8 +244,7 @@ class RefreshScheduler:
         # A down link must not propagate out of the commit hook and
         # fail the writer's transaction.  Record the failure, keep
         # `pending` so the next period (or flush()) retries.
-        entry.failed_refreshes += 1
-        entry.last_failure = error
+        self.registry.mark_failed(entry.snapshot.name, error)
         self.failed_refreshes += 1
 
     def _refresh(self, entry: ScheduleEntry) -> None:
@@ -221,9 +255,9 @@ class RefreshScheduler:
             except (ChannelError, RetryExhaustedError) as error:
                 self._record_failure(entry, error)
                 return
-            entry.refreshes += 1
-            entry.entries_shipped += result.entries_sent
-            entry.pending = 0
+            self.registry.mark_refreshed(
+                entry.snapshot.name, shipped=result.entries_sent
+            )
             self._note_sharding(result)
             return
         # Due refreshes within the batch window ride the same pass.
@@ -248,9 +282,9 @@ class RefreshScheduler:
                 if result is None:
                     continue
                 self.rearmed_solo += 1
-            member.refreshes += 1
-            member.entries_shipped += result.entries_sent
-            member.pending = 0
+            self.registry.mark_refreshed(
+                member.snapshot.name, shipped=result.entries_sent
+            )
             self._note_sharding(result)
             if member is not entry:
                 self.coalesced_refreshes += 1

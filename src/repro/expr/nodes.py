@@ -453,3 +453,126 @@ def _like_to_regex(pattern: str) -> str:
         else:
             parts.append(re.escape(char))
     return "".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Canonicalization
+#
+# Two predicates that differ only in conjunct order, negated-literal
+# spelling, or `!=` vs `<>` select the same rows under SQL three-valued
+# logic (AND/OR are commutative and idempotent over {TRUE, FALSE,
+# UNKNOWN}).  `canonicalize` rewrites an AST into one representative of
+# that equivalence class so the parse memo and the cohort signature both
+# key on meaning rather than spelling.  The only observable difference a
+# reorder can make is *which* evaluation error fires first when two
+# conjuncts would both raise — acceptable for a restriction, which is
+# required to be total over its base schema.
+
+_MIRRORED_COMPARISONS = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def canonicalize(expr: Expr) -> Expr:
+    """Return a canonical equivalent of ``expr``.
+
+    - ``-5`` (UnaryMinus over a numeric literal) folds to the literal ``-5``;
+    - ``!=`` normalizes to ``<>``;
+    - ``5 < v`` flips to ``v > 5`` (literal operands move to the right);
+    - AND/OR chains flatten, dedupe, and sort by canonical text;
+    - IN lists dedupe and sort by canonical text.
+    """
+    if isinstance(expr, UnaryMinus):
+        operand = canonicalize(expr.operand)
+        if (
+            isinstance(operand, Literal)
+            and isinstance(operand.value, (int, float))
+            and not isinstance(operand.value, bool)
+        ):
+            return Literal(-operand.value)
+        return UnaryMinus(operand)
+    if isinstance(expr, Comparison):
+        op = "<>" if expr.op == "!=" else expr.op
+        left = canonicalize(expr.left)
+        right = canonicalize(expr.right)
+        if isinstance(left, Literal) and not isinstance(right, Literal):
+            left, right = right, left
+            op = _MIRRORED_COMPARISONS[op]
+        return Comparison(op, left, right)
+    if isinstance(expr, (And, Or)):
+        kind = type(expr)
+        terms = [canonicalize(term) for term in _flatten(expr, kind)]
+        unique: "dict[str, Expr]" = {}
+        for term in terms:
+            unique.setdefault(term.sql(), term)
+        ordered = [unique[text] for text in sorted(unique)]
+        rebuilt = ordered[0]
+        for term in ordered[1:]:
+            rebuilt = kind(rebuilt, term)
+        return rebuilt
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, canonicalize(expr.left), canonicalize(expr.right))
+    if isinstance(expr, Not):
+        return Not(canonicalize(expr.operand))
+    if isinstance(expr, IsNull):
+        return IsNull(canonicalize(expr.operand), expr.negated)
+    if isinstance(expr, Between):
+        return Between(
+            canonicalize(expr.operand), canonicalize(expr.lo), canonicalize(expr.hi)
+        )
+    if isinstance(expr, InList):
+        items = [canonicalize(item) for item in expr.items]
+        unique_items: "dict[str, Expr]" = {}
+        for item in items:
+            unique_items.setdefault(item.sql(), item)
+        ordered_items = [unique_items[text] for text in sorted(unique_items)]
+        return InList(canonicalize(expr.operand), ordered_items, expr.negated)
+    if isinstance(expr, Like):
+        return Like(canonicalize(expr.operand), expr.pattern, expr.negated)
+    return expr
+
+
+def _flatten(expr: Expr, kind: type) -> "list[Expr]":
+    if isinstance(expr, kind):
+        # And/Or expose .left/.right; mypy can't see that through `kind`.
+        left = expr.left  # type: ignore[attr-defined]
+        right = expr.right  # type: ignore[attr-defined]
+        return _flatten(left, kind) + _flatten(right, kind)
+    return [expr]
+
+
+def signature_text(expr: Expr) -> str:
+    """Render ``expr`` with every constant masked as ``?``.
+
+    Two restrictions share a signature exactly when they have the same
+    canonical structure over the same columns — the property cohort
+    clustering keys on: ``v > 10`` and ``v > 500`` can ride one scan pass
+    with a shared decode footprint, while ``name LIKE 'a%'`` cannot.
+    Call on a *canonicalized* AST; the masking itself does not reorder.
+    """
+    if isinstance(expr, Literal):
+        return "?"
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, Comparison):
+        return f"{signature_text(expr.left)} {expr.op} {signature_text(expr.right)}"
+    if isinstance(expr, BinaryOp):
+        return f"({signature_text(expr.left)} {expr.op} {signature_text(expr.right)})"
+    if isinstance(expr, UnaryMinus):
+        return f"-{signature_text(expr.operand)}"
+    if isinstance(expr, And):
+        return f"({signature_text(expr.left)} AND {signature_text(expr.right)})"
+    if isinstance(expr, Or):
+        return f"({signature_text(expr.left)} OR {signature_text(expr.right)})"
+    if isinstance(expr, Not):
+        return f"(NOT {signature_text(expr.operand)})"
+    if isinstance(expr, IsNull):
+        suffix = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"{signature_text(expr.operand)} {suffix}"
+    if isinstance(expr, Between):
+        return f"{signature_text(expr.operand)} BETWEEN ? AND ?"
+    if isinstance(expr, InList):
+        keyword = "NOT IN" if expr.negated else "IN"
+        return f"{signature_text(expr.operand)} {keyword} (?)"
+    if isinstance(expr, Like):
+        keyword = "NOT LIKE" if expr.negated else "LIKE"
+        return f"{signature_text(expr.operand)} {keyword} ?"
+    raise EvaluationError(f"cannot build a signature for {expr!r}")

@@ -16,7 +16,7 @@ import threading
 from typing import Optional, Sequence
 
 from repro.errors import EvaluationError, SchemaError
-from repro.expr.nodes import Expr, Literal
+from repro.expr.nodes import Expr, Literal, canonicalize, signature_text
 from repro.expr.parser import parse_expression
 from repro.relation.row import Row
 from repro.relation.schema import Schema
@@ -52,16 +52,30 @@ class Restriction:
             raise EvaluationError(
                 f"restriction may not reference hidden columns: {sorted(hidden)}"
             )
+        # Canonicalize before compiling: reordered conjuncts and
+        # normalized constants collapse to one representative, so the
+        # parse memo, the page-cache keys (all derived from `.text`),
+        # and the cohort signature agree on predicate identity.
+        expr = canonicalize(expr)
         self.expr = expr
         self.schema = schema
         self._compiled = expr.compile(schema)
-        # The round-tripped predicate text, serialized once: refresh
-        # paths key page caches by it on every call.
+        # The round-tripped canonical predicate text, serialized once:
+        # refresh paths key page caches by it on every call.
         self._text = expr.sql()
+        # The '?'-masked structural form: same canonical shape over the
+        # same columns, constants elided.  Cohort clustering keys on it.
+        self._signature = signature_text(expr)
 
     @classmethod
     def parse(cls, text: str, schema: Schema) -> "Restriction":
-        """Parse and compile ``text`` (e.g. ``"salary < 10"``), memoized."""
+        """Parse and compile ``text`` (e.g. ``"salary < 10"``), memoized.
+
+        The memo is keyed twice: on the raw spelling (fast path for the
+        common case of repeated identical text) and on the canonical
+        text, so ``"a = 1 AND b = 2"`` and ``"b = 2 AND a = 1"`` share
+        one compiled object — the same identity the cohort key sees.
+        """
         key = (text, schema)
         with cls._parse_lock:
             cached = cls._parse_cache.get(key)
@@ -71,10 +85,19 @@ class Restriction:
         # Compile outside the lock (parsing is pure); racing workers may
         # both compile, and the second insert harmlessly wins.
         restriction = cls(parse_expression(text), schema)
+        canonical_key = (restriction.text, schema)
         with cls._parse_lock:
+            existing = cls._parse_cache.get(canonical_key)
+            if existing is not None:
+                # Another spelling of the same predicate already
+                # compiled; alias this spelling to the shared object.
+                cls.parse_cache_hits += 1
+                restriction = existing
             if len(cls._parse_cache) >= cls._parse_cache_limit:
                 cls._parse_cache.clear()
-            cls._parse_cache[key] = restriction
+            cls._parse_cache[canonical_key] = restriction
+            if key != canonical_key:
+                cls._parse_cache[key] = restriction
         return restriction
 
     @classmethod
@@ -96,6 +119,11 @@ class Restriction:
     @property
     def text(self) -> str:
         return self._text
+
+    @property
+    def signature(self) -> str:
+        """Canonical structure with constants masked (cohort key part)."""
+        return self._signature
 
     def __repr__(self) -> str:
         return f"Restriction({self.text})"

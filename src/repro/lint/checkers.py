@@ -43,6 +43,14 @@ sections behind them):
               into :class:`SnapshotManager` or the scheduler races the
               very epoch state the deterministic merge exists to
               serialize.
+    ``L404``  Registry/cohort code (``core/registry.py``,
+              ``core/cohort.py``) references manager or scheduler
+              internals.  The registry is a pure scheduling data
+              structure shared by N drain workers: it hands out names
+              and takes back outcomes.  A registry that called into the
+              manager could fire refreshes while holding its own lock —
+              the lock-order and claim-fencing arguments both assume the
+              dependency points one way only.
 
 **L5 — no bare ``assert`` for runtime checks**
     ``L501``  ``assert`` statement in library code (stripped under
@@ -126,6 +134,22 @@ SHARD_FORBIDDEN_NAMES = {
     "Snapshot",
 }
 
+#: The registry layer (L404): pure scheduling state shared by drain
+#: workers — it must not reach back into the orchestration layer above.
+REGISTRY_ISOLATED_MODULES = {"core/registry.py", "core/cohort.py"}
+
+#: The orchestration modules registry code must not import.
+REGISTRY_FORBIDDEN_IMPORTS = {"repro.core.manager", "repro.core.scheduler"}
+
+#: Orchestration names registry code must not reference.
+REGISTRY_FORBIDDEN_NAMES = {
+    "SnapshotManager",
+    "RefreshScheduler",
+    "ScheduleEntry",
+    "Snapshot",
+    "FleetDrainResult",
+}
+
 RULES = {
     "L101": "set_annotations call outside the annotation-writer whitelist",
     "L102": "PageSummary change state mutated outside storage/summary.py",
@@ -141,6 +165,7 @@ RULES = {
     "L401": "lock acquired against the global table-before-row order",
     "L402": "lock resource with an unknown hierarchy level",
     "L403": "shard-worker module references manager/scheduler state",
+    "L404": "registry/cohort module references manager/scheduler internals",
     "L501": "bare assert in library code (stripped under python -O)",
 }
 
@@ -614,7 +639,72 @@ def _walk_shallow(func: ast.AST) -> "Iterator[ast.AST]":
         stack.extend(reversed(children))
 
 
-class ShardIsolationChecker(Checker):
+class LayerIsolationChecker(Checker):
+    """Base: a set of modules may not reference a layer above them.
+
+    Both isolation rules have the same shape — a module whose
+    correctness argument depends on having **no side channel** to the
+    orchestration layer, enforced as "no import of, and no name from,
+    these modules".  Subclasses fill in the rule ID, the guarded module
+    set, the forbidden imports/names, and the one-line rationale used
+    in messages.
+    """
+
+    rule = ""
+    isolated_modules: "Set[str]" = set()
+    forbidden_imports: "Set[str]" = set()
+    forbidden_names: "Set[str]" = set()
+    role = ""  # e.g. "shard-worker"
+    rationale = ""  # appended to every message
+
+    def check(self, source: SourceFile) -> "Iterator[Violation]":
+        if source.logical not in self.isolated_modules:
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in self.forbidden_imports:
+                        yield Violation(
+                            self.rule,
+                            source.path,
+                            node.lineno,
+                            node.col_offset,
+                            f"{self.role} module imports {alias.name}; "
+                            f"{self.rationale}",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in self.forbidden_imports:
+                    yield Violation(
+                        self.rule,
+                        source.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"{self.role} module imports from {node.module}; "
+                        f"{self.rationale}",
+                    )
+            elif isinstance(node, ast.Name):
+                if node.id in self.forbidden_names:
+                    yield Violation(
+                        self.rule,
+                        source.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"{self.role} module references {node.id}; "
+                        f"{self.rationale}",
+                    )
+            elif isinstance(node, ast.Attribute):
+                if node.attr in self.forbidden_names:
+                    yield Violation(
+                        self.rule,
+                        source.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"{self.role} module references .{node.attr}; "
+                        f"{self.rationale}",
+                    )
+
+
+class ShardIsolationChecker(LayerIsolationChecker):
     """L403: shard-worker modules stay isolated from the manager layer.
 
     The sharded refresh's correctness argument leans on one structural
@@ -629,55 +719,43 @@ class ShardIsolationChecker(Checker):
     """
 
     rules = ("L403",)
+    rule = "L403"
+    isolated_modules = SHARD_ISOLATED_MODULES
+    forbidden_imports = SHARD_FORBIDDEN_IMPORTS
+    forbidden_names = SHARD_FORBIDDEN_NAMES
+    role = "shard-worker"
+    rationale = (
+        "workers communicate only via returned per-shard streams; "
+        "manager and scheduler state is off-limits"
+    )
 
-    def check(self, source: SourceFile) -> "Iterator[Violation]":
-        if source.logical not in SHARD_ISOLATED_MODULES:
-            return
-        for node in ast.walk(source.tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    if alias.name in SHARD_FORBIDDEN_IMPORTS:
-                        yield Violation(
-                            "L403",
-                            source.path,
-                            node.lineno,
-                            node.col_offset,
-                            f"shard-worker module imports {alias.name}; "
-                            "workers communicate only via returned "
-                            "per-shard streams",
-                        )
-            elif isinstance(node, ast.ImportFrom):
-                if node.module in SHARD_FORBIDDEN_IMPORTS:
-                    yield Violation(
-                        "L403",
-                        source.path,
-                        node.lineno,
-                        node.col_offset,
-                        f"shard-worker module imports from {node.module}; "
-                        "workers communicate only via returned per-shard "
-                        "streams",
-                    )
-            elif isinstance(node, ast.Name):
-                if node.id in SHARD_FORBIDDEN_NAMES:
-                    yield Violation(
-                        "L403",
-                        source.path,
-                        node.lineno,
-                        node.col_offset,
-                        f"shard-worker module references {node.id}; manager "
-                        "and scheduler state is off-limits to workers",
-                    )
-            elif isinstance(node, ast.Attribute):
-                if node.attr in SHARD_FORBIDDEN_NAMES:
-                    yield Violation(
-                        "L403",
-                        source.path,
-                        node.lineno,
-                        node.col_offset,
-                        f"shard-worker module references .{node.attr}; "
-                        "manager and scheduler state is off-limits to "
-                        "workers",
-                    )
+
+class RegistryIsolationChecker(LayerIsolationChecker):
+    """L404: registry/cohort modules stay below the orchestration layer.
+
+    The registry is a pure scheduling data structure shared by N drain
+    workers: drivers feed it observed operations, claim cohorts out of
+    it, and report outcomes back.  That one-way dependency is what the
+    claim-fencing argument leans on — the registry mutates nothing but
+    its own records under its own lock, so a zombie worker's fenced
+    ``complete`` provably has no side effects anywhere.  If registry or
+    cohort code called into the manager or scheduler it could fire a
+    refresh while holding the registry lock (deadlock with the commit
+    hook) or double-apply an outcome the fence just rejected.  Mirror
+    of L403, enforced statically for the same reason: the failure it
+    prevents is a race no test reliably reproduces.
+    """
+
+    rules = ("L404",)
+    rule = "L404"
+    isolated_modules = REGISTRY_ISOLATED_MODULES
+    forbidden_imports = REGISTRY_FORBIDDEN_IMPORTS
+    forbidden_names = REGISTRY_FORBIDDEN_NAMES
+    role = "registry"
+    rationale = (
+        "the registry hands out names and takes back outcomes; "
+        "manager and scheduler internals are off-limits"
+    )
 
 
 class BareAssertChecker(Checker):
@@ -705,5 +783,6 @@ ALL_CHECKERS: "List[Checker]" = [
     BatchPathChecker(),
     LockOrderChecker(),
     ShardIsolationChecker(),
+    RegistryIsolationChecker(),
     BareAssertChecker(),
 ]

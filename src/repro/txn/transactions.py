@@ -20,6 +20,7 @@ single-threaded use unless a test constructs it deliberately.
 from __future__ import annotations
 
 import enum
+import threading
 from typing import Callable, Optional
 
 from repro.errors import InternalError, TransactionError
@@ -100,6 +101,9 @@ class TransactionManager:
         self.wal = wal
         self.locks = locks
         self._next_txn = 1
+        # Claim-protocol drain workers commit receiver transactions from
+        # a thread pool; a bare `+= 1` could hand two workers one id.
+        self._id_lock = threading.Lock()
         self._tables: "dict[str, UndoInterface]" = {}
         self._commit_listeners: "list[CommitListener]" = []
         self.active: "dict[int, Transaction]" = {}
@@ -116,8 +120,9 @@ class TransactionManager:
         self._commit_listeners.remove(listener)
 
     def begin(self) -> Transaction:
-        txn = Transaction(self._next_txn, self)
-        self._next_txn += 1
+        with self._id_lock:
+            txn = Transaction(self._next_txn, self)
+            self._next_txn += 1
         self.wal.append(txn.txn_id, LogRecordType.BEGIN)
         self.active[txn.txn_id] = txn
         return txn

@@ -27,6 +27,7 @@ it must degrade to a full refresh.
 from __future__ import annotations
 
 import enum
+import threading
 from typing import Callable, Iterator, Optional
 
 from repro.errors import LogTruncatedError, WalError
@@ -105,6 +106,9 @@ class WriteAheadLog:
         self._truncated_before = 1  # lowest LSN still retained
         self._bytes = 0
         self.capacity_bytes = capacity_bytes
+        # Appends arrive concurrently when claim-protocol drain workers
+        # commit receiver transactions from a thread pool.
+        self._append_lock = threading.Lock()
 
     @property
     def next_lsn(self) -> int:
@@ -131,16 +135,19 @@ class WriteAheadLog:
         after: Optional[bytes] = None,
     ) -> LogRecord:
         """Append a record; auto-truncates oldest records at capacity."""
-        record = LogRecord(self._next_lsn, txn_id, rtype, table, rid, before, after)
-        self._next_lsn += 1
-        self._records.append(record)
-        self._bytes += record.encoded_size()
-        if self.capacity_bytes is not None:
-            while self._bytes > self.capacity_bytes and len(self._records) > 1:
-                dropped = self._records.pop(0)
-                self._bytes -= dropped.encoded_size()
-                self._truncated_before = dropped.lsn + 1
-        return record
+        with self._append_lock:
+            record = LogRecord(
+                self._next_lsn, txn_id, rtype, table, rid, before, after
+            )
+            self._next_lsn += 1
+            self._records.append(record)
+            self._bytes += record.encoded_size()
+            if self.capacity_bytes is not None:
+                while self._bytes > self.capacity_bytes and len(self._records) > 1:
+                    dropped = self._records.pop(0)
+                    self._bytes -= dropped.encoded_size()
+                    self._truncated_before = dropped.lsn + 1
+            return record
 
     def scan(self, from_lsn: int = 1) -> Iterator[LogRecord]:
         """Yield retained records with ``lsn >= from_lsn`` in order.

@@ -1,0 +1,109 @@
+"""Cohort clustering: signatures, staleness bands, merge rules."""
+
+import pytest
+
+from repro.core.cohort import (
+    Cohort,
+    CohortKey,
+    DueEntry,
+    cluster_due,
+    staleness_band,
+)
+
+
+def entry(name, base="t", sig="v < ?", cols=("v",), pending=4, seq=None):
+    return DueEntry(name, base, sig, tuple(cols), pending, seq if seq is not None else 0)
+
+
+class TestStalenessBand:
+    def test_bands_are_logarithmic(self):
+        assert staleness_band(0) == 0
+        assert staleness_band(1) == 1
+        assert staleness_band(2) == 2
+        assert staleness_band(3) == 2
+        assert staleness_band(4) == 3
+        assert staleness_band(7) == 3
+        assert staleness_band(8) == 4
+
+    def test_negative_clamps_to_zero(self):
+        assert staleness_band(-5) == 0
+
+
+class TestClustering:
+    def test_same_signature_same_band_one_cohort(self):
+        due = [entry(f"s{i}", pending=4, seq=i) for i in range(5)]
+        cohorts = cluster_due(due)
+        assert len(cohorts) == 1
+        assert cohorts[0].members == ("s0", "s1", "s2", "s3", "s4")
+        assert cohorts[0].key == CohortKey("t", "v < ?", 3)
+
+    def test_different_bases_never_share(self):
+        due = [entry("a", base="t1"), entry("b", base="t2")]
+        cohorts = cluster_due(due)
+        assert len(cohorts) == 2
+        assert {c.key.base_table for c in cohorts} == {"t1", "t2"}
+
+    def test_max_size_caps_cohorts(self):
+        due = [entry(f"s{i}", seq=i) for i in range(10)]
+        cohorts = cluster_due(due, max_size=4)
+        assert [len(c) for c in cohorts] == [4, 4, 2]
+        # No member lost, none duplicated.
+        names = [m for c in cohorts for m in c.members]
+        assert sorted(names) == sorted(e.name for e in due)
+
+    def test_adjacent_bands_share_distant_bands_split(self):
+        # bands: pending 2,3 -> band 2; pending 4 -> band 3 (adjacent);
+        # pending 100 -> band 7 (distant).
+        due = [
+            entry("fresh1", pending=2, seq=0),
+            entry("fresh2", pending=3, seq=1),
+            entry("near", pending=4, seq=2),
+            entry("stale", pending=100, seq=3),
+        ]
+        cohorts = cluster_due(due, min_fill=1)
+        by_members = {c.members: c for c in cohorts}
+        assert ("fresh1", "fresh2", "near") in by_members
+        assert ("stale",) in by_members
+
+    def test_underfilled_same_columns_merge(self):
+        # Two singleton signatures over the same column footprint merge.
+        due = [
+            entry("a", sig="v < ?", cols=("v",), pending=4, seq=0),
+            entry("b", sig="v > ?", cols=("v",), pending=4, seq=1),
+        ]
+        cohorts = cluster_due(due, max_size=8)
+        assert len(cohorts) == 1
+        assert sorted(cohorts[0].members) == ["a", "b"]
+
+    def test_underfilled_different_columns_stay_apart(self):
+        due = [
+            entry("a", sig="v < ?", cols=("v",), seq=0),
+            entry("b", sig="name LIKE ?", cols=("name",), seq=1),
+        ]
+        cohorts = cluster_due(due, max_size=8)
+        assert len(cohorts) == 2
+
+    def test_full_cohorts_do_not_merge(self):
+        due = [
+            entry(f"a{i}", sig="v < ?", seq=i) for i in range(4)
+        ] + [
+            entry(f"b{i}", sig="v > ?", seq=10 + i) for i in range(4)
+        ]
+        cohorts = cluster_due(due, max_size=8, min_fill=2)
+        # Both signature groups meet min_fill, so neither merges.
+        assert len(cohorts) == 2
+
+    def test_deterministic(self):
+        due = [
+            entry(f"s{i}", sig="v < ?" if i % 2 else "v > ?", pending=1 + i % 5, seq=i)
+            for i in range(20)
+        ]
+        assert cluster_due(due) == cluster_due(list(due))
+
+    def test_rejects_bad_max_size(self):
+        with pytest.raises(ValueError):
+            cluster_due([entry("x")], max_size=0)
+
+    def test_cohort_len(self):
+        cohort = Cohort(CohortKey("t", "v < ?", 1), ("a", "b"), (1,))
+        assert len(cohort) == 2

@@ -251,3 +251,49 @@ class TestStaleness:
         scheduler.flush()
         assert per_op.entries_shipped == 50
         assert batched.entries_shipped == 1  # coalesced
+
+
+class TestFleetScale:
+    """Regression: the per-commit hook must not walk the whole fleet.
+
+    The original scheduler visited every scheduled entry on every
+    observed commit — O(fleet) per op.  The registry's deadline heap
+    makes the hook O(ops + newly_due log n), while keeping the staleness
+    accounting byte-for-byte identical to the eager walk.
+    """
+
+    def test_10k_entries_constant_per_op_work(self, world):
+        db, table, rids, manager, snapshot, scheduler = world
+        entry = scheduler.schedule("s", every_ops=10)
+        # A 10k-strong fleet sharing the scheduler's registry, none of
+        # it due for ~forever: per-op work must not touch any of it.
+        for i in range(10_000):
+            scheduler.registry.register(f"ghost{i}", "t", every_ops=10**9)
+        pops_before = scheduler.registry.stats["heap_pops"]
+        for i in range(30):
+            table.update(rids[i], {"v": i})
+        # Only the real entry's deadline crossings popped the heap: 3
+        # refresh firings at ops 10/20/30, regardless of fleet size.
+        assert scheduler.registry.stats["heap_pops"] - pops_before == 3
+        assert entry.refreshes == 3
+
+    def test_10k_entries_staleness_byte_identical_to_eager_walk(self, world):
+        db, table, rids, manager, snapshot, scheduler = world
+        entry = scheduler.schedule("s", every_ops=7)
+        for i in range(10_000):
+            scheduler.registry.register(f"ghost{i}", "t", every_ops=10**9)
+        # Eager reference: per-op pending ramp, reset at each firing.
+        pending = area = 0
+        for i in range(25):
+            table.update(rids[i], {"v": i})
+            pending += 1
+            area += pending
+            if pending == 7:
+                pending = 0
+            assert entry.pending == pending
+            assert entry.staleness_area == area
+        assert entry.ops_observed == 25
+        # The ghosts' accounting is exact too, with zero per-op work.
+        ghost = scheduler.registry.record("ghost42")
+        assert ghost.pending == 25
+        assert ghost.staleness_area == sum(range(1, 26))

@@ -55,6 +55,70 @@ class TestRestriction:
         assert again(Row(["Laura", 6]))
 
 
+class TestCanonicalization:
+    """Reordered/respelled predicates collapse to one identity."""
+
+    def setup_method(self):
+        Restriction.clear_parse_cache()
+
+    def test_reordered_conjuncts_share_text_and_object(self):
+        a = Restriction.parse("salary < 10 AND name LIKE 'L%'", SCHEMA)
+        b = Restriction.parse("name LIKE 'L%' AND salary < 10", SCHEMA)
+        assert a.text == b.text
+        assert a is b  # the memo aliases the second spelling
+
+    def test_reordered_disjuncts_share_text(self):
+        a = Restriction.parse("salary < 10 OR salary > 90", SCHEMA)
+        b = Restriction.parse("salary > 90 OR salary < 10", SCHEMA)
+        assert a.text == b.text
+
+    def test_three_way_conjunct_permutations(self):
+        texts = {
+            Restriction.parse(t, SCHEMA).text
+            for t in (
+                "salary < 10 AND salary > 2 AND name LIKE 'L%'",
+                "name LIKE 'L%' AND salary < 10 AND salary > 2",
+                "salary > 2 AND name LIKE 'L%' AND salary < 10",
+            )
+        }
+        assert len(texts) == 1
+
+    def test_normalized_constants_and_operators(self):
+        # -(5) folds to the literal -5; != normalizes to <>; a literal
+        # on the left flips to the column side with the mirrored op.
+        a = Restriction.parse("salary > -5 AND salary != 3", SCHEMA)
+        b = Restriction.parse("3 <> salary AND -5 < salary", SCHEMA)
+        assert a.text == b.text
+
+    def test_canonicalization_preserves_semantics(self):
+        rows = [Row(["Laura", 6]), Row(["Bruce", 15]), Row(["Lena", 95])]
+        a = Restriction.parse("salary < 10 AND name LIKE 'L%'", SCHEMA)
+        b = Restriction.parse("name LIKE 'L%' AND salary < 10", SCHEMA)
+        for row in rows:
+            assert a(row) == b(row)
+
+    def test_signature_masks_constants(self):
+        a = Restriction.parse("salary < 10", SCHEMA)
+        b = Restriction.parse("salary < 500", SCHEMA)
+        c = Restriction.parse("salary > 10", SCHEMA)
+        assert a.signature == b.signature == "salary < ?"
+        assert c.signature != a.signature
+
+    def test_signature_agrees_across_conjunct_order(self):
+        a = Restriction.parse("salary < 10 AND name LIKE 'L%'", SCHEMA)
+        b = Restriction.parse("name LIKE 'Q%' AND salary < 99", SCHEMA)
+        assert a.signature == b.signature
+
+    def test_in_list_order_and_duplicates_normalize(self):
+        a = Restriction.parse("salary IN (1, 2, 3)", SCHEMA)
+        b = Restriction.parse("salary IN (3, 1, 2, 1)", SCHEMA)
+        assert a.text == b.text
+        assert a.signature == "salary IN (?)"
+
+    def test_true_restriction_signature(self):
+        assert Restriction.true(SCHEMA).signature == "?"
+
+
 class TestProjection:
     def test_identity_default(self):
         projection = Projection(SCHEMA)

@@ -1,0 +1,14 @@
+"""Seeded L404 violations: registry code reaching into the manager."""
+import repro.core.manager
+from repro.core.scheduler import RefreshScheduler
+
+
+def rogue_claim(db):
+    manager = SnapshotManager(db)
+    drain = manager.FleetDrainResult
+    return manager, drain, RefreshScheduler
+
+
+def clean_claim(registry, cohort):
+    # Names in, outcomes back: no violation here.
+    return registry.complete(cohort)

@@ -117,6 +117,25 @@ class TestShardIsolation:
         assert [v.rule for v in violations] == []
 
 
+class TestRegistryIsolation:
+    def test_manager_references_fire_in_registry_modules(self):
+        for logical in ("core/registry.py", "core/cohort.py"):
+            violations = lint_sources([fixture("registryiso.py", logical)])
+            assert fired(violations) == [
+                ("L404", 2),
+                ("L404", 3),
+                ("L404", 7),
+                ("L404", 8),
+                ("L404", 9),
+            ], logical
+
+    def test_other_modules_are_exempt(self):
+        violations = lint_sources(
+            [fixture("registryiso.py", "core/manager.py")]
+        )
+        assert [v.rule for v in violations] == []
+
+
 class TestBareAssert:
     def test_assert_fires_and_suppressions_hold(self):
         violations = lint_sources([fixture("asserts.py", "core/checks.py")])
@@ -134,7 +153,7 @@ class TestEngine:
             "L101", "L102", "L103",
             "L201", "L202", "L203",
             "L301", "L302", "L303", "L304", "L305",
-            "L401", "L402", "L403",
+            "L401", "L402", "L403", "L404",
             "L501",
         }
 
