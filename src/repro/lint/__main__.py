@@ -1,25 +1,141 @@
-"""CLI driver: ``python -m repro.lint [paths...]`` (default ``src``)."""
+"""CLI driver: ``python -m repro.lint [paths...]`` (default ``src``).
+
+Flags:
+
+``--rules PREFIX[,PREFIX...]``
+    Only run rules matching the given id prefixes (repeatable), e.g.
+    ``--rules L6`` for the whole-program concurrency pass alone.
+``--list-rules``
+    Print the rule catalogue and exit.
+``--json``
+    Machine-readable output: a JSON object with ``violations`` and
+    ``count`` (used by CI).
+``--budget SECONDS``
+    Fail (exit 1) if the lint pass exceeds the wall-clock budget, even
+    when no violations fire — keeps the whole-program pass fast enough
+    to stay in tier-1.
+
+Exit codes: 0 clean, 1 violations (or budget exceeded), 2 bad input.
+"""
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
+import time
 from typing import List, Optional, Sequence
 
+from repro.lint.checkers import RULES
 from repro.lint.engine import lint_paths
 
 
+def _parse_args(argv: "Sequence[str]") -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="replint: repo-specific invariant checks",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"])
+    parser.add_argument(
+        "--rules",
+        action="append",
+        default=None,
+        metavar="PREFIX[,PREFIX...]",
+        help="only run rules matching these id prefixes (e.g. L6, L401)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit machine-readable JSON instead of one line per finding",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fail if the lint pass takes longer than this wall-clock time",
+    )
+    return parser.parse_args(list(argv))
+
+
+def _rule_prefixes(specs: "Optional[Sequence[str]]") -> "Optional[List[str]]":
+    if specs is None:
+        return None
+    prefixes = [
+        part.strip()
+        for spec in specs
+        for part in spec.split(",")
+        if part.strip()
+    ]
+    return prefixes or None
+
+
 def main(argv: "Optional[Sequence[str]]" = None) -> int:
-    args: "List[str]" = list(sys.argv[1:] if argv is None else argv)
-    paths = args or ["src"]
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+    rules = _rule_prefixes(args.rules)
+    if args.list_rules:
+        selected = {
+            rule: text
+            for rule, text in sorted(RULES.items())
+            if rules is None or any(rule.startswith(p) for p in rules)
+        }
+        if args.as_json:
+            print(json.dumps({"rules": selected}, indent=2))
+        else:
+            for rule, text in selected.items():
+                print(f"{rule}  {text}")
+        return 0
+    started = time.monotonic()
     try:
-        violations = lint_paths(paths)
+        violations = lint_paths(args.paths, rules=rules)
     except (OSError, SyntaxError) as exc:
         print(f"replint: {exc}", file=sys.stderr)
         return 2
-    for violation in violations:
-        print(violation.format())
+    elapsed = time.monotonic() - started
+    over_budget = args.budget is not None and elapsed > args.budget
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "violations": [
+                        {
+                            "rule": v.rule,
+                            "path": v.path,
+                            "line": v.line,
+                            "col": v.col,
+                            "message": v.message,
+                        }
+                        for v in violations
+                    ],
+                    "count": len(violations),
+                    "elapsed_seconds": round(elapsed, 3),
+                    "budget_seconds": args.budget,
+                    "over_budget": over_budget,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.format())
+    if over_budget:
+        print(
+            f"replint: pass took {elapsed:.2f}s, over the "
+            f"{args.budget:.2f}s budget",
+            file=sys.stderr,
+        )
+        return 1
     if violations:
-        print(f"replint: {len(violations)} violation(s)", file=sys.stderr)
+        if not args.as_json:
+            print(
+                f"replint: {len(violations)} violation(s)", file=sys.stderr
+            )
         return 1
     return 0
 

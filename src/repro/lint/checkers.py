@@ -55,6 +55,24 @@ sections behind them):
 **L5 — no bare ``assert`` for runtime checks**
     ``L501``  ``assert`` statement in library code (stripped under
               ``python -O``; raise a :mod:`repro.errors` exception).
+    ``L502``  A ``# replint: ignore[...]`` suppression whose rule no
+              longer fires on that line (stale suppressions rot into
+              lies; this one is emitted by the engine itself).
+
+**L6 — whole-program concurrency analysis**
+    (:mod:`repro.lint.concurrency`; the declared lock model lives in
+    ``concurrency/lockmodel.py``)
+
+    ``L601``  An attribute the lock model guards is mutated on a path
+              reachable from two or more thread-entry roots without its
+              declared lock held (Eraser-style lockset inconsistency).
+    ``L602``  The global lock acquisition graph — every lock acquired
+              while another is held, across function boundaries,
+              including the release-between-chunks reacquisitions of
+              the chunked scan — contains a cycle.
+    ``L603``  A worker-local object (shard cursors, per-worker scan
+              state) is stored into a shared field on a thread path
+              before the sequential merge.
 """
 
 from __future__ import annotations
@@ -63,6 +81,7 @@ import ast
 from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.lint.engine import SourceFile, Violation
+from repro.lint.concurrency.reports import ConcurrencyChecker
 
 #: Modules allowed to write the hidden annotation fields: the lazy/eager
 #: write hooks (table.py), the Figure-7 fix-up passes, and the sharded
@@ -167,6 +186,10 @@ RULES = {
     "L403": "shard-worker module references manager/scheduler state",
     "L404": "registry/cohort module references manager/scheduler internals",
     "L501": "bare assert in library code (stripped under python -O)",
+    "L502": "replint suppression whose rule no longer fires on that line",
+    "L601": "shared attribute mutated with an inconsistent lockset",
+    "L602": "cross-function lock acquisition order forms a cycle",
+    "L603": "worker-local state escapes to a shared field before merge",
 }
 
 
@@ -785,4 +808,5 @@ ALL_CHECKERS: "List[Checker]" = [
     ShardIsolationChecker(),
     RegistryIsolationChecker(),
     BareAssertChecker(),
+    ConcurrencyChecker(),
 ]

@@ -1,0 +1,24 @@
+"""Whole-program concurrency analysis for replint (rules L601–L603).
+
+Modules:
+
+- :mod:`~repro.lint.concurrency.lockmodel` — the declared lock model
+  (which lock guards which attribute, thread roots, worker-local
+  classes).
+- :mod:`~repro.lint.concurrency.callgraph` — project model and
+  name-based call resolution.
+- :mod:`~repro.lint.concurrency.lockset` — per-function symbolic
+  evaluation and per-root lockset propagation.
+- :mod:`~repro.lint.concurrency.reports` — the ``ConcurrencyChecker``
+  registered with the engine.
+"""
+
+from repro.lint.concurrency.lockset import MAIN_ROOT, ConcurrencyAnalysis
+from repro.lint.concurrency.reports import CONCURRENCY_RULES, ConcurrencyChecker
+
+__all__ = [
+    "CONCURRENCY_RULES",
+    "ConcurrencyAnalysis",
+    "ConcurrencyChecker",
+    "MAIN_ROOT",
+]

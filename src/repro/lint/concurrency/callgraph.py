@@ -1,0 +1,569 @@
+"""Whole-program model: classes, functions, and call resolution.
+
+Two passes over every :class:`~repro.lint.engine.SourceFile` build a
+single project model:
+
+1. **Declarations** — every class (with base names and the inferred
+   types of its instance attributes) and every function, including
+   functions nested inside functions, keyed by ``(logical, qualname)``.
+2. **Resolution helpers** — name-based call resolution used by the
+   lockset dataflow: lexically nested functions, module-level
+   functions, imported names, ``self.``/``cls.`` dispatch through the
+   class hierarchy, annotation- and constructor-typed locals, and a
+   unique-method-name fallback for untyped receivers.
+
+Resolution is deliberately name-based (no alias tracking, no
+first-class-function dataflow beyond callbacks passed by name); the
+approximations are documented in DESIGN.md §12.  Unresolvable calls are
+dropped rather than widened — the thread-entry roots that matter but
+hide behind such calls are declared in
+:data:`repro.lint.concurrency.lockmodel.DECLARED_THREAD_ROOTS`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..engine import SourceFile
+
+FuncKey = Tuple[str, str]  # (logical path, qualname)
+
+#: Receiver-less method names never resolved through the unique-name
+#: fallback: they collide with builtin container methods and would
+#: otherwise create wild edges from every ``list.append`` call.
+_CONTAINER_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "add", "discard", "remove",
+        "pop", "popitem", "clear", "update", "setdefault", "get",
+        "keys", "values", "items", "copy", "sort", "index", "count",
+        "join", "split", "strip", "encode", "decode", "format",
+    }
+)
+
+
+def annotation_name(node: Optional[ast.expr]) -> Optional[str]:
+    """Best-effort class name from an annotation expression.
+
+    Handles ``Name``, dotted ``Attribute``, string annotations, and
+    peels ``Optional[...]`` / ``Union[X, None]`` down to the payload.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        base = annotation_name(node.value)
+        if base in {"Optional", "Union"}:
+            inner = node.slice
+            parts = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+            for part in parts:
+                name = annotation_name(part)
+                if name is not None and name != "None":
+                    return name
+            return None
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        for side in (node.left, node.right):
+            name = annotation_name(side)
+            if name is not None and name != "None":
+                return name
+    return None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with enough context to resolve calls."""
+
+    key: FuncKey
+    name: str
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    logical: str
+    class_name: Optional[str] = None
+    enclosing: Optional[FuncKey] = None
+    param_types: Dict[str, str] = field(default_factory=dict)
+    return_type: Optional[str] = None
+    nested: Dict[str, FuncKey] = field(default_factory=dict)
+    #: Tuple-head constants for locals: ``resource = ("table", name)``.
+    tuple_consts: Dict[str, str] = field(default_factory=dict)
+    #: Locals with statically known class: annotations + constructors.
+    local_types: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def is_nested(self) -> bool:
+        return self.enclosing is not None
+
+    @property
+    def is_public(self) -> bool:
+        if self.is_nested:
+            return False
+        if self.name.startswith("__") and self.name.endswith("__"):
+            return True
+        return not self.name.startswith("_")
+
+
+@dataclass
+class ClassInfo:
+    """One class: bases by name, methods, inferred attribute types."""
+
+    name: str
+    logical: str
+    bases: Tuple[str, ...]
+    methods: Dict[str, FuncKey] = field(default_factory=dict)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    #: ``self.attr = self.method`` bindings (listener indirections).
+    method_attrs: Dict[str, str] = field(default_factory=dict)
+
+
+class ProjectModel:
+    """Every class and function in the linted tree, plus resolution."""
+
+    def __init__(self, sources: Sequence[SourceFile]) -> None:
+        self.functions: Dict[FuncKey, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.bases_of: Dict[str, Tuple[str, ...]] = {}
+        self.subclasses_of: Dict[str, Set[str]] = {}
+        self._module_functions: Dict[Tuple[str, str], FuncKey] = {}
+        self._functions_by_name: Dict[str, List[FuncKey]] = {}
+        self._classes_with_method: Dict[str, List[str]] = {}
+        for source in sources:
+            self._collect_module(source)
+        for cls in self.classes.values():
+            for base in cls.bases:
+                self.subclasses_of.setdefault(base, set()).add(cls.name)
+            for method in cls.methods:
+                self._classes_with_method.setdefault(method, []).append(
+                    cls.name
+                )
+
+    # ------------------------------------------------------------------
+    # pass 1: declarations
+
+    def _collect_module(self, source: SourceFile) -> None:
+        for node in source.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_function(source, node, None, None, node.name)
+            elif isinstance(node, ast.ClassDef):
+                self._collect_class(source, node)
+
+    def _collect_class(self, source: SourceFile, node: ast.ClassDef) -> None:
+        bases = tuple(
+            name
+            for name in (annotation_name(base) for base in node.bases)
+            if name is not None and name not in {"object", "Protocol"}
+        )
+        info = ClassInfo(name=node.name, logical=source.logical, bases=bases)
+        # First definition of a class name wins; src/ names are unique
+        # and fixture shadows must not rewire the model.
+        self.classes.setdefault(node.name, info)
+        self.bases_of.setdefault(node.name, bases)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{node.name}.{item.name}"
+                func = self._collect_function(
+                    source, item, node.name, None, qualname
+                )
+                info.methods.setdefault(item.name, func.key)
+                self._infer_attr_types(info, func)
+            elif isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                typ = annotation_name(item.annotation)
+                if typ is not None:
+                    info.attr_types.setdefault(item.target.id, typ)
+
+    def _collect_function(
+        self,
+        source: SourceFile,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        class_name: Optional[str],
+        enclosing: Optional[FuncKey],
+        qualname: str,
+    ) -> FunctionInfo:
+        key = (source.logical, qualname)
+        info = FunctionInfo(
+            key=key,
+            name=node.name,
+            node=node,
+            logical=source.logical,
+            class_name=class_name,
+            enclosing=enclosing,
+            return_type=annotation_name(node.returns),
+        )
+        args = node.args
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            typ = annotation_name(arg.annotation)
+            if typ is not None:
+                info.param_types[arg.arg] = typ
+        self.functions[key] = info
+        self._functions_by_name.setdefault(node.name, []).append(key)
+        if enclosing is None and class_name is None:
+            self._module_functions[(source.logical, node.name)] = key
+        self._scan_locals(info)
+        for stmt in ast.walk(node):
+            if stmt is node:
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Only direct lexical children; grandchildren are
+                # collected by the recursive call.
+                if self._direct_parent(node, stmt):
+                    child = self._collect_function(
+                        source, stmt, None, key, f"{qualname}.{stmt.name}"
+                    )
+                    info.nested[stmt.name] = child.key
+        return info
+
+    @staticmethod
+    def _direct_parent(parent: ast.AST, child: ast.AST) -> bool:
+        for node in ast.walk(parent):
+            if node is parent or node is child:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if any(sub is child for sub in ast.walk(node)):
+                    return False
+        return True
+
+    def _scan_locals(self, info: FunctionInfo) -> None:
+        """Record tuple-head constants and constructor/annotated types.
+
+        Walks only this function's own body — nested functions keep
+        their own tables and reach these through the closure chain.
+        """
+        stack: List[ast.AST] = list(info.node.body)
+        while stack:
+            stmt = stack.pop()
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    self._record_local(info, target.id, stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                typ = annotation_name(stmt.annotation)
+                if typ is not None:
+                    info.local_types.setdefault(stmt.target.id, typ)
+                if stmt.value is not None:
+                    self._record_local(info, stmt.target.id, stmt.value)
+            for child in ast.iter_child_nodes(stmt):
+                stack.append(child)
+
+    def _record_local(
+        self, info: FunctionInfo, name: str, value: ast.expr
+    ) -> None:
+        if (
+            isinstance(value, ast.Tuple)
+            and value.elts
+            and isinstance(value.elts[0], ast.Constant)
+            and isinstance(value.elts[0].value, str)
+        ):
+            info.tuple_consts.setdefault(name, value.elts[0].value)
+        elif isinstance(value, ast.Call):
+            callee = value.func
+            ctor = (
+                callee.id
+                if isinstance(callee, ast.Name)
+                else callee.attr if isinstance(callee, ast.Attribute) else None
+            )
+            if ctor is not None and ctor in _known_class_names(self, ctor):
+                info.local_types.setdefault(name, ctor)
+
+    def _infer_attr_types(self, cls: ClassInfo, func: FunctionInfo) -> None:
+        """``self.x = <typed>`` inside any method types attribute ``x``.
+
+        ``self.x = self.some_method`` additionally records a
+        method-valued attribute, so commit hooks registered through a
+        ``self._listener`` indirection still resolve as callbacks.
+        """
+        for stmt in ast.walk(func.node):
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            annotation: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value, annotation = stmt.target, stmt.value, stmt.annotation
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            if (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+            ):
+                cls.method_attrs.setdefault(target.attr, value.attr)
+            typ = annotation_name(annotation)
+            if typ is None and isinstance(value, ast.Call):
+                typ = annotation_name(value.func)
+                if typ is not None and typ not in self.classes:
+                    # Unknown constructors are still usable as a type
+                    # name for model lookup (dataclasses defined later
+                    # in the same pass); keep them.
+                    pass
+            if typ is None and isinstance(value, ast.Name):
+                typ = func.param_types.get(value.id)
+            if typ is not None:
+                cls.attr_types.setdefault(target.attr, typ)
+
+    # ------------------------------------------------------------------
+    # pass 2: resolution
+
+    def lexical_lookup(
+        self, info: FunctionInfo, name: str
+    ) -> Optional[FuncKey]:
+        """Resolve a bare name to a nested/sibling/module function."""
+        cursor: Optional[FunctionInfo] = info
+        while cursor is not None:
+            if name in cursor.nested:
+                return cursor.nested[name]
+            cursor = (
+                self.functions.get(cursor.enclosing)
+                if cursor.enclosing is not None
+                else None
+            )
+        return self._module_functions.get((info.logical, name))
+
+    def lexical_tuple_const(
+        self, info: FunctionInfo, name: str
+    ) -> Optional[str]:
+        cursor: Optional[FunctionInfo] = info
+        while cursor is not None:
+            if name in cursor.tuple_consts:
+                return cursor.tuple_consts[name]
+            cursor = (
+                self.functions.get(cursor.enclosing)
+                if cursor.enclosing is not None
+                else None
+            )
+        return None
+
+    def lexical_type(self, info: FunctionInfo, name: str) -> Optional[str]:
+        """Class of a local/param name, walking the closure chain."""
+        cursor: Optional[FunctionInfo] = info
+        while cursor is not None:
+            if name in cursor.param_types:
+                return cursor.param_types[name]
+            if name in cursor.local_types:
+                return cursor.local_types[name]
+            cursor = (
+                self.functions.get(cursor.enclosing)
+                if cursor.enclosing is not None
+                else None
+            )
+        return None
+
+    def method_owner(self, info: FunctionInfo) -> Optional[str]:
+        """Owning class of a method, walking up from nested functions."""
+        cursor: Optional[FunctionInfo] = info
+        while cursor is not None:
+            if cursor.class_name is not None:
+                return cursor.class_name
+            cursor = (
+                self.functions.get(cursor.enclosing)
+                if cursor.enclosing is not None
+                else None
+            )
+        return None
+
+    def find_method(
+        self, class_name: str, method: str
+    ) -> Optional[FuncKey]:
+        """Look up ``method`` on ``class_name`` or its declared bases."""
+        seen: Set[str] = set()
+        stack = [class_name]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            cls = self.classes.get(name)
+            if cls is None:
+                continue
+            if method in cls.methods:
+                return cls.methods[method]
+            stack.extend(cls.bases)
+        return None
+
+    def method_targets(
+        self, class_name: Optional[str], method: str
+    ) -> List[FuncKey]:
+        """Dispatch targets for ``<recv>.method()``.
+
+        With a known receiver class: the class-hierarchy match plus any
+        subclass overrides (virtual dispatch).  With an unknown
+        receiver: the unique project-wide definer, if there is exactly
+        one and the name is not a builtin-container method.
+        """
+        targets: List[FuncKey] = []
+        if class_name is not None:
+            primary = self.find_method(class_name, method)
+            if primary is not None:
+                targets.append(primary)
+            for sub in self._all_subclasses(class_name):
+                cls = self.classes.get(sub)
+                if cls is not None and method in cls.methods:
+                    targets.append(cls.methods[method])
+            if targets:
+                return targets
+        if method in _CONTAINER_METHODS:
+            return []
+        owners = self._classes_with_method.get(method, [])
+        if len(owners) == 1:
+            key = self.classes[owners[0]].methods[method]
+            return [key]
+        return []
+
+    def _all_subclasses(self, class_name: str) -> Set[str]:
+        seen: Set[str] = set()
+        stack = list(self.subclasses_of.get(class_name, ()))
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.subclasses_of.get(name, ()))
+        return seen
+
+    def type_of(
+        self, info: FunctionInfo, expr: ast.expr
+    ) -> Optional[str]:
+        """Static class of an expression, or ``None``.
+
+        Covers ``self``/``cls``, typed locals and params (through the
+        closure chain), attribute chains through inferred instance
+        attribute types, constructor calls, and calls whose target has
+        a return annotation.
+        """
+        if isinstance(expr, ast.Name):
+            if expr.id in {"self", "cls"}:
+                return self.method_owner(info)
+            typ = self.lexical_type(info, expr.id)
+            if typ is not None:
+                return typ
+            if expr.id in self.classes:
+                return None  # a class object, not an instance
+            return None
+        if isinstance(expr, ast.Attribute):
+            base = self.type_of(info, expr.value)
+            if base is None and isinstance(expr.value, ast.Name):
+                if expr.value.id in self.classes:
+                    base = expr.value.id  # ClassName.attr (class attrs)
+            if base is None:
+                return None
+            return self._attr_type(base, expr.attr)
+        if isinstance(expr, ast.Call):
+            callee = expr.func
+            if isinstance(callee, ast.Name) and callee.id in self.classes:
+                return callee.id
+            targets = self.resolve_call(info, expr)
+            for key in targets:
+                ret = self.functions[key].return_type
+                if ret is not None:
+                    return ret
+            return None
+        return None
+
+    def _attr_type(self, class_name: str, attr: str) -> Optional[str]:
+        seen: Set[str] = set()
+        stack = [class_name]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            cls = self.classes.get(name)
+            if cls is None:
+                continue
+            if attr in cls.attr_types:
+                return cls.attr_types[attr]
+            stack.extend(cls.bases)
+        return None
+
+    def resolve_call(
+        self, info: FunctionInfo, call: ast.Call
+    ) -> List[FuncKey]:
+        """Possible targets of a call expression (possibly empty)."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            key = self.lexical_lookup(info, func.id)
+            if key is not None:
+                return [key]
+            if func.id in self.classes:
+                ctor = self.find_method(func.id, "__init__")
+                return [ctor] if ctor is not None else []
+            keys = self._functions_by_name.get(func.id, [])
+            # A globally unique free-function name resolves across
+            # module boundaries (imports are name-preserving here).
+            top_level = [
+                k
+                for k in keys
+                if self.functions[k].class_name is None
+                and not self.functions[k].is_nested
+            ]
+            if len(top_level) == 1:
+                return top_level
+            return []
+        if isinstance(func, ast.Attribute):
+            recv_type = self.type_of(info, func.value)
+            if recv_type is None and isinstance(func.value, ast.Name):
+                if func.value.id in self.classes:
+                    recv_type = func.value.id
+            return self.method_targets(recv_type, func.attr)
+        return []
+
+    def callback_args(
+        self, info: FunctionInfo, call: ast.Call
+    ) -> List[FuncKey]:
+        """Function-valued arguments passed by name to ``call``."""
+        found: List[FuncKey] = []
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if isinstance(arg, ast.Name):
+                key = self.lexical_lookup(info, arg.id)
+                if key is not None:
+                    found.append(key)
+            elif isinstance(arg, ast.Attribute) and isinstance(
+                arg.value, ast.Name
+            ) and arg.value.id in {"self", "cls"}:
+                owner = self.method_owner(info)
+                if owner is not None:
+                    attr = arg.attr
+                    cls = self.classes.get(owner)
+                    if cls is not None and attr in cls.method_attrs:
+                        attr = cls.method_attrs[attr]
+                    key = self.find_method(owner, attr)
+                    if key is not None:
+                        found.append(key)
+        return found
+
+
+def _known_class_names(model: "ProjectModel", name: str) -> Iterable[str]:
+    # Helper kept separate so _record_local can run during collection,
+    # before model.classes is complete: treat every CamelCase ctor name
+    # (private ``_Name`` forms included) as a usable type tag — lookups
+    # later no-op for unknown classes.
+    head = name.lstrip("_")[:1]
+    if head.isupper():
+        return (name,)
+    return ()

@@ -1,0 +1,754 @@
+"""Lockset dataflow: per-function summaries + per-root propagation.
+
+Each function is symbolically evaluated once into a :class:`Summary` of
+concurrency-relevant events, each tagged with the locally held lockset
+at that point:
+
+- **acquisitions** — ``with <mutex>:`` items, database
+  ``acquire``/``locking`` calls with a resolvable level, and chunk-hook
+  ``acquire()`` callbacks;
+- **calls** — resolved call targets plus callbacks passed by name;
+- **mutations** — attribute stores on model-guarded fields (plain and
+  subscript assignment, ``del``, augmented assignment, in-place mutator
+  methods, ``heapq`` pushes);
+- **escapes** — worker-local instances stored into shared-class
+  attributes.
+
+Propagation then runs one intersection-meet fixpoint per thread root:
+``E(root, callee) ∩= E(root, caller) ∪ held-at-call-site``.  Held sets
+only shrink, so the worklist terminates.  The rules read the result:
+
+- **L601** — a guarded mutation in a function reachable from ≥ 2 roots
+  where some reaching root's entry ∪ local lockset misses the guard.
+- **L602** — global acquisition graph (edge ``a → b`` when ``b`` is
+  acquired with ``a`` held, per root); any edge inside a cyclic SCC is
+  reported at its first witness site.
+- **L603** — an escape in a function reachable from a non-main root.
+
+The symbolic evaluation is flow-sensitive but loop-approximate (bodies
+evaluated once) and merges branches by intersection, matching the
+"must-hold" semantics locksets need.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..engine import SourceFile, Violation
+from . import lockmodel
+from .callgraph import FuncKey, FunctionInfo, ProjectModel
+
+EMPTY: "FrozenSet[str]" = frozenset()
+
+#: Synthetic root representing ordinary single-threaded entry points.
+MAIN_ROOT = "<main>"
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    lock: str
+    held_before: "FrozenSet[str]"
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class CallSite:
+    targets: "Tuple[FuncKey, ...]"
+    held: "FrozenSet[str]"
+
+
+@dataclass(frozen=True)
+class Mutation:
+    owner: str
+    attr: str
+    guard: str
+    held: "FrozenSet[str]"
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class Escape:
+    value_class: str
+    owner: str
+    attr: str
+    line: int
+    col: int
+
+
+@dataclass
+class Summary:
+    acquisitions: "List[Acquisition]" = field(default_factory=list)
+    calls: "List[CallSite]" = field(default_factory=list)
+    mutations: "List[Mutation]" = field(default_factory=list)
+    escapes: "List[Escape]" = field(default_factory=list)
+
+
+class _FunctionEvaluator:
+    """Symbolic single pass over one function body."""
+
+    def __init__(self, model: ProjectModel, info: FunctionInfo) -> None:
+        self.model = model
+        self.info = info
+        self.summary = Summary()
+
+    def run(self) -> Summary:
+        self._eval_block(self.info.node.body, EMPTY)
+        return self.summary
+
+    # -- statement dispatch -------------------------------------------
+
+    def _eval_block(
+        self, stmts: "Sequence[ast.stmt]", held: "FrozenSet[str]"
+    ) -> "FrozenSet[str]":
+        for stmt in stmts:
+            held = self._eval_stmt(stmt, held)
+        return held
+
+    def _eval_stmt(
+        self, stmt: ast.stmt, held: "FrozenSet[str]"
+    ) -> "FrozenSet[str]":
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return held  # nested functions summarized separately
+        if isinstance(stmt, ast.ClassDef):
+            return held
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._eval_with(stmt, held)
+        if isinstance(stmt, ast.If):
+            self._eval_expr(stmt.test, held)
+            out_a = self._eval_block(stmt.body, held)
+            out_b = self._eval_block(stmt.orelse, held)
+            return out_a & out_b
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._eval_expr(stmt.iter, held)
+            body_out = self._eval_block(stmt.body, held)
+            else_out = self._eval_block(stmt.orelse, body_out)
+            return else_out
+        if isinstance(stmt, ast.While):
+            self._eval_expr(stmt.test, held)
+            body_out = self._eval_block(stmt.body, held)
+            else_out = self._eval_block(stmt.orelse, body_out)
+            return else_out
+        if isinstance(stmt, ast.Try):
+            body_out = self._eval_block(stmt.body, held)
+            handler_outs = [
+                self._eval_block(handler.body, held)
+                for handler in stmt.handlers
+            ]
+            merged = body_out
+            for out in handler_outs:
+                merged = merged & out
+            merged = self._eval_block(stmt.orelse, merged)
+            return self._eval_block(stmt.finalbody, merged)
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._eval_expr(stmt.value, held)
+            return held
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            return self._eval_assign(stmt, held)
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._record_mutation_target(target, held)
+            return held
+        if isinstance(stmt, ast.Expr):
+            return self._eval_expr(stmt.value, held)
+        if isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval_expr(child, held)
+            return held
+        # Remaining statements (pass/break/continue/import/global/...)
+        # may still contain calls in odd positions; scan conservatively.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._eval_expr(child, held)
+        return held
+
+    # -- with / lock scoping ------------------------------------------
+
+    def _eval_with(
+        self, stmt: "ast.With | ast.AsyncWith", held: "FrozenSet[str]"
+    ) -> "FrozenSet[str]":
+        acquired: "Set[str]" = set()
+        for item in stmt.items:
+            lock = self._with_item_lock(item.context_expr)
+            if lock is not None:
+                self.summary.acquisitions.append(
+                    Acquisition(
+                        lock,
+                        held | frozenset(acquired),
+                        item.context_expr.lineno,
+                        item.context_expr.col_offset,
+                    )
+                )
+                acquired.add(lock)
+            else:
+                self._eval_expr(item.context_expr, held | frozenset(acquired))
+        inner = held | frozenset(acquired)
+        body_out = self._eval_block(stmt.body, inner)
+        return body_out - frozenset(acquired)
+
+    def _with_item_lock(self, expr: ast.expr) -> "Optional[str]":
+        if isinstance(expr, ast.Attribute):
+            base_type = self.model.type_of(self.info, expr.value)
+            if base_type is None and isinstance(expr.value, ast.Name):
+                if expr.value.id in self.model.classes:
+                    base_type = expr.value.id
+            return lockmodel.mutex_lock_name(
+                base_type, expr.attr, self.model.bases_of
+            )
+        if isinstance(expr, ast.Name):
+            return lockmodel.local_lock_name(expr.id)
+        if isinstance(expr, ast.Call):
+            level = self._db_lock_level(expr, {"locking", "acquire"})
+            if level is not None:
+                return level
+        return None
+
+    # -- database locks ------------------------------------------------
+
+    def _db_lock_level(
+        self, call: ast.Call, method_names: "Set[str]"
+    ) -> "Optional[str]":
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in method_names:
+            return None
+        if len(call.args) < 2:
+            return None
+        resource = call.args[1]
+        level: "Optional[str]" = None
+        if (
+            isinstance(resource, ast.Tuple)
+            and resource.elts
+            and isinstance(resource.elts[0], ast.Constant)
+            and isinstance(resource.elts[0].value, str)
+        ):
+            level = resource.elts[0].value
+        elif isinstance(resource, ast.Name):
+            level = self.model.lexical_tuple_const(self.info, resource.id)
+        if level in lockmodel.DB_LOCK_LEVELS:
+            return level
+        return None
+
+    # -- assignment / mutation ----------------------------------------
+
+    def _eval_assign(
+        self, stmt: ast.stmt, held: "FrozenSet[str]"
+    ) -> "FrozenSet[str]":
+        if isinstance(stmt, ast.Assign):
+            targets: "List[ast.expr]" = list(stmt.targets)
+            value: "Optional[ast.expr]" = stmt.value
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            return held
+        if value is not None:
+            held = self._eval_expr(value, held)
+        for target in targets:
+            self._record_mutation_target(target, held)
+            if value is not None:
+                self._record_escape(target, value, held)
+        return held
+
+    def _record_mutation_target(
+        self, target: ast.expr, held: "FrozenSet[str]"
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_mutation_target(element, held)
+            return
+        if isinstance(target, ast.Starred):
+            self._record_mutation_target(target.value, held)
+            return
+        attr_node: "Optional[ast.Attribute]" = None
+        if isinstance(target, ast.Attribute):
+            attr_node = target
+        elif isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Attribute
+        ):
+            attr_node = target.value
+        if attr_node is None:
+            return
+        self._record_attr_mutation(attr_node, held)
+
+    def _record_attr_mutation(
+        self, attr_node: ast.Attribute, held: "FrozenSet[str]"
+    ) -> None:
+        owner = self.model.type_of(self.info, attr_node.value)
+        if owner is None and isinstance(attr_node.value, ast.Name):
+            if attr_node.value.id in self.model.classes:
+                owner = attr_node.value.id  # class-attribute store
+        if owner is None:
+            return
+        guard = lockmodel.guard_for(owner, attr_node.attr, self.model.bases_of)
+        if guard is None:
+            return
+        self.summary.mutations.append(
+            Mutation(
+                owner,
+                attr_node.attr,
+                guard,
+                held,
+                attr_node.lineno,
+                attr_node.col_offset,
+            )
+        )
+
+    def _record_escape(
+        self, target: ast.expr, value: ast.expr, held: "FrozenSet[str]"
+    ) -> None:
+        value_class = self._worker_local_class(value)
+        if value_class is None:
+            return
+        attr_node: "Optional[ast.Attribute]" = None
+        if isinstance(target, ast.Attribute):
+            attr_node = target
+        elif isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Attribute
+        ):
+            attr_node = target.value
+        if attr_node is None:
+            return
+        owner = self.model.type_of(self.info, attr_node.value)
+        if owner is None and isinstance(attr_node.value, ast.Name):
+            if attr_node.value.id in self.model.classes:
+                owner = attr_node.value.id
+        if owner is None or owner not in lockmodel.SHARED_CLASSES:
+            return
+        if owner in lockmodel.WORKER_LOCAL_CLASSES:
+            return
+        self.summary.escapes.append(
+            Escape(
+                value_class,
+                owner,
+                attr_node.attr,
+                attr_node.lineno,
+                attr_node.col_offset,
+            )
+        )
+
+    def _worker_local_class(self, value: ast.expr) -> "Optional[str]":
+        if isinstance(value, ast.Call):
+            name = None
+            if isinstance(value.func, ast.Name):
+                name = value.func.id
+            elif isinstance(value.func, ast.Attribute):
+                name = value.func.attr
+            if name in lockmodel.WORKER_LOCAL_CLASSES:
+                return name
+            return None
+        typ = self.model.type_of(self.info, value)
+        if typ in lockmodel.WORKER_LOCAL_CLASSES:
+            return typ
+        return None
+
+    # -- expressions ---------------------------------------------------
+
+    def _eval_expr(
+        self, expr: ast.expr, held: "FrozenSet[str]"
+    ) -> "FrozenSet[str]":
+        for call in self._calls_in(expr):
+            held = self._eval_call(call, held)
+        return held
+
+    @staticmethod
+    def _calls_in(expr: ast.expr) -> "List[ast.Call]":
+        calls: "List[ast.Call]" = []
+        stack: "List[ast.AST]" = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Call):
+                calls.append(node)
+            for child in ast.iter_child_nodes(node):
+                stack.append(child)
+        calls.sort(key=lambda call: (call.lineno, call.col_offset))
+        return calls
+
+    def _eval_call(
+        self, call: ast.Call, held: "FrozenSet[str]"
+    ) -> "FrozenSet[str]":
+        func = call.func
+        # Database lock acquire/release (shape-matched like L401).
+        level = self._db_lock_level(call, {"acquire"})
+        if level is not None:
+            self.summary.acquisitions.append(
+                Acquisition(level, held, call.lineno, call.col_offset)
+            )
+            return held | {level}
+        if isinstance(func, ast.Attribute):
+            if func.attr == "release" and len(call.args) >= 2:
+                level = self._db_lock_level(call, {"release"})
+                if level is not None:
+                    return held - {level}
+            if func.attr == "release_all":
+                return held - lockmodel.DB_LOCK_LEVELS
+            # In-place mutator methods on guarded attributes.
+            if (
+                func.attr in lockmodel.MUTATOR_METHODS
+                and isinstance(func.value, ast.Attribute)
+            ):
+                self._record_attr_mutation(func.value, held)
+            # heapq.heappush(bucket.heap, ...) mutates the first arg.
+            if func.attr in {"heappush", "heappop", "heapify", "heapreplace"}:
+                first = call.args[0] if call.args else None
+                if isinstance(first, ast.Attribute):
+                    self._record_attr_mutation(first, held)
+        # Chunk hooks: bare acquire()/release() callback parameters.
+        if (
+            isinstance(func, ast.Name)
+            and not call.args
+            and not call.keywords
+            and func.id in lockmodel.CHUNK_HOOKS
+        ):
+            action, level = lockmodel.CHUNK_HOOKS[func.id]
+            if action == "acquire":
+                self.summary.acquisitions.append(
+                    Acquisition(level, held, call.lineno, call.col_offset)
+                )
+                held = held | {level}
+            else:
+                held = held - {level}
+        targets = self.model.resolve_call(self.info, call)
+        callbacks = self.model.callback_args(self.info, call)
+        all_targets = tuple(dict.fromkeys(targets + callbacks))
+        if all_targets:
+            self.summary.calls.append(CallSite(all_targets, held))
+        return held
+
+
+# ----------------------------------------------------------------------
+# whole-program analysis
+
+
+class ConcurrencyAnalysis:
+    """Summaries + per-root entry locksets for one source tree."""
+
+    def __init__(self, sources: "Sequence[SourceFile]") -> None:
+        self.sources = list(sources)
+        self.model = ProjectModel(self.sources)
+        self.summaries: "Dict[FuncKey, Summary]" = {
+            key: _FunctionEvaluator(self.model, info).run()
+            for key, info in self.model.functions.items()
+        }
+        self.roots: "Dict[str, List[FuncKey]]" = self._find_roots()
+        #: root name -> {function key -> must-hold entry lockset}
+        #: (intersection meet: a lock is in the set only if every path
+        #: from the root holds it — the sound basis for L601).
+        self.entry: "Dict[str, Dict[FuncKey, FrozenSet[str]]]" = {
+            root: self._propagate(seeds)
+            for root, seeds in self.roots.items()
+        }
+        #: root name -> {function key -> may-hold entry lockset}
+        #: (union meet: a lock held on *some* path — the basis for the
+        #: L602 acquisition graph, where one guilty path is enough).
+        self.entry_may: "Dict[str, Dict[FuncKey, FrozenSet[str]]]" = {
+            root: self._propagate(seeds, may=True)
+            for root, seeds in self.roots.items()
+        }
+        self._path_of = {
+            source.logical: source.path for source in self.sources
+        }
+
+    # -- roots ---------------------------------------------------------
+
+    def _find_roots(self) -> "Dict[str, List[FuncKey]]":
+        roots: "Dict[str, List[FuncKey]]" = {}
+        for key, info in self.model.functions.items():
+            node = info.node
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr == "submit" and call.args:
+                    target = call.args[0]
+                    if isinstance(target, ast.Name):
+                        resolved = self.model.lexical_lookup(info, target.id)
+                        if resolved is not None:
+                            roots.setdefault(
+                                self._root_name(resolved), []
+                            ).append(resolved)
+                if func.attr == "on_commit":
+                    for candidate in self.model.callback_args(info, call):
+                        roots.setdefault(
+                            self._root_name(candidate), []
+                        ).append(candidate)
+        for logical, qualname in lockmodel.DECLARED_THREAD_ROOTS:
+            key = (logical, qualname)
+            if key in self.model.functions:
+                roots.setdefault(self._root_name(key), []).append(key)
+        seeds = [
+            key
+            for key, info in self.model.functions.items()
+            if info.is_public
+        ]
+        roots[MAIN_ROOT] = seeds
+        return roots
+
+    @staticmethod
+    def _root_name(key: FuncKey) -> str:
+        logical, qualname = key
+        return f"{logical}::{qualname}"
+
+    # -- propagation ---------------------------------------------------
+
+    def _propagate(
+        self, seeds: "Sequence[FuncKey]", may: bool = False
+    ) -> "Dict[FuncKey, FrozenSet[str]]":
+        entry: "Dict[FuncKey, FrozenSet[str]]" = {}
+        work: "deque[FuncKey]" = deque()
+        for seed in seeds:
+            if seed not in entry:
+                entry[seed] = EMPTY
+                work.append(seed)
+        while work:
+            key = work.popleft()
+            base = entry[key]
+            summary = self.summaries.get(key)
+            if summary is None:
+                continue
+            for site in summary.calls:
+                incoming = base | site.held
+                for target in site.targets:
+                    if target not in self.summaries:
+                        continue
+                    old = entry.get(target)
+                    if old is None:
+                        new = incoming
+                    elif may:
+                        new = old | incoming
+                    else:
+                        new = old & incoming
+                    if old is None or new != old:
+                        entry[target] = new
+                        work.append(target)
+        return entry
+
+    # -- rule evaluation ----------------------------------------------
+
+    def thread_roots(self) -> "List[str]":
+        return sorted(name for name in self.roots if name != MAIN_ROOT)
+
+    def reaching_roots(self, key: FuncKey) -> "List[str]":
+        return sorted(
+            root for root, entry in self.entry.items() if key in entry
+        )
+
+    def path_for(self, logical: str) -> str:
+        return self._path_of.get(logical, logical)
+
+    def l601_violations(self) -> "List[Violation]":
+        out: "List[Violation]" = []
+        for key, summary in self.summaries.items():
+            info = self.model.functions[key]
+            if info.name in lockmodel.CONSTRUCTION_EXEMPT:
+                continue
+            reaching = self.reaching_roots(key)
+            if len(reaching) < 2:
+                continue
+            for mutation in summary.mutations:
+                missing = sorted(
+                    root
+                    for root in reaching
+                    if mutation.guard
+                    not in (self.entry[root][key] | mutation.held)
+                )
+                if not missing:
+                    continue
+                shown = ", ".join(missing[:2])
+                if len(missing) > 2:
+                    shown += ", ..."
+                out.append(
+                    Violation(
+                        "L601",
+                        self.path_for(info.logical),
+                        mutation.line,
+                        mutation.col,
+                        (
+                            f"{mutation.owner}.{mutation.attr} is guarded by "
+                            f"'{mutation.guard}' but mutated without it on "
+                            f"paths from: {shown}"
+                        ),
+                    )
+                )
+        return out
+
+    def l602_violations(self) -> "List[Violation]":
+        # Edge (a, b): b acquired while a held, witnessed at the first
+        # (path, line, col) site encountered in sorted order.
+        edges: "Dict[Tuple[str, str], Tuple[str, int, int]]" = {}
+        for key in sorted(self.summaries):
+            info = self.model.functions[key]
+            summary = self.summaries[key]
+            entries = [
+                self.entry_may[root][key]
+                for root in self.entry_may
+                if key in self.entry_may[root]
+            ]
+            if not entries:
+                continue
+            for acq in summary.acquisitions:
+                for base in entries:
+                    for held in base | acq.held_before:
+                        if held == acq.lock:
+                            if acq.lock in lockmodel.REENTRANT_LOCKS:
+                                continue
+                        witness = (
+                            self.path_for(info.logical),
+                            acq.line,
+                            acq.col,
+                        )
+                        edge = (held, acq.lock)
+                        if edge not in edges or witness < edges[edge]:
+                            edges[edge] = witness
+        cyclic_edges = _edges_in_cycles(set(edges))
+        out: "List[Violation]" = []
+        for edge in sorted(cyclic_edges):
+            path, line, col = edges[edge]
+            ring = _cycle_through(edge, set(edges))
+            shown = " -> ".join(ring)
+            out.append(
+                Violation(
+                    "L602",
+                    path,
+                    line,
+                    col,
+                    (
+                        f"acquiring '{edge[1]}' while holding '{edge[0]}' "
+                        f"closes a lock-order cycle: {shown}"
+                    ),
+                )
+            )
+        return out
+
+    def l603_violations(self) -> "List[Violation]":
+        out: "List[Violation]" = []
+        thread_roots = set(self.thread_roots())
+        for key, summary in self.summaries.items():
+            if not summary.escapes:
+                continue
+            info = self.model.functions[key]
+            reached_by = thread_roots & set(self.reaching_roots(key))
+            if not reached_by:
+                continue
+            shown = ", ".join(sorted(reached_by)[:2])
+            for escape in summary.escapes:
+                out.append(
+                    Violation(
+                        "L603",
+                        self.path_for(info.logical),
+                        escape.line,
+                        escape.col,
+                        (
+                            f"worker-local {escape.value_class} escapes to "
+                            f"shared {escape.owner}.{escape.attr} on a "
+                            f"thread path ({shown}) before the sequential "
+                            f"merge"
+                        ),
+                    )
+                )
+        return out
+
+
+def _edges_in_cycles(
+    edges: "Set[Tuple[str, str]]",
+) -> "Set[Tuple[str, str]]":
+    """Edges whose endpoints share a cyclic strongly connected component."""
+    graph: "Dict[str, Set[str]]" = {}
+    for a, b in edges:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+    index: "Dict[str, int]" = {}
+    low: "Dict[str, int]" = {}
+    on_stack: "Set[str]" = set()
+    stack: "List[str]" = []
+    component: "Dict[str, int]" = {}
+    counter = [0]
+    comp_id = [0]
+
+    def strongconnect(node: str) -> None:
+        work: "List[Tuple[str, Optional[str], List[str]]]" = [
+            (node, None, sorted(graph[node]))
+        ]
+        while work:
+            current, parent, children = work[-1]
+            if current not in index:
+                index[current] = low[current] = counter[0]
+                counter[0] += 1
+                stack.append(current)
+                on_stack.add(current)
+            advanced = False
+            while children:
+                child = children.pop()
+                if child not in index:
+                    work.append((child, current, sorted(graph[child])))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[current] = min(low[current], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if parent is not None:
+                low[parent] = min(low[parent], low[current])
+            if low[current] == index[current]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component[member] = comp_id[0]
+                    if member == current:
+                        break
+                comp_id[0] += 1
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    cyclic_components = {
+        component[a]
+        for a, b in edges
+        if component[a] == component[b]
+    }
+    return {
+        (a, b)
+        for a, b in edges
+        if component[a] == component[b] and component[a] in cyclic_components
+    }
+
+
+def _cycle_through(
+    edge: "Tuple[str, str]", edges: "Set[Tuple[str, str]]"
+) -> "List[str]":
+    """A shortest cycle ring starting with ``edge`` (BFS back-path)."""
+    start, nxt = edge
+    graph: "Dict[str, Set[str]]" = {}
+    for a, b in edges:
+        graph.setdefault(a, set()).add(b)
+    parents: "Dict[str, str]" = {nxt: start}
+    queue: "deque[str]" = deque([nxt])
+    while queue:
+        node = queue.popleft()
+        if node == start:
+            break
+        for succ in sorted(graph.get(node, ())):
+            if succ not in parents:
+                parents[succ] = node
+                queue.append(succ)
+    if start not in parents:
+        return [start, nxt, "..."]
+    ring = [start]
+    node = start
+    while True:
+        node = parents[node]
+        ring.append(node)
+        if node == start:
+            break
+    ring.reverse()
+    return ring

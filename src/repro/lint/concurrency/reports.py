@@ -1,0 +1,43 @@
+"""The project-level checker wiring the concurrency pass into replint."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from ..engine import SourceFile, Violation
+from .lockset import ConcurrencyAnalysis
+
+CONCURRENCY_RULES = {
+    "L601": (
+        "shared attribute mutated with an inconsistent lockset on a "
+        "multi-root path"
+    ),
+    "L602": "cross-function lock acquisition order forms a cycle",
+    "L603": (
+        "worker-local state escapes to a shared field before the "
+        "sequential merge"
+    ),
+}
+
+
+class ConcurrencyChecker:
+    """L6: whole-program lockset, lock-order, and thread-escape checks.
+
+    Runs once over the whole source set (``project_level``): builds the
+    project model and call graph, propagates per-root entry locksets to
+    a fixpoint, then evaluates the three rules.  The lock model the
+    analysis trusts lives in :mod:`repro.lint.concurrency.lockmodel`.
+    """
+
+    project_level = True
+    rules = ("L601", "L602", "L603")
+
+    def check_project(
+        self, sources: "Sequence[SourceFile]"
+    ) -> "Iterator[Violation]":
+        analysis = ConcurrencyAnalysis(sources)
+        violations: "List[Violation]" = []
+        violations.extend(analysis.l601_violations())
+        violations.extend(analysis.l602_violations())
+        violations.extend(analysis.l603_violations())
+        return iter(violations)

@@ -15,8 +15,10 @@ from the named rules on that line.
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
+import tokenize
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 _SUPPRESS_RE = re.compile(
@@ -85,16 +87,36 @@ class SourceFile:
 
 
 def _parse_suppressions(text: str) -> "Dict[int, Set[str]]":
+    """Suppression directives, from *comment tokens only*.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps a docstring
+    that merely mentions ``# replint: ignore[...]`` from acting — or,
+    under L502, being reported — as a real suppression.  Falls back to
+    the line scan if tokenization fails (the engine also lints files
+    that may not parse).
+    """
     out: "Dict[int, Set[str]]" = {}
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
+
+    def record(lineno: int, fragment: str) -> None:
+        match = _SUPPRESS_RE.search(fragment)
         if match is None:
-            continue
+            return
         spec = match.group("rules")
         if spec is None:
             out[lineno] = set()
         else:
-            out[lineno] = {rule.strip() for rule in spec.split(",") if rule.strip()}
+            out[lineno] = {
+                rule.strip() for rule in spec.split(",") if rule.strip()
+            }
+
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                record(token.start[0], token.string)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        out.clear()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            record(lineno, line)
     return out
 
 
@@ -151,37 +173,108 @@ def collect_sources(
     return [load_source(path, package_root=package_root) for path in files]
 
 
+def _rule_matches(rule: str, prefixes: "Optional[Sequence[str]]") -> bool:
+    if prefixes is None:
+        return True
+    return any(rule.startswith(prefix) for prefix in prefixes)
+
+
+def _stale_suppressions(
+    sources: "Sequence[SourceFile]",
+    raw: "Sequence[Violation]",
+    rules: "Optional[Sequence[str]]",
+) -> "List[Violation]":
+    """L502: suppression comments whose rules no longer fire.
+
+    Judged against the *raw* (pre-suppression) findings, so a working
+    suppression is never stale.  On a rule-filtered run only named
+    rules that were actually active are judged; bare ``ignore``
+    comments (which waive every rule) are judged only on full runs.
+    An L502 can itself be waived only by naming ``L502`` explicitly —
+    a bare ``ignore`` must not hide the report about itself.
+    """
+    fired: "Dict[tuple, Set[str]]" = {}
+    for violation in raw:
+        fired.setdefault((violation.path, violation.line), set()).add(
+            violation.rule
+        )
+    out: "List[Violation]" = []
+    for source in sources:
+        for line, named in sorted(source.suppressions.items()):
+            active = fired.get((source.path, line), set())
+            if named:
+                if "L502" in named:
+                    continue
+                judged = {
+                    rule for rule in named if _rule_matches(rule, rules)
+                }
+                if not judged or judged & active:
+                    continue
+                listed = ", ".join(sorted(judged))
+                message = (
+                    f"stale suppression: {listed} no longer fires on "
+                    f"this line"
+                )
+            else:
+                if rules is not None or active:
+                    continue
+                message = (
+                    "stale suppression: no rule fires on this line"
+                )
+            out.append(Violation("L502", source.path, line, 0, message))
+    return out
+
+
 def lint_sources(
     sources: "Sequence[SourceFile]",
     checkers: Optional[Iterable] = None,
+    rules: "Optional[Sequence[str]]" = None,
 ) -> "List[Violation]":
-    """Run every checker over ``sources``; suppressed findings dropped."""
+    """Run checkers over ``sources``; suppressed findings dropped.
+
+    ``rules`` is an optional list of rule-id prefixes (``["L6"]``,
+    ``["L401", "L5"]``): only checkers owning a matching rule run, and
+    only matching findings are reported.
+    """
     if checkers is None:
         from repro.lint.checkers import ALL_CHECKERS
 
         checkers = ALL_CHECKERS
+    if rules is not None:
+        checkers = [
+            checker
+            for checker in checkers
+            if any(_rule_matches(rule, rules) for rule in checker.rules)
+        ]
     by_path = {source.path: source for source in sources}
-    violations: "List[Violation]" = []
+    raw: "List[Violation]" = []
     for checker in checkers:
         if checker.project_level:
-            violations.extend(checker.check_project(sources))
+            raw.extend(checker.check_project(sources))
         else:
             for source in sources:
-                violations.extend(checker.check(source))
+                raw.extend(checker.check(source))
+    raw = [v for v in raw if _rule_matches(v.rule, rules)]
     kept = [
         violation
-        for violation in violations
+        for violation in raw
         if not (
             violation.path in by_path
             and by_path[violation.path].suppressed(violation.rule, violation.line)
         )
     ]
+    if _rule_matches("L502", rules):
+        kept.extend(_stale_suppressions(sources, raw, rules))
     kept.sort(key=lambda violation: (violation.path, violation.line, violation.rule))
     return kept
 
 
 def lint_paths(
-    paths: "Sequence[str]", package_root: Optional[str] = None
+    paths: "Sequence[str]",
+    package_root: Optional[str] = None,
+    rules: "Optional[Sequence[str]]" = None,
 ) -> "List[Violation]":
     """Collect, parse, and lint every ``.py`` file under ``paths``."""
-    return lint_sources(collect_sources(paths, package_root=package_root))
+    return lint_sources(
+        collect_sources(paths, package_root=package_root), rules=rules
+    )

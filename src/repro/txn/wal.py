@@ -168,15 +168,16 @@ class WriteAheadLog:
 
     def truncate_before(self, lsn: int) -> int:
         """Drop records with LSN below ``lsn``; return how many dropped."""
-        if lsn > self._next_lsn:
-            raise WalError(f"cannot truncate past the log head ({lsn})")
-        dropped = 0
-        while self._records and self._records[0].lsn < lsn:
-            record = self._records.pop(0)
-            self._bytes -= record.encoded_size()
-            dropped += 1
-        self._truncated_before = max(self._truncated_before, lsn)
-        return dropped
+        with self._append_lock:
+            if lsn > self._next_lsn:
+                raise WalError(f"cannot truncate past the log head ({lsn})")
+            dropped = 0
+            while self._records and self._records[0].lsn < lsn:
+                record = self._records.pop(0)
+                self._bytes -= record.encoded_size()
+                dropped += 1
+            self._truncated_before = max(self._truncated_before, lsn)
+            return dropped
 
     def committed_txns(self, from_lsn: int = 1) -> "set[int]":
         """Transaction ids with a COMMIT record at or after ``from_lsn``."""

@@ -1,0 +1,24 @@
+"""Seeded L602 via chunk hooks: bare ``acquire()`` reenters the table
+lock between chunks while a mutex is held, against a path that takes
+the mutex under the table lock.
+"""
+
+import threading
+
+
+class BufferPool:
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+
+
+def chunk_boundary(pool, acquire, release):
+    with pool._mutex:
+        release()
+        acquire()  # line 17: L602 (table taken while mutex held)
+
+
+def scan_chunk(locks, owner, name, mode, pool):
+    locks.acquire(owner, ("table", name), mode)
+    with pool._mutex:  # line 22: L602 (mutex taken while table held)
+        pass
+    locks.release_all(owner)

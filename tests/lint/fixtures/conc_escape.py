@@ -1,0 +1,40 @@
+"""Seeded L603: a worker-local cursor escapes to the shared registry.
+
+Publication happens *under the registry lock*, so no L601 fires — the
+escape is the defect: another root can observe the worker's private
+cursor before the sequential merge.  ``merge`` builds the same cursor
+on a main-only path and is clean.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class _ShardCursor:
+    def __init__(self, shard_no: int) -> None:
+        self.shard_no = shard_no
+        self.rows = []
+
+
+class SnapshotRegistry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._claims = {}
+
+
+def scan_worker(registry: SnapshotRegistry, shard_no: int) -> list:
+    cursor = _ShardCursor(shard_no)
+    with registry._lock:
+        registry._claims[shard_no] = cursor  # line 28: L603
+    return cursor.rows
+
+
+def merge(registry: SnapshotRegistry, shard_no: int) -> "_ShardCursor":
+    cursor = _ShardCursor(shard_no)
+    return cursor
+
+
+def run(registry: SnapshotRegistry) -> None:
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        pool.submit(scan_worker, registry, 0)
+    merge(registry, 1)

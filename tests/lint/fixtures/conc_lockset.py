@@ -1,0 +1,49 @@
+"""Seeded L601: pool state mutated without the declared mutex.
+
+``worker`` is submitted to a thread pool, so ``pin``/``pin_unlocked``
+are reachable from two roots (``<main>`` and the worker).  ``pin``
+holds the declared guard; ``pin_unlocked`` mutates the same fields
+bare-handed.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class BufferStats:
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class BufferPool:
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._frames = {}
+        self.stats = BufferStats()
+
+    def pin(self, page_no: int) -> None:
+        with self._mutex:
+            self._frames[page_no] = page_no
+            self.stats.hits += 1
+
+    def pin_unlocked(self, page_no: int) -> None:
+        self._frames[page_no] = page_no  # line 31: L601
+        self.stats.misses += 1  # line 32: L601
+
+    def pin_waived(self, page_no: int) -> None:
+        # Benign by construction in this fixture; the suppression must
+        # hold (and must not be reported stale, since L601 does fire).
+        self.stats.misses += 1  # replint: ignore[L601]
+
+
+def worker(pool: BufferPool) -> None:
+    pool.pin(1)
+    pool.pin_unlocked(2)
+    pool.pin_waived(3)
+
+
+def run(pool: BufferPool) -> None:
+    with ThreadPoolExecutor(max_workers=1) as executor:
+        executor.submit(worker, pool)
+    worker(pool)

@@ -1,0 +1,27 @@
+"""Seeded L602: a lock-order cycle only visible across functions.
+
+``forward`` takes the table lock and calls ``touch_row``; ``backward``
+takes a row lock and calls ``reacquire_table``.  No single function
+inverts the order (per-site L401 stays silent) — the cycle exists only
+in the global acquisition graph.
+"""
+
+
+def forward(locks, owner, name, rid, mode):
+    locks.acquire(owner, ("table", name), mode)
+    touch_row(locks, owner, name, rid, mode)
+    locks.release_all(owner)
+
+
+def touch_row(locks, owner, name, rid, mode):
+    locks.acquire(owner, ("row", name, rid), mode)  # line 17: L602
+
+
+def backward(locks, owner, name, rid, mode):
+    locks.acquire(owner, ("row", name, rid), mode)
+    reacquire_table(locks, owner, name, mode)
+    locks.release_all(owner)
+
+
+def reacquire_table(locks, owner, name, mode):
+    locks.acquire(owner, ("table", name), mode)  # line 27: L602

@@ -1,0 +1,15 @@
+"""Seeded L502: suppressions that no longer pull their weight."""
+
+
+def waived_but_clean(flag):
+    return bool(flag)  # replint: ignore[L501]
+
+
+def waived_and_firing(flag):
+    assert flag  # replint: ignore[L501]
+    return flag
+
+
+def blanket_on_nothing(flag):
+    value = int(flag)  # replint: ignore
+    return value

@@ -88,12 +88,28 @@ class TestBatchPath:
 
     def test_other_modules_are_exempt(self):
         violations = lint_sources([fixture("batchpath.py", "net/wire.py")])
-        assert violations == []
+        # L305 does not apply outside batch modules — which makes the
+        # fixture's cold-fallback suppression itself stale (L502).
+        assert fired(violations) == [("L502", 15)]
 
 
 class TestLockOrder:
     def test_inversion_and_unknown_level(self):
         violations = lint_sources([fixture("locks.py", "txn/rogue.py")])
+        # The inverted pair (row -> table, line 6) against the correct
+        # pair (table -> row, line 15) also forms a global acquisition
+        # cycle, so the whole-program L602 fires at both edges.
+        assert fired(violations) == [
+            ("L401", 6),
+            ("L602", 6),
+            ("L402", 10),
+            ("L602", 15),
+        ]
+
+    def test_per_site_rules_alone_match_the_old_behavior(self):
+        violations = lint_sources(
+            [fixture("locks.py", "txn/rogue.py")], rules=["L40"]
+        )
         assert fired(violations) == [("L401", 6), ("L402", 10)]
 
 
@@ -154,7 +170,8 @@ class TestEngine:
             "L201", "L202", "L203",
             "L301", "L302", "L303", "L304", "L305",
             "L401", "L402", "L403", "L404",
-            "L501",
+            "L501", "L502",
+            "L601", "L602", "L603",
         }
 
     def test_clean_tree_has_no_violations(self):
